@@ -1,0 +1,98 @@
+// Ablation: transactional capacity behaviour (Section 2). Sweeps the
+// write-set and read-set footprint of a single-threaded transaction and
+// reports commit rates, demonstrating:
+//   * write sets are bounded by the L1 (eviction of a transactionally
+//     written line aborts immediately, including set-conflict evictions
+//     well before the full 32 KB);
+//   * read sets survive L1 eviction via the secondary tracking structure,
+//     but with an abort probability per evicted line (Table 1's nonzero
+//     single-thread abort rates);
+//   * a HyperThread sibling halves the effective capacity.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+
+using namespace tsxhpc;
+using sim::AbortCause;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+// Commit rate (%) of transactions touching `lines` random cache lines.
+double commit_rate(bool writes, std::size_t lines, bool smt_sibling,
+                   int txns = 40) {
+  sim::MachineConfig cfg;
+  Machine m(cfg);
+  const std::size_t span_lines = 4096;
+  sim::Addr base = m.alloc(span_lines * cfg.line_bytes, 64);
+  int commits = 0;
+
+  auto worker = [&](Context& c) {
+    sim::Xoshiro256 rng(7);
+    for (int t = 0; t < txns; ++t) {
+      // Pre-draw the footprint so aborted attempts replay identically.
+      std::vector<std::size_t> idx(lines);
+      for (auto& i : idx) i = rng.next_below(span_lines);
+      try {
+        c.xbegin();
+        for (std::size_t i : idx) {
+          const sim::Addr a = base + i * cfg.line_bytes;
+          if (writes) {
+            c.store(a, t);
+          } else {
+            (void)c.load(a);
+          }
+        }
+        c.xend();
+        commits++;
+      } catch (const sim::TxAbort&) {
+      }
+    }
+  };
+
+  if (!smt_sibling) {
+    m.run(1, worker);
+  } else {
+    // Thread 4 shares core 0's L1 with thread 0 (4-core topology).
+    std::vector<std::function<void(Context&)>> bodies(
+        5, [](Context& c) { c.compute(1); });
+    bodies[0] = worker;
+    bodies[4] = [&](Context& c) {
+      // Sibling thrashes the shared L1 non-transactionally.
+      sim::Xoshiro256 rng(99);
+      for (int i = 0; i < 20000; ++i) {
+        c.store(base + rng.next_below(span_lines) * 64, i);
+        c.compute(40);
+      }
+    };
+    m.run_each(bodies);
+  }
+  return 100.0 * commits / txns;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::banner("Ablation: transactional footprint vs. commit rate (1 thread)");
+
+  bench::Table table({"lines touched", "KB", "write-set commit %",
+                      "read-set commit %", "write-set + HT sibling %"});
+  for (std::size_t lines : {16, 64, 128, 256, 384, 448, 512, 768, 1024}) {
+    table.add_row({std::to_string(lines),
+                   bench::fmt(lines * 64.0 / 1024.0, 0),
+                   bench::fmt(commit_rate(true, lines, false), 0),
+                   bench::fmt(commit_rate(false, lines, false), 0),
+                   bench::fmt(commit_rate(true, lines, true), 0)});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected: write sets die as footprints approach the 512-line L1\n"
+      "(set-conflict evictions bite earlier); read sets degrade gradually\n"
+      "(secondary tracking); an active HyperThread sibling roughly halves\n"
+      "the usable write capacity (Section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: HLE vs RTM elision (Section 2 describes both interfaces; the
+// paper's library uses RTM "for programmers who prefer a more flexible
+// interface"). HLE's fixed hardware policy (one retry, then acquire) loses
+// to RTM's tunable retry loop exactly where conflicts are transient.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/shared.h"
+#include "sync/elision.h"
+#include "sync/hle.h"
+
+using namespace tsxhpc;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+// A critical-section microbenchmark with tunable conflict probability:
+// each section updates one of `span` cells; smaller span = more conflicts.
+template <typename RunSection>
+sim::Cycles run_contention(std::size_t span, RunSection&& section_factory) {
+  Machine m;
+  auto cells = sim::SharedArray<std::uint64_t>::alloc(m, span * 8, 0);
+  auto section = section_factory(m);
+  sim::RunStats rs = m.run(8, [&](Context& c) {
+    sim::Xoshiro256 rng(c.tid() + 3);
+    for (int i = 0; i < 400; ++i) {
+      const std::size_t idx = rng.next_below(span) * 8;
+      section(c, [&] {
+        auto cell = cells.at(idx);
+        cell.store(c, cell.load(c) + 1);
+        c.compute(150);
+      });
+    }
+  });
+  return rs.makespan;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::banner(
+      "Ablation: HLE (fixed 1-retry policy) vs RTM elision (retry 5) vs "
+      "plain lock, 8 threads");
+
+  bench::Table table({"distinct cells", "plain lock Mcyc", "hle Mcyc",
+                      "rtm Mcyc", "rtm/hle"});
+  for (std::size_t span : {1, 4, 16, 64, 256}) {
+    const auto lock_cycles = run_contention(span, [](Machine& m) {
+      auto lock = std::make_shared<sync::SpinLock>(m);
+      return [lock](Context& c, auto&& f) {
+        lock->acquire(c);
+        f();
+        lock->release(c);
+      };
+    });
+    const auto hle_cycles = run_contention(span, [](Machine& m) {
+      auto lock = std::make_shared<sync::HleLock>(m);
+      return [lock](Context& c, auto&& f) { lock->critical(c, f); };
+    });
+    const auto rtm_cycles = run_contention(span, [](Machine& m) {
+      auto lock = std::make_shared<sync::ElidedLock>(m);
+      return [lock](Context& c, auto&& f) { lock->critical(c, f); };
+    });
+    table.add_row({std::to_string(span), bench::fmt(lock_cycles / 1e6),
+                   bench::fmt(hle_cycles / 1e6),
+                   bench::fmt(rtm_cycles / 1e6),
+                   bench::fmt(static_cast<double>(rtm_cycles) /
+                              static_cast<double>(hle_cycles))});
+  }
+  table.print();
+  std::printf(
+      "\nExpected: HLE's fixed 1-retry policy makes it give up early, and\n"
+      "once one thread holds the real lock the other eliders abort and\n"
+      "convert too (the lemming effect) — without RTM's software-controlled\n"
+      "retries and adaptive recovery, HLE stays pinned near plain-lock\n"
+      "performance even when conflicts are rare. This is why the paper's\n"
+      "library uses the RTM interface (Section 3).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the figure/table reproduction harnesses: fixed-width
+// table printing in the style of the paper's figures, plus simple argv
+// parsing (--quick for CI-speed runs).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tsxhpc::bench {
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Column-aligned table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    }
+    print_row(headers_, width);
+    std::string rule;
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      rule += std::string(width[i], '-');
+      if (i + 1 < width.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      std::printf("%-*s", static_cast<int>(width[i]), cell.c_str());
+      if (i + 1 < width.size()) std::printf(" | ");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace tsxhpc::bench

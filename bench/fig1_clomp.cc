@@ -1,0 +1,67 @@
+// Reproduces Figure 1: CLOMP-TM speedup over serial at 4 threads, as a
+// function of the number of scatter-zone updates per zone, for the five
+// synchronization schemes. Paper claims to check:
+//   * Small Atomic is fastest at 1 scatter; Small TM "not too much worse";
+//   * Small Critical is far slower; Large Critical stays slow (global lock);
+//   * Large TM overtakes Small Atomic once 3-4 updates are batched.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "clomp/clomp.h"
+
+using namespace tsxhpc;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+
+  bench::banner(
+      "Figure 1: CLOMP-TM, 4 threads (no HT), speedup vs serial by "
+      "scatters/zone");
+
+  clomp::Config base;
+  base.threads = 4;
+  base.zones_per_thread = quick ? 24 : 64;
+  base.repetitions = quick ? 4 : 12;
+
+  const int scatter_counts[] = {1, 2, 3, 4, 6, 8, 12, 16};
+  const clomp::Scheme schemes[] = {
+      clomp::Scheme::kSmallAtomic, clomp::Scheme::kSmallCritical,
+      clomp::Scheme::kSmallTM, clomp::Scheme::kLargeCritical,
+      clomp::Scheme::kLargeTM};
+
+  bench::Table table({"scatters", "small-atomic", "small-critical",
+                      "small-tm", "large-critical", "large-tm"});
+
+  double cross_small_atomic = 0, cross_large_tm = 0;
+  int crossover_at = -1;
+  for (int s : scatter_counts) {
+    clomp::Config cfg = base;
+    cfg.scatters_per_zone = s;
+    std::vector<std::string> row{std::to_string(s)};
+    double small_atomic = 0, large_tm = 0;
+    for (clomp::Scheme scheme : schemes) {
+      const double sp = clomp::speedup_vs_serial(cfg, scheme);
+      row.push_back(bench::fmt(sp));
+      if (scheme == clomp::Scheme::kSmallAtomic) small_atomic = sp;
+      if (scheme == clomp::Scheme::kLargeTM) large_tm = sp;
+    }
+    table.add_row(row);
+    if (crossover_at < 0 && large_tm > small_atomic) {
+      crossover_at = s;
+      cross_small_atomic = small_atomic;
+      cross_large_tm = large_tm;
+    }
+  }
+  table.print();
+
+  if (crossover_at > 0) {
+    std::printf(
+        "\nLarge TM first outperforms Small Atomic at %d batched updates "
+        "(%.2fx vs %.2fx).\n",
+        crossover_at, cross_large_tm, cross_small_atomic);
+    std::printf("Paper: crossover at 3-4 batched updates.\n");
+  } else {
+    std::printf("\nWARNING: no crossover observed (paper: 3-4 updates).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 2: STAMP execution time for sgl / tl2 / tsx at 1, 2, 4,
+// and 8 threads, normalized to single-thread sgl (reported as speedup =
+// sgl(1)/T so larger is better). Paper claims to check:
+//   * sgl never scales;
+//   * tl2 pays a large single-thread instrumentation overhead but scales;
+//   * tsx single-thread cost ≈ sgl, and it scales, beating tl2 wherever its
+//     abort rate stays moderate (labyrinth is the counter-example).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "stamp/stamp.h"
+
+using namespace tsxhpc;
+using tmlib::Backend;
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const double scale = quick ? 0.25 : 1.0;
+
+  bench::banner(
+      "Figure 2: STAMP, speedup over 1-thread sgl (higher is better)");
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  for (const auto& w : stamp::all_workloads()) {
+    stamp::Config base;
+    base.scale = scale;
+
+    stamp::Config sgl1 = base;
+    sgl1.backend = Backend::kSgl;
+    sgl1.threads = 1;
+    const double ref = static_cast<double>(w.fn(sgl1).makespan);
+
+    bench::Table table({w.name, "sgl", "tl2", "tsx"});
+    for (int threads : thread_counts) {
+      std::vector<std::string> row{std::to_string(threads) + " thr"};
+      for (Backend b : {Backend::kSgl, Backend::kTl2, Backend::kTsx}) {
+        stamp::Config cfg = base;
+        cfg.backend = b;
+        cfg.threads = threads;
+        const stamp::Result r = w.fn(cfg);
+        if (r.checksum == 0) {
+          row.push_back("INVALID");
+        } else {
+          row.push_back(
+              bench::fmt(ref / static_cast<double>(r.makespan)));
+        }
+      }
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shapes: sgl flat at ~1x; tl2 starts well below 1x and "
+      "climbs;\ntsx starts near 1x and climbs (except labyrinth, where the "
+      "unannotated\ngrid copy forces tsx back to sgl behaviour).\n");
+  return 0;
+}

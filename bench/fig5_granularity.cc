@@ -1,0 +1,82 @@
+// Reproduces Figure 5: synchronization-scheme comparison with varying
+// transactional granularity.
+//   (a) histogram: atomic vs privatize vs tsx.gran{1,2,3}
+//   (b) physicsSolver: mutex vs barrier vs tsx.gran{1,2,3}
+// Paper claims to check:
+//   * privatization/barriers perform well at low thread counts but do not
+//     scale: at 8 threads even atomics/locks beat them (Section 5.4.2);
+//   * coarser transactional granularity amortizes overhead, but there is a
+//     performance inflection point — at 8 threads the LARGEST granularity
+//     is not the best (Section 5.4.3).
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "bench/bench_util.h"
+
+using namespace tsxhpc;
+
+namespace {
+
+void sweep(const char* title, const apps::Workload& w, const char* alt_name,
+           const std::size_t grans[3], double scale) {
+  apps::Config ref;
+  ref.variant = apps::Variant::kBaseline;
+  ref.threads = 1;
+  ref.scale = scale;
+  const double base1 = static_cast<double>(w.fn(ref).makespan);
+
+  bench::banner(title);
+  bench::Table table({"threads", "baseline", alt_name, "tsx.gran1",
+                      "tsx.gran2", "tsx.gran3"});
+  double best8[6] = {};
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::string> row{std::to_string(threads)};
+    int col = 1;
+    auto add = [&](apps::Variant v, std::size_t gran) {
+      apps::Config cfg = ref;
+      cfg.variant = v;
+      cfg.threads = threads;
+      cfg.gran = gran;
+      const apps::Result r = w.fn(cfg);
+      const double sp = base1 / static_cast<double>(r.makespan);
+      row.push_back(r.checksum == 0 ? "INVALID" : bench::fmt(sp));
+      if (threads == 8) best8[col] = sp;
+      col++;
+    };
+    add(apps::Variant::kBaseline, 0);
+    add(apps::Variant::kConflictFree, 0);
+    add(apps::Variant::kTsxCoarsen, grans[0]);
+    add(apps::Variant::kTsxCoarsen, grans[1]);
+    add(apps::Variant::kTsxCoarsen, grans[2]);
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "  At 8 threads: baseline %.2fx vs conflict-free %.2fx (paper: "
+      "conflict-free loses);\n  gran%zu %.2fx vs gran%zu %.2fx (paper: "
+      "largest granularity not best).\n",
+      best8[1], best8[2], grans[1], best8[4], grans[2], best8[5]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::has_flag(argc, argv, "--quick");
+  const double scale = quick ? 0.25 : 1.0;
+
+  const apps::Workload* histogram = nullptr;
+  const apps::Workload* physics = nullptr;
+  for (const auto& w : apps::all_workloads()) {
+    if (w.name == "histogram") histogram = &w;
+    if (w.name == "physics") physics = &w;
+  }
+
+  const std::size_t hist_grans[3] = {2, 8, 32};
+  sweep("Figure 5a: histogram — atomic / privatize / tsx.gran*", *histogram,
+        "privatize", hist_grans, scale);
+
+  const std::size_t phys_grans[3] = {1, 2, 4};
+  sweep("Figure 5b: physicsSolver — mutex / barrier / tsx.gran*", *physics,
+        "barrier", phys_grans, scale);
+  return 0;
+}

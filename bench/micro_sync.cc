@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the synchronization primitives'
+// *simulated* cycle costs: the cost model behind every figure. Each
+// benchmark reports the simulated cycles per operation as a counter, so the
+// cost-model ratios (atomic vs. transaction vs. lock; Figure 1's 3-4 update
+// crossover) can be read directly.
+#include <benchmark/benchmark.h>
+
+#include "sim/machine.h"
+#include "sim/shared.h"
+#include "sync/elision.h"
+#include "sync/locks.h"
+
+using namespace tsxhpc;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+/// Run `op` `iters` times on one simulated thread; returns cycles/op.
+template <typename SetupFn>
+double cycles_per_op(benchmark::State& state, SetupFn&& setup) {
+  Machine m;
+  auto op = setup(m);
+  constexpr int kIters = 512;
+  sim::RunStats rs = m.run(1, [&](Context& c) {
+    // Warm up the cache.
+    for (int i = 0; i < 32; ++i) op(c);
+    const sim::Cycles t0 = c.now();
+    for (int i = 0; i < kIters; ++i) op(c);
+    state.counters["sim_cycles_per_op"] =
+        static_cast<double>(c.now() - t0) / kIters;
+  });
+  (void)rs;
+  return state.counters["sim_cycles_per_op"];
+}
+
+void BM_PlainStore(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
+      return [cell](Context& c) { cell.store(c, 1); };
+    });
+  }
+}
+BENCHMARK(BM_PlainStore);
+
+void BM_AtomicFetchAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
+      return [cell](Context& c) { cell.fetch_add(c, 1); };
+    });
+  }
+}
+BENCHMARK(BM_AtomicFetchAdd);
+
+void BM_SpinLockRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto lock = std::make_shared<sync::SpinLock>(m);
+      return [lock](Context& c) {
+        lock->acquire(c);
+        lock->release(c);
+      };
+    });
+  }
+}
+BENCHMARK(BM_SpinLockRoundTrip);
+
+void BM_FutexMutexRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto lock = std::make_shared<sync::FutexMutex>(m);
+      return [lock](Context& c) {
+        lock->acquire(c);
+        lock->release(c);
+      };
+    });
+  }
+}
+BENCHMARK(BM_FutexMutexRoundTrip);
+
+void BM_EmptyElidedSection(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto lock = std::make_shared<sync::ElidedLock>(m);
+      return [lock](Context& c) { lock->critical(c, [] {}); };
+    });
+  }
+}
+BENCHMARK(BM_EmptyElidedSection);
+
+void BM_ElidedSectionWithStore(benchmark::State& state) {
+  for (auto _ : state) {
+    cycles_per_op(state, [](Machine& m) {
+      auto lock = std::make_shared<sync::ElidedLock>(m);
+      auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
+      return [lock, cell](Context& c) {
+        lock->critical(c, [&] { cell.store(c, cell.load(c) + 1); });
+      };
+    });
+  }
+}
+BENCHMARK(BM_ElidedSectionWithStore);
+
+// The Figure 1 relationship in miniature: batching k updates in one region.
+void BM_ElidedBatchedUpdates(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Machine m;
+    sync::ElidedLock lock(m);
+    auto cells = sim::SharedArray<std::uint64_t>::alloc(m, 64, 0);
+    constexpr int kIters = 256;
+    m.run(1, [&](Context& c) {
+      for (int i = 0; i < 64; ++i) (void)cells.at(i).load(c);  // warm
+      const sim::Cycles t0 = c.now();
+      for (int i = 0; i < kIters; ++i) {
+        lock.critical(c, [&] {
+          for (int j = 0; j < k; ++j) {
+            auto cell = cells.at((i + j) % 64);
+            cell.store(c, cell.load(c) + 1);
+          }
+        });
+      }
+      state.counters["sim_cycles_per_update"] =
+          static_cast<double>(c.now() - t0) / (kIters * k);
+    });
+  }
+}
+BENCHMARK(BM_ElidedBatchedUpdates)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Domain example: tuning transactional coarsening for a scatter-update
+// kernel (the histogram/ua pattern of Section 5.2.2). Shows how the
+// granularity knob trades per-update overhead against conflict probability,
+// and how the best setting shifts with thread count — the Section 5.4.3
+// inflection point.
+//
+//   $ ./build/examples/coarsening_tuning
+#include <cstdio>
+
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/shared.h"
+#include "sync/coarsen.h"
+#include "sync/elision.h"
+
+using namespace tsxhpc;
+
+namespace {
+
+double run_kernel(int threads, std::size_t gran) {
+  sim::Machine machine;
+  const std::size_t kBins = 16384;
+  const std::size_t kItems = 32768;
+
+  auto bins = sim::SharedArray<std::uint64_t>::alloc(machine, kBins, 0);
+  sync::ElidedLock lock(machine);
+
+  std::vector<std::uint32_t> updates(kItems);
+  sim::Xoshiro256 rng(42);
+  for (auto& u : updates) {
+    u = static_cast<std::uint32_t>(rng.next_below(kBins));
+  }
+
+  sim::RunStats stats = machine.run(threads, [&](sim::Context& ctx) {
+    const std::size_t per = (kItems + threads - 1) / threads;
+    const std::size_t i0 = ctx.tid() * per;
+    const std::size_t i1 = std::min(kItems, i0 + per);
+    sync::for_each_coarsened(
+        ctx, lock, i1 - i0, gran, [&](std::size_t off) {
+          const auto bin = bins.at(updates[i0 + off]);
+          bin.store(ctx, bin.load(ctx) + 1);
+        });
+  });
+  return static_cast<double>(stats.makespan);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("scatter-update kernel: simulated Mcycles by TXN_GRAN\n\n");
+  std::printf("%8s", "gran");
+  const int thread_counts[] = {1, 4, 8};
+  for (int t : thread_counts) std::printf("  %6d thr", t);
+  std::printf("\n");
+
+  double best[3] = {1e300, 1e300, 1e300};
+  std::size_t best_gran[3] = {};
+  for (std::size_t gran : {1, 2, 4, 8, 16, 32, 64}) {
+    std::printf("%8zu", gran);
+    for (int i = 0; i < 3; ++i) {
+      const double cycles = run_kernel(thread_counts[i], gran);
+      std::printf("  %10.2f", cycles / 1e6);
+      if (cycles < best[i]) {
+        best[i] = cycles;
+        best_gran[i] = gran;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nBest granularity: %zu @1 thread, %zu @4 threads, %zu @8 threads.\n"
+      "Coarser wins single-threaded (amortization); contention pushes the\n"
+      "optimum back down — Section 5.4.3's inflection point.\n",
+      best_gran[0], best_gran[1], best_gran[2]);
+  return 0;
+}

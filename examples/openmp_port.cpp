@@ -1,0 +1,117 @@
+// Domain example: porting an OpenMP code to TSX the way the paper does it
+// (Section 5) — starting from the omp-style baseline, then (1) eliding the
+// critical sections, (2) applying lockset elision to the Listing-1
+// test/set double path, and (3) coarsening the Listing-2 atomics.
+//
+//   $ ./build/examples/openmp_port
+#include <cstdio>
+
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sync/coarsen.h"
+#include "sync/omp.h"
+
+using namespace tsxhpc;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+constexpr std::size_t kMortars = 4096;
+constexpr std::size_t kPoints = 8192;
+constexpr int kThreads = 8;
+
+struct Gather {
+  std::uint32_t ig[4];
+  double tx;
+};
+
+std::vector<Gather> make_input() {
+  std::vector<Gather> points(kPoints);
+  sim::Xoshiro256 rng(2026);
+  for (auto& p : points) {
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(rng.next_below(kMortars - 8));
+    for (auto& ig : p.ig) {
+      ig = base + static_cast<std::uint32_t>(rng.next_below(8));
+    }
+    p.tx = 1.0 + rng.next_double();
+  }
+  return points;
+}
+
+// The three port stages, measured.
+sim::Cycles run_stage(const std::vector<Gather>& points, int stage) {
+  Machine m;
+  auto tmor = sim::SharedArray<double>::alloc(m, kMortars, 0.0);
+  sync::ElidedLock elided(m);
+  const double third = 1.0 / 3.0;
+
+  sim::Cycles makespan = 0;
+  auto body = [&](Context& c, std::size_t p) {
+    c.compute(40);
+    switch (stage) {
+      case 0:  // baseline: omp atomics
+        for (const std::uint32_t ig : points[p].ig) {
+          omp::atomic_add(c, tmor.at(ig), points[p].tx * third);
+        }
+        break;
+      case 1:  // naive port: one elided region per atomic (slower!)
+        for (const std::uint32_t ig : points[p].ig) {
+          elided.critical(c, [&] {
+            auto cell = tmor.at(ig);
+            cell.store(c, cell.load(c) + points[p].tx * third);
+          });
+        }
+        break;
+      default:  // static coarsening: the four adds share one region
+        elided.critical(c, [&] {
+          for (const std::uint32_t ig : points[p].ig) {
+            auto cell = tmor.at(ig);
+            cell.store(c, cell.load(c) + points[p].tx * third);
+          }
+        });
+    }
+  };
+  // Measure via the machine's run (parallel_for uses it internally, so we
+  // inline the same static partitioning here to read the makespan).
+  sim::RunStats rs = m.run(kThreads, [&](Context& c) {
+    const std::size_t per = (kPoints + kThreads - 1) / kThreads;
+    const std::size_t i0 = c.tid() * per;
+    const std::size_t i1 = std::min(kPoints, i0 + per);
+    for (std::size_t i = i0; i < i1; ++i) body(c, i);
+  });
+  makespan = rs.makespan;
+
+  double total = 0;
+  for (std::size_t i = 0; i < kMortars; ++i) total += tmor.at(i).peek(m);
+  double expect = 0;
+  for (const auto& p : points) expect += 4 * p.tx * third;
+  if (std::abs(total - expect) > 1e-6 * expect) {
+    std::fprintf(stderr, "VERIFICATION FAILED at stage %d\n", stage);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+int main() {
+  const auto points = make_input();
+  const char* names[] = {"omp atomics (Listing 2 baseline)",
+                         "naive TSX port (region per atomic)",
+                         "static coarsening (one region per point)"};
+  std::printf("porting an OpenMP gather kernel to TSX, %d threads:\n\n",
+              kThreads);
+  sim::Cycles base = 0;
+  for (int stage = 0; stage < 3; ++stage) {
+    const sim::Cycles cycles = run_stage(points, stage);
+    if (stage == 0) base = cycles;
+    std::printf("  stage %d: %-42s %8.2f Mcycles  (%.2fx baseline)\n", stage,
+                names[stage], cycles / 1e6,
+                static_cast<double>(base) / cycles);
+  }
+  std::printf(
+      "\nThe naive port LOSES (transaction overhead per single update); the\n"
+      "coarsened port WINS (Section 5.2.2) — with zero algorithm changes.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Domain example: run any STAMP workload under any TM backend from the
+// command line and print its timing and abort statistics — a miniature of
+// the Figure 2 / Table 1 harness for interactive exploration.
+//
+//   $ ./build/examples/stamp_runner vacation tsx 8
+//   $ ./build/examples/stamp_runner labyrinth tl2 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/perf.h"
+#include "stamp/stamp.h"
+
+using namespace tsxhpc;
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "vacation";
+  const char* backend_name = argc > 2 ? argv[2] : "tsx";
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  tmlib::Backend backend;
+  if (std::strcmp(backend_name, "sgl") == 0) {
+    backend = tmlib::Backend::kSgl;
+  } else if (std::strcmp(backend_name, "tl2") == 0) {
+    backend = tmlib::Backend::kTl2;
+  } else if (std::strcmp(backend_name, "tsx") == 0) {
+    backend = tmlib::Backend::kTsx;
+  } else {
+    std::fprintf(stderr, "unknown backend '%s' (sgl | tl2 | tsx)\n",
+                 backend_name);
+    return 1;
+  }
+
+  const stamp::Workload* workload = nullptr;
+  for (const auto& w : stamp::all_workloads()) {
+    if (w.name == name) workload = &w;
+  }
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'; available:", name);
+    for (const auto& w : stamp::all_workloads()) {
+      std::fprintf(stderr, " %s", w.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  stamp::Config cfg;
+  cfg.backend = backend;
+  cfg.threads = threads;
+  const stamp::Result r = workload->fn(cfg);
+
+  std::printf("%s / %s / %d threads\n", name, backend_name, threads);
+  std::printf("  makespan      : %llu simulated cycles\n",
+              static_cast<unsigned long long>(r.makespan));
+  std::printf("  verification  : %s\n",
+              r.checksum != 0 ? "OK" : "FAILED (invariant broken!)");
+  if (backend == tmlib::Backend::kTl2) {
+    std::printf("  tl2 txns      : %llu started, %llu aborted (%.1f%%)\n",
+                static_cast<unsigned long long>(r.tl2_starts),
+                static_cast<unsigned long long>(r.tl2_aborts),
+                r.abort_rate_pct(backend));
+  } else if (backend == tmlib::Backend::kTsx) {
+    const auto t = r.stats.total();
+    std::printf("  hw txns       : %llu started, %llu aborted (%.1f%%)\n",
+                static_cast<unsigned long long>(t.tx_started),
+                static_cast<unsigned long long>(t.tx_aborts_total()),
+                r.abort_rate_pct(backend));
+    std::printf("  abort causes  : %llu conflict, %llu capacity, %llu "
+                "explicit, %llu syscall\n",
+                static_cast<unsigned long long>(
+                    t.tx_aborted[size_t(sim::AbortCause::kConflict)]),
+                static_cast<unsigned long long>(
+                    t.tx_aborted[size_t(sim::AbortCause::kCapacity)]),
+                static_cast<unsigned long long>(
+                    t.tx_aborted[size_t(sim::AbortCause::kExplicit)]),
+                static_cast<unsigned long long>(
+                    t.tx_aborted[size_t(sim::AbortCause::kSyscall)]));
+  }
+  std::printf("\n  perf-style counter block:\n%s",
+              sim::perf_report(r.stats).c_str());
+  return r.checksum != 0 ? 0 : 2;
+}

@@ -1,0 +1,82 @@
+// Domain example: a tiny request/response service over the user-level
+// TCP/IP stack, comparing locking-module schemes — the Section 6 study in
+// ~60 lines of application code. Application code never changes; only the
+// locking module's scheme does.
+//
+//   $ ./build/examples/txcondvar_server
+#include <cstdio>
+#include <cstring>
+
+#include "netstack/stack.h"
+#include "sync/monitor.h"
+
+using namespace tsxhpc;
+using netstack::NetStack;
+
+namespace {
+
+double serve(sync::MonitorScheme scheme) {
+  sim::Machine machine;
+  constexpr int kConns = 3;  // 3 clients + 3 server workers = 6 threads
+  NetStack stack(machine, scheme, kConns);
+  constexpr int kRequests = 48;
+  constexpr std::size_t kMsg = 128;
+
+  std::vector<std::function<void(sim::Context&)>> bodies;
+  for (int i = 0; i < kConns; ++i) {
+    bodies.emplace_back([&, i](sim::Context& ctx) {  // client
+      std::uint8_t msg[kMsg];
+      for (int r = 0; r < kRequests; ++r) {
+        std::memset(msg, r, sizeof(msg));
+        stack.send(ctx, stack.conn(i).to_server, msg, sizeof(msg));
+        std::size_t got = 0;
+        while (got < kMsg) {
+          got += stack.recv(ctx, stack.conn(i).to_client, msg + got,
+                            kMsg - got);
+        }
+      }
+      stack.shutdown(ctx, stack.conn(i).to_server);
+    });
+  }
+  for (int i = 0; i < kConns; ++i) {
+    bodies.emplace_back([&, i](sim::Context& ctx) {  // server worker
+      std::uint8_t msg[kMsg];
+      for (;;) {
+        std::size_t got = 0;
+        while (got < kMsg) {
+          const std::size_t k = stack.recv(ctx, stack.conn(i).to_server,
+                                           msg + got, kMsg - got);
+          if (k == 0) return;
+          got += k;
+        }
+        ctx.compute(2000);  // handle the request
+        stack.send(ctx, stack.conn(i).to_client, msg, kMsg);
+      }
+    });
+  }
+
+  const sim::RunStats stats = machine.run_each(bodies);
+  const double bytes = static_cast<double>(kConns) * kRequests * kMsg;
+  return bytes / 1e6 / machine.seconds(stats.makespan);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("request/response service, server read bandwidth by locking "
+              "module scheme:\n\n");
+  double mutex_bw = 0;
+  for (sync::MonitorScheme s :
+       {sync::MonitorScheme::kMutex, sync::MonitorScheme::kTsxAbort,
+        sync::MonitorScheme::kTsxCond, sync::MonitorScheme::kMutexBusyWait,
+        sync::MonitorScheme::kTsxBusyWait}) {
+    const double bw = serve(s);
+    if (s == sync::MonitorScheme::kMutex) mutex_bw = bw;
+    std::printf("  %-15s %7.1f MB/s  (%.2fx mutex)\n", to_string(s), bw,
+                bw / mutex_bw);
+  }
+  std::printf(
+      "\nSwapping the scheme touched ZERO lines of application code — the\n"
+      "paper's point about enhancing the locking module (Section 6.1).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared scaffolding for the real-world workloads.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/apps.h"
+#include "sim/rng.h"
+#include "sim/shared.h"
+#include "sync/coarsen.h"
+#include "sync/elision.h"
+#include "sync/locks.h"
+
+namespace tsxhpc::apps {
+
+using sim::Addr;
+using sim::Context;
+using sim::Cycles;
+using sim::Machine;
+using sim::Shared;
+using sim::SharedArray;
+using sim::Xoshiro256;
+
+template <typename BodyFn>
+Result run_region(const Config& cfg, Machine& m, BodyFn&& body) {
+  Result r;
+  r.stats = m.run(cfg.threads, std::forward<BodyFn>(body));
+  r.makespan = r.stats.makespan;
+  return r;
+}
+
+inline std::size_t scaled(double scale, std::size_t base,
+                          std::size_t min = 1) {
+  const auto v = static_cast<std::size_t>(base * scale);
+  return v < min ? min : v;
+}
+
+}  // namespace tsxhpc::apps

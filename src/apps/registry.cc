@@ -1,0 +1,27 @@
+#include "apps/apps.h"
+
+namespace tsxhpc::apps {
+
+const char* to_string(Variant v) {
+  switch (v) {
+    case Variant::kBaseline: return "baseline";
+    case Variant::kTsxInit: return "tsx.init";
+    case Variant::kTsxCoarsen: return "tsx.coarsen";
+    case Variant::kConflictFree: return "conflictfree";
+  }
+  return "?";
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"graphcluster", run_graphcluster, false},
+      {"ua", run_ua, false},
+      {"physics", run_physics, true},
+      {"nufft", run_nufft, false},
+      {"histogram", run_histogram, true},
+      {"canneal", run_canneal, false},
+  };
+  return kWorkloads;
+}
+
+}  // namespace tsxhpc::apps

@@ -1,0 +1,117 @@
+// TxArena: shared-memory allocator for transactional data structures.
+//
+// Per-thread pools, like STAMP's TM allocator: each simulated thread carves
+// blocks out of its own chunk of the shared heap and keeps its own free
+// lists. Without this, nodes allocated by different threads share cache
+// lines and every transactional allocation conflicts with its neighbours
+// (allocator-induced false sharing).
+//
+// Free inside a *hardware* transaction is a no-op (leak): the transaction
+// might abort and resurrect the object, and the allocator's host-side
+// metadata cannot be rolled back. Software transactions must defer frees to
+// commit time through TmAccess::free, which knows the logical transaction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.h"
+#include "sim/machine.h"
+
+namespace tsxhpc::containers {
+
+using sim::Addr;
+using sim::Context;
+using sim::Machine;
+
+class TxArena {
+ public:
+  explicit TxArena(Machine& m) : m_(m), pools_(m.config().num_hw_threads()) {}
+
+  /// Allocate `bytes` of shared memory (8-aligned, zeroed) from the calling
+  /// thread's pool. Safe inside a hardware transaction: an abort merely
+  /// leaks the block. `reuse` permits free-list recycling; software TMs
+  /// pass false (recycling writes memory that per-stripe version validation
+  /// cannot see — real TL2 allocators interpose epochs/quiescence instead).
+  Addr alloc(Context& c, std::size_t bytes, bool reuse = true) {
+    c.compute(kAllocCost);
+    Pool& pool = pools_[c.tid()];
+    const std::size_t cls = size_class(bytes);
+    if (reuse && !c.in_txn() && cls < kClasses && !pool.free[cls].empty()) {
+      Addr a = pool.free[cls].back();
+      pool.free[cls].pop_back();
+      zero(c, a, class_bytes(cls));
+      return a;
+    }
+    const std::size_t rounded = cls < kClasses ? class_bytes(cls) : bytes;
+    Addr a = bump(pool, rounded);
+    zero(c, a, rounded);
+    return a;
+  }
+
+  /// Return a block to the calling thread's pool. No-op (leak) inside a
+  /// hardware transaction; see header comment.
+  void free(Context& c, Addr a, std::size_t bytes) {
+    c.compute(kFreeCost);
+    if (c.in_txn()) return;
+    const std::size_t cls = size_class(bytes);
+    if (cls < kClasses) pools_[c.tid()].free[cls].push_back(a);
+  }
+
+  Machine& machine() { return m_; }
+
+ private:
+  static constexpr std::size_t kClasses = 12;  // 16 B .. 32 KB
+  static constexpr std::size_t kChunkBytes = 16 * 1024;
+  static constexpr sim::Cycles kAllocCost = 30;
+  static constexpr sim::Cycles kFreeCost = 15;
+
+  struct Pool {
+    Addr chunk = sim::kNullAddr;
+    std::size_t chunk_left = 0;
+    std::array<std::vector<Addr>, kClasses> free;
+  };
+
+  static std::size_t size_class(std::size_t bytes) {
+    std::size_t cls = 0;
+    std::size_t sz = 16;
+    while (sz < bytes && cls < kClasses) {
+      sz <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+  static std::size_t class_bytes(std::size_t cls) {
+    return std::size_t{16} << cls;
+  }
+
+  Addr bump(Pool& pool, std::size_t bytes) {
+    if (bytes >= kChunkBytes) {
+      return m_.heap().allocate(bytes, 64);
+    }
+    if (pool.chunk_left < bytes) {
+      pool.chunk = m_.heap().allocate(kChunkBytes, 64);
+      pool.chunk_left = kChunkBytes;
+    }
+    const Addr a = pool.chunk;
+    // Keep blocks 8-aligned within the chunk.
+    const std::size_t take = (bytes + 7) & ~std::size_t{7};
+    pool.chunk += take;
+    pool.chunk_left -= take < pool.chunk_left ? take : pool.chunk_left;
+    return a;
+  }
+
+  /// Zero through *timed* stores so that recycling a block participates in
+  /// coherence and hardware conflict detection (a transactional reader that
+  /// still has the stale block in its read set gets doomed, exactly as a
+  /// real allocator's memset would).
+  void zero(Context& c, Addr a, std::size_t bytes) {
+    for (std::size_t off = 0; off < bytes; off += 8) c.store(a + off, 0, 8);
+  }
+
+  Machine& m_;
+  std::vector<Pool> pools_;
+};
+
+}  // namespace tsxhpc::containers

@@ -1,0 +1,94 @@
+// TmHeap: fixed-capacity binary min-heap over TmAccess (yada's bad-triangle
+// work heap). Layout: [0]=size, [8..]=keys.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/arena.h"
+#include "tmlib/tm.h"
+
+namespace tsxhpc::containers {
+
+using tmlib::TmAccess;
+
+class TmHeap {
+ public:
+  TmHeap() = default;
+  TmHeap(Machine& m, std::size_t capacity)
+      : capacity_(capacity), base_(m.alloc(8 + capacity * 8, 64)) {
+    m.heap().write_word(base_, 0, 8);
+  }
+
+  bool push(TmAccess& tm, std::uint64_t key) {
+    std::uint64_t n = tm.read(base_);
+    if (n >= capacity_) return false;
+    // Sift up.
+    std::size_t i = n;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      const std::uint64_t pv = tm.read(slot(parent));
+      if (pv <= key) break;
+      tm.write(slot(i), pv);
+      i = parent;
+    }
+    tm.write(slot(i), key);
+    tm.write(base_, n + 1);
+    return true;
+  }
+
+  std::optional<std::uint64_t> pop_min(TmAccess& tm) {
+    const std::uint64_t n = tm.read(base_);
+    if (n == 0) return std::nullopt;
+    const std::uint64_t min = tm.read(slot(0));
+    const std::uint64_t last = tm.read(slot(n - 1));
+    tm.write(base_, n - 1);
+    // Sift down.
+    std::size_t i = 0;
+    const std::size_t limit = static_cast<std::size_t>(n - 1);
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= limit) break;
+      std::uint64_t cv = tm.read(slot(child));
+      if (child + 1 < limit) {
+        const std::uint64_t rv = tm.read(slot(child + 1));
+        if (rv < cv) {
+          cv = rv;
+          ++child;
+        }
+      }
+      if (last <= cv) break;
+      tm.write(slot(i), cv);
+      i = child;
+    }
+    if (limit > 0) tm.write(slot(i), last);
+    return min;
+  }
+
+  std::uint64_t size(TmAccess& tm) const { return tm.read(base_); }
+  bool empty(TmAccess& tm) const { return size(tm) == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Untimed push for setup phases.
+  void seed(Machine& m, std::uint64_t key) {
+    std::uint64_t n = m.heap().read_word(base_, 8);
+    std::size_t i = n;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      const std::uint64_t pv = m.heap().read_word(slot(parent), 8);
+      if (pv <= key) break;
+      m.heap().write_word(slot(i), pv, 8);
+      i = parent;
+    }
+    m.heap().write_word(slot(i), key, 8);
+    m.heap().write_word(base_, n + 1, 8);
+  }
+
+ private:
+  Addr slot(std::size_t i) const { return base_ + 8 + i * 8; }
+
+  std::size_t capacity_ = 0;
+  Addr base_ = sim::kNullAddr;
+};
+
+}  // namespace tsxhpc::containers

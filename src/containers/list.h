@@ -1,0 +1,111 @@
+// TmList: sorted singly-linked key/value list over TmAccess. The workhorse
+// linked structure of the STAMP-style workloads (genome's segment chains,
+// intruder's fragment lists). All node fields are *annotated* accesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/arena.h"
+#include "tmlib/tm.h"
+
+namespace tsxhpc::containers {
+
+using tmlib::TmAccess;
+
+/// Node layout: [0]=next, [8]=key, [16]=value.
+class TmList {
+ public:
+  static constexpr std::size_t kNodeBytes = 24;
+
+  TmList() = default;
+  TmList(Machine& m, TxArena& arena)
+      : arena_(&arena), head_(m.alloc(kNodeBytes, 8)) {
+    m.heap().write_word(head_, 0, 8);  // next = null sentinel
+  }
+
+  /// Insert (key, value); duplicates allowed only when `allow_dup`.
+  /// Returns false if key existed and duplicates are not allowed.
+  bool insert(TmAccess& tm, std::uint64_t key, std::uint64_t value,
+              bool allow_dup = false) {
+    Addr prev = head_;
+    Addr cur = tm.read(prev);
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 8);
+      if (k >= key) {
+        if (k == key && !allow_dup) return false;
+        break;
+      }
+      prev = cur;
+      cur = tm.read(cur);
+    }
+    const Addr node = tm.alloc(*arena_, kNodeBytes);
+    tm.write(node, cur);
+    tm.write(node + 8, key);
+    tm.write(node + 16, value);
+    tm.write(prev, static_cast<std::uint64_t>(node));
+    return true;
+  }
+
+  /// Remove the first node with `key`. Returns its value if found.
+  std::optional<std::uint64_t> remove(TmAccess& tm, std::uint64_t key) {
+    Addr prev = head_;
+    Addr cur = tm.read(prev);
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 8);
+      if (k > key) return std::nullopt;
+      if (k == key) {
+        const std::uint64_t value = tm.read(cur + 16);
+        tm.write(prev, tm.read(cur));
+        tm.free(*arena_, cur, kNodeBytes);
+        return value;
+      }
+      prev = cur;
+      cur = tm.read(cur);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::uint64_t> find(TmAccess& tm, std::uint64_t key) const {
+    Addr cur = tm.read(head_);
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 8);
+      if (k > key) return std::nullopt;
+      if (k == key) return tm.read(cur + 16);
+      cur = tm.read(cur);
+    }
+    return std::nullopt;
+  }
+
+  bool contains(TmAccess& tm, std::uint64_t key) const {
+    return find(tm, key).has_value();
+  }
+
+  /// Iterate (key, value) pairs in order; `fn` returns false to stop.
+  template <typename Fn>
+  void for_each(TmAccess& tm, Fn&& fn) const {
+    Addr cur = tm.read(head_);
+    while (cur != 0) {
+      if (!fn(tm.read(cur + 8), tm.read(cur + 16))) return;
+      cur = tm.read(cur);
+    }
+  }
+
+  std::size_t size(TmAccess& tm) const {
+    std::size_t n = 0;
+    Addr cur = tm.read(head_);
+    while (cur != 0) {
+      ++n;
+      cur = tm.read(cur);
+    }
+    return n;
+  }
+
+  Addr head() const { return head_; }
+
+ private:
+  TxArena* arena_ = nullptr;
+  Addr head_ = sim::kNullAddr;
+};
+
+}  // namespace tsxhpc::containers

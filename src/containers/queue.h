@@ -1,0 +1,78 @@
+// TmQueue: linked FIFO queue over TmAccess (intruder's packet queues,
+// labyrinth's work queue).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/arena.h"
+#include "tmlib/tm.h"
+
+namespace tsxhpc::containers {
+
+using tmlib::TmAccess;
+
+class TmQueue {
+ public:
+  /// Node layout: [0]=next, [8]=value. Queue header: [0]=head, [8]=tail.
+  static constexpr std::size_t kNodeBytes = 16;
+
+  TmQueue() = default;
+  TmQueue(Machine& m, TxArena& arena)
+      : arena_(&arena), hdr_(m.alloc(16, 8)) {
+    m.heap().write_word(hdr_, 0, 8);
+    m.heap().write_word(hdr_ + 8, 0, 8);
+  }
+
+  void push(TmAccess& tm, std::uint64_t value) {
+    const Addr node = tm.alloc(*arena_, kNodeBytes);
+    tm.write(node, 0);
+    tm.write(node + 8, value);
+    const Addr tail = tm.read(hdr_ + 8);
+    if (tail == 0) {
+      tm.write(hdr_, static_cast<std::uint64_t>(node));
+    } else {
+      tm.write(tail, static_cast<std::uint64_t>(node));
+    }
+    tm.write(hdr_ + 8, static_cast<std::uint64_t>(node));
+  }
+
+  std::optional<std::uint64_t> pop(TmAccess& tm) {
+    const Addr head = tm.read(hdr_);
+    if (head == 0) return std::nullopt;
+    const std::uint64_t value = tm.read(head + 8);
+    const Addr next = tm.read(head);
+    tm.write(hdr_, next);
+    if (next == 0) tm.write(hdr_ + 8, 0);
+    tm.free(*arena_, head, kNodeBytes);
+    return value;
+  }
+
+  bool empty(TmAccess& tm) const { return tm.read(hdr_) == 0; }
+
+  std::size_t size(TmAccess& tm) const {
+    std::size_t n = 0;
+    for (Addr cur = tm.read(hdr_); cur != 0; cur = tm.read(cur)) ++n;
+    return n;
+  }
+
+  /// Untimed push for setup phases.
+  void seed(Machine& m, std::uint64_t value) {
+    const Addr node = m.heap().allocate(kNodeBytes, 8);
+    m.heap().write_word(node, 0, 8);
+    m.heap().write_word(node + 8, value, 8);
+    const Addr tail = m.heap().read_word(hdr_ + 8, 8);
+    if (tail == 0) {
+      m.heap().write_word(hdr_, node, 8);
+    } else {
+      m.heap().write_word(tail, node, 8);
+    }
+    m.heap().write_word(hdr_ + 8, node, 8);
+  }
+
+ private:
+  TxArena* arena_ = nullptr;
+  Addr hdr_ = sim::kNullAddr;
+};
+
+}  // namespace tsxhpc::containers

@@ -1,0 +1,368 @@
+// TmRbMap: ordered key/value map over TmAccess, implemented as a
+// red-black tree with parent pointers (CLRS structure) — the data structure
+// STAMP's vacation and yada actually use. Same interface as TmMap (the
+// treap), so workloads and property tests are parameterized over both.
+//
+// Node layout: [0]=left, [8]=right, [16]=parent, [24]=color (0 red,
+// 1 black), [32]=key, [40]=value. Null (nil) is address 0 and is black.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/arena.h"
+#include "tmlib/tm.h"
+
+namespace tsxhpc::containers {
+
+using tmlib::TmAccess;
+
+class TmRbMap {
+ public:
+  static constexpr std::size_t kNodeBytes = 48;
+
+  TmRbMap() = default;
+  TmRbMap(Machine& m, TxArena& arena)
+      : arena_(&arena), root_(m.alloc(8, 8)) {
+    m.heap().write_word(root_, 0, 8);
+  }
+
+  bool insert(TmAccess& tm, std::uint64_t key, std::uint64_t value) {
+    Addr parent = 0;
+    Addr cur = root(tm);
+    bool went_left = false;
+    while (cur != 0) {
+      const std::uint64_t k = kkey(tm, cur);
+      if (k == key) return false;
+      parent = cur;
+      went_left = key < k;
+      cur = went_left ? left(tm, cur) : right(tm, cur);
+    }
+    const Addr node = tm.alloc(*arena_, kNodeBytes);
+    tm.write(node + 32, key);
+    tm.write(node + 40, value);
+    tm.write(node + 16, static_cast<std::uint64_t>(parent));
+    // color starts red (0 from the zeroed arena block).
+    if (parent == 0) {
+      set_root(tm, node);
+    } else if (went_left) {
+      tm.write(parent + 0, static_cast<std::uint64_t>(node));
+    } else {
+      tm.write(parent + 8, static_cast<std::uint64_t>(node));
+    }
+    insert_fixup(tm, node);
+    return true;
+  }
+
+  std::optional<std::uint64_t> find(TmAccess& tm, std::uint64_t key) const {
+    const Addr n = find_node(tm, key);
+    if (n == 0) return std::nullopt;
+    return tm.read(n + 40);
+  }
+
+  bool contains(TmAccess& tm, std::uint64_t key) const {
+    return find_node(tm, key) != 0;
+  }
+
+  bool update(TmAccess& tm, std::uint64_t key, std::uint64_t value) {
+    const Addr n = find_node(tm, key);
+    if (n == 0) return false;
+    tm.write(n + 40, value);
+    return true;
+  }
+
+  std::optional<std::uint64_t> remove(TmAccess& tm, std::uint64_t key) {
+    const Addr z = find_node(tm, key);
+    if (z == 0) return std::nullopt;
+    const std::uint64_t value = tm.read(z + 40);
+
+    // CLRS RB-DELETE. y = node actually spliced out; x = y's child (may be
+    // nil, so track its parent explicitly).
+    Addr y = z;
+    bool y_was_black = color(tm, y);
+    Addr x = 0;
+    Addr x_parent = 0;
+
+    if (left(tm, z) == 0) {
+      x = right(tm, z);
+      x_parent = parent(tm, z);
+      transplant(tm, z, x);
+    } else if (right(tm, z) == 0) {
+      x = left(tm, z);
+      x_parent = parent(tm, z);
+      transplant(tm, z, x);
+    } else {
+      // y = successor of z (minimum of right subtree).
+      y = right(tm, z);
+      while (left(tm, y) != 0) y = left(tm, y);
+      y_was_black = color(tm, y);
+      x = right(tm, y);
+      if (parent(tm, y) == z) {
+        x_parent = y;
+      } else {
+        x_parent = parent(tm, y);
+        transplant(tm, y, x);
+        tm.write(y + 8, right(tm, z));
+        tm.write(right(tm, y) + 16, static_cast<std::uint64_t>(y));
+      }
+      transplant(tm, z, y);
+      tm.write(y + 0, left(tm, z));
+      tm.write(left(tm, y) + 16, static_cast<std::uint64_t>(y));
+      set_color(tm, y, color(tm, z));
+    }
+    tm.free(*arena_, z, kNodeBytes);
+    if (y_was_black) delete_fixup(tm, x, x_parent);
+    return value;
+  }
+
+  /// Smallest key >= `key`, if any.
+  std::optional<std::uint64_t> ceil_key(TmAccess& tm,
+                                        std::uint64_t key) const {
+    Addr cur = root(tm);
+    std::optional<std::uint64_t> best;
+    while (cur != 0) {
+      const std::uint64_t k = kkey(tm, cur);
+      if (k == key) return k;
+      if (k > key) {
+        best = k;
+        cur = left(tm, cur);
+      } else {
+        cur = right(tm, cur);
+      }
+    }
+    return best;
+  }
+
+  std::size_t size(TmAccess& tm) const { return count(tm, root(tm)); }
+
+  /// Untimed in-order traversal (verification outside the measured region).
+  template <typename Fn>
+  void peek_inorder(Machine& m, Fn&& fn) const {
+    peek_rec(m, m.heap().read_word(root_, 8), fn);
+  }
+
+  Addr root_cell() const { return root_; }
+
+  /// Untimed structural validation (testing): BST order, no red-red edges,
+  /// equal black heights, consistent parent pointers. Returns black height
+  /// or -1 on violation.
+  int peek_validate(Machine& m) const {
+    return validate_rec(m, m.heap().read_word(root_, 8), 0, ~0ULL, 0);
+  }
+
+ private:
+  // Field accessors (annotated reads/writes).
+  Addr root(TmAccess& tm) const { return tm.read(root_); }
+  void set_root(TmAccess& tm, Addr n) {
+    tm.write(root_, static_cast<std::uint64_t>(n));
+  }
+  Addr left(TmAccess& tm, Addr n) const { return tm.read(n + 0); }
+  Addr right(TmAccess& tm, Addr n) const { return tm.read(n + 8); }
+  Addr parent(TmAccess& tm, Addr n) const { return tm.read(n + 16); }
+  /// true = black. Nil (0) is black.
+  bool color(TmAccess& tm, Addr n) const {
+    return n == 0 || tm.read(n + 24) != 0;
+  }
+  void set_color(TmAccess& tm, Addr n, bool black) {
+    if (n != 0) tm.write(n + 24, black ? 1 : 0);
+  }
+  std::uint64_t kkey(TmAccess& tm, Addr n) const { return tm.read(n + 32); }
+
+  Addr find_node(TmAccess& tm, std::uint64_t key) const {
+    Addr cur = root(tm);
+    while (cur != 0) {
+      const std::uint64_t k = kkey(tm, cur);
+      if (k == key) return cur;
+      cur = key < k ? left(tm, cur) : right(tm, cur);
+    }
+    return 0;
+  }
+
+  /// Replace subtree rooted at u with subtree rooted at v (v may be nil).
+  void transplant(TmAccess& tm, Addr u, Addr v) {
+    const Addr p = parent(tm, u);
+    if (p == 0) {
+      set_root(tm, v);
+    } else if (left(tm, p) == u) {
+      tm.write(p + 0, static_cast<std::uint64_t>(v));
+    } else {
+      tm.write(p + 8, static_cast<std::uint64_t>(v));
+    }
+    if (v != 0) tm.write(v + 16, static_cast<std::uint64_t>(p));
+  }
+
+  void rotate_left(TmAccess& tm, Addr x) {
+    const Addr y = right(tm, x);
+    tm.write(x + 8, left(tm, y));
+    if (left(tm, y) != 0) tm.write(left(tm, y) + 16, x);
+    const Addr p = parent(tm, x);
+    tm.write(y + 16, static_cast<std::uint64_t>(p));
+    if (p == 0) {
+      set_root(tm, y);
+    } else if (left(tm, p) == x) {
+      tm.write(p + 0, static_cast<std::uint64_t>(y));
+    } else {
+      tm.write(p + 8, static_cast<std::uint64_t>(y));
+    }
+    tm.write(y + 0, static_cast<std::uint64_t>(x));
+    tm.write(x + 16, static_cast<std::uint64_t>(y));
+  }
+
+  void rotate_right(TmAccess& tm, Addr x) {
+    const Addr y = left(tm, x);
+    tm.write(x + 0, right(tm, y));
+    if (right(tm, y) != 0) tm.write(right(tm, y) + 16, x);
+    const Addr p = parent(tm, x);
+    tm.write(y + 16, static_cast<std::uint64_t>(p));
+    if (p == 0) {
+      set_root(tm, y);
+    } else if (right(tm, p) == x) {
+      tm.write(p + 8, static_cast<std::uint64_t>(y));
+    } else {
+      tm.write(p + 0, static_cast<std::uint64_t>(y));
+    }
+    tm.write(y + 8, static_cast<std::uint64_t>(x));
+    tm.write(x + 16, static_cast<std::uint64_t>(y));
+  }
+
+  void insert_fixup(TmAccess& tm, Addr z) {
+    while (!color(tm, parent(tm, z))) {  // parent red
+      const Addr p = parent(tm, z);
+      const Addr g = parent(tm, p);
+      if (p == left(tm, g)) {
+        const Addr uncle = right(tm, g);
+        if (!color(tm, uncle)) {  // uncle red: recolor, ascend
+          set_color(tm, p, true);
+          set_color(tm, uncle, true);
+          set_color(tm, g, false);
+          z = g;
+        } else {
+          if (z == right(tm, p)) {
+            z = p;
+            rotate_left(tm, z);
+          }
+          set_color(tm, parent(tm, z), true);
+          set_color(tm, parent(tm, parent(tm, z)), false);
+          rotate_right(tm, parent(tm, parent(tm, z)));
+        }
+      } else {
+        const Addr uncle = left(tm, g);
+        if (!color(tm, uncle)) {
+          set_color(tm, p, true);
+          set_color(tm, uncle, true);
+          set_color(tm, g, false);
+          z = g;
+        } else {
+          if (z == left(tm, p)) {
+            z = p;
+            rotate_right(tm, z);
+          }
+          set_color(tm, parent(tm, z), true);
+          set_color(tm, parent(tm, parent(tm, z)), false);
+          rotate_left(tm, parent(tm, parent(tm, z)));
+        }
+      }
+      if (z == root(tm)) break;
+    }
+    set_color(tm, root(tm), true);
+  }
+
+  void delete_fixup(TmAccess& tm, Addr x, Addr x_parent) {
+    while (x != root(tm) && color(tm, x)) {
+      if (x_parent == 0) break;
+      if (x == left(tm, x_parent)) {
+        Addr w = right(tm, x_parent);
+        if (!color(tm, w)) {
+          set_color(tm, w, true);
+          set_color(tm, x_parent, false);
+          rotate_left(tm, x_parent);
+          w = right(tm, x_parent);
+        }
+        if (color(tm, left(tm, w)) && color(tm, right(tm, w))) {
+          set_color(tm, w, false);
+          x = x_parent;
+          x_parent = parent(tm, x);
+        } else {
+          if (color(tm, right(tm, w))) {
+            set_color(tm, left(tm, w), true);
+            set_color(tm, w, false);
+            rotate_right(tm, w);
+            w = right(tm, x_parent);
+          }
+          set_color(tm, w, color(tm, x_parent));
+          set_color(tm, x_parent, true);
+          set_color(tm, right(tm, w), true);
+          rotate_left(tm, x_parent);
+          x = root(tm);
+          x_parent = 0;
+        }
+      } else {
+        Addr w = left(tm, x_parent);
+        if (!color(tm, w)) {
+          set_color(tm, w, true);
+          set_color(tm, x_parent, false);
+          rotate_right(tm, x_parent);
+          w = left(tm, x_parent);
+        }
+        if (color(tm, right(tm, w)) && color(tm, left(tm, w))) {
+          set_color(tm, w, false);
+          x = x_parent;
+          x_parent = parent(tm, x);
+        } else {
+          if (color(tm, left(tm, w))) {
+            set_color(tm, right(tm, w), true);
+            set_color(tm, w, false);
+            rotate_left(tm, w);
+            w = left(tm, x_parent);
+          }
+          set_color(tm, w, color(tm, x_parent));
+          set_color(tm, x_parent, true);
+          set_color(tm, left(tm, w), true);
+          rotate_right(tm, x_parent);
+          x = root(tm);
+          x_parent = 0;
+        }
+      }
+    }
+    set_color(tm, x, true);
+  }
+
+  std::size_t count(TmAccess& tm, Addr n) const {
+    if (n == 0) return 0;
+    return 1 + count(tm, left(tm, n)) + count(tm, right(tm, n));
+  }
+
+  template <typename Fn>
+  void peek_rec(Machine& m, Addr n, Fn& fn) const {
+    if (n == 0) return;
+    peek_rec(m, m.heap().read_word(n + 0, 8), fn);
+    fn(m.heap().read_word(n + 32, 8), m.heap().read_word(n + 40, 8));
+    peek_rec(m, m.heap().read_word(n + 8, 8), fn);
+  }
+
+  int validate_rec(Machine& m, Addr n, std::uint64_t lo, std::uint64_t hi,
+                   Addr expected_parent) const {
+    if (n == 0) return 1;  // nil contributes one black node
+    const std::uint64_t k = m.heap().read_word(n + 32, 8);
+    if (k < lo || k > hi) return -1;
+    if (m.heap().read_word(n + 16, 8) != expected_parent) return -1;
+    const bool black = m.heap().read_word(n + 24, 8) != 0;
+    const Addr l = m.heap().read_word(n + 0, 8);
+    const Addr r = m.heap().read_word(n + 8, 8);
+    if (!black) {  // red node: both children must be black
+      if ((l != 0 && m.heap().read_word(l + 24, 8) == 0) ||
+          (r != 0 && m.heap().read_word(r + 24, 8) == 0)) {
+        return -1;
+      }
+    }
+    const int lh = validate_rec(m, l, lo, k == 0 ? 0 : k - 1, n);
+    const int rh = validate_rec(m, r, k + 1, hi, n);
+    if (lh < 0 || rh < 0 || lh != rh) return -1;
+    return lh + (black ? 1 : 0);
+  }
+
+  TxArena* arena_ = nullptr;
+  Addr root_ = sim::kNullAddr;
+};
+
+}  // namespace tsxhpc::containers

@@ -1,0 +1,189 @@
+// TmMap: ordered key/value map over TmAccess, implemented as a treap with
+// deterministic priorities (hash of the key) — a lighter alternative to
+// TmRbMap (rbtree.h) with the same interface, expected depth, and
+// pointer-chasing transactional footprint, but far simpler delete logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/arena.h"
+#include "sim/rng.h"
+#include "tmlib/tm.h"
+
+namespace tsxhpc::containers {
+
+using tmlib::TmAccess;
+
+class TmMap {
+ public:
+  /// Node layout: [0]=left, [8]=right, [16]=key, [24]=value, [32]=priority.
+  static constexpr std::size_t kNodeBytes = 40;
+
+  TmMap() = default;
+  TmMap(Machine& m, TxArena& arena)
+      : arena_(&arena), root_(m.alloc(8, 8)) {
+    m.heap().write_word(root_, 0, 8);
+  }
+
+  bool insert(TmAccess& tm, std::uint64_t key, std::uint64_t value) {
+    return insert_at(tm, root_, key, value);
+  }
+
+  std::optional<std::uint64_t> find(TmAccess& tm, std::uint64_t key) const {
+    Addr cur = tm.read(root_);
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 16);
+      if (k == key) return tm.read(cur + 24);
+      cur = tm.read(cur + (key < k ? 0 : 8));
+    }
+    return std::nullopt;
+  }
+
+  bool contains(TmAccess& tm, std::uint64_t key) const {
+    return find(tm, key).has_value();
+  }
+
+  /// Overwrite the value of an existing key; false if absent.
+  bool update(TmAccess& tm, std::uint64_t key, std::uint64_t value) {
+    Addr cur = tm.read(root_);
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 16);
+      if (k == key) {
+        tm.write(cur + 24, value);
+        return true;
+      }
+      cur = tm.read(cur + (key < k ? 0 : 8));
+    }
+    return false;
+  }
+
+  std::optional<std::uint64_t> remove(TmAccess& tm, std::uint64_t key) {
+    return remove_at(tm, root_, key);
+  }
+
+  /// Smallest key >= `key`, if any (successor query; yada / vacation use).
+  std::optional<std::uint64_t> ceil_key(TmAccess& tm,
+                                        std::uint64_t key) const {
+    Addr cur = tm.read(root_);
+    std::optional<std::uint64_t> best;
+    while (cur != 0) {
+      const std::uint64_t k = tm.read(cur + 16);
+      if (k == key) return k;
+      if (k > key) {
+        best = k;
+        cur = tm.read(cur + 0);
+      } else {
+        cur = tm.read(cur + 8);
+      }
+    }
+    return best;
+  }
+
+  std::size_t size(TmAccess& tm) const { return count(tm, tm.read(root_)); }
+
+  /// Untimed in-order traversal (verification outside the measured region).
+  template <typename Fn>
+  void peek_inorder(Machine& m, Fn&& fn) const {
+    peek_rec(m, m.heap().read_word(root_, 8), fn);
+  }
+
+  /// Address of the root pointer cell (structural tests).
+  Addr root_cell() const { return root_; }
+
+ private:
+  static std::uint64_t priority_of(std::uint64_t key) {
+    sim::SplitMix64 h(key * 0x9E3779B97F4A7C15ULL + 1);
+    return h.next() | 1;  // nonzero
+  }
+
+  // `slot` is the address of the pointer to the current subtree root.
+  bool insert_at(TmAccess& tm, Addr slot, std::uint64_t key,
+                 std::uint64_t value) {
+    const Addr cur = tm.read(slot);
+    if (cur == 0) {
+      const Addr node = tm.alloc(*arena_, kNodeBytes);
+      tm.write(node + 16, key);
+      tm.write(node + 24, value);
+      tm.write(node + 32, priority_of(key));
+      tm.write(slot, static_cast<std::uint64_t>(node));
+      return true;
+    }
+    const std::uint64_t k = tm.read(cur + 16);
+    if (k == key) return false;
+    const Addr child_slot = cur + (key < k ? 0 : 8);
+    if (!insert_at(tm, child_slot, key, value)) return false;
+    // Restore the heap property by rotating the child up if needed.
+    const Addr child = tm.read(child_slot);
+    if (tm.read(child + 32) > tm.read(cur + 32)) {
+      rotate_up(tm, slot, cur, child, /*left_child=*/key < k);
+    }
+    return true;
+  }
+
+  void rotate_up(TmAccess& tm, Addr slot, Addr parent, Addr child,
+                 bool left_child) {
+    if (left_child) {  // right rotation
+      tm.write(parent + 0, tm.read(child + 8));
+      tm.write(child + 8, static_cast<std::uint64_t>(parent));
+    } else {  // left rotation
+      tm.write(parent + 8, tm.read(child + 0));
+      tm.write(child + 0, static_cast<std::uint64_t>(parent));
+    }
+    tm.write(slot, static_cast<std::uint64_t>(child));
+  }
+
+  std::optional<std::uint64_t> remove_at(TmAccess& tm, Addr slot,
+                                         std::uint64_t key) {
+    const Addr cur = tm.read(slot);
+    if (cur == 0) return std::nullopt;
+    const std::uint64_t k = tm.read(cur + 16);
+    if (key < k) return remove_at(tm, cur + 0, key);
+    if (key > k) return remove_at(tm, cur + 8, key);
+    const std::uint64_t value = tm.read(cur + 24);
+    // Rotate the node down until it has at most one child, then splice.
+    sink_and_remove(tm, slot);
+    return value;
+  }
+
+  void sink_and_remove(TmAccess& tm, Addr slot) {
+    const Addr cur = tm.read(slot);
+    const Addr left = tm.read(cur + 0);
+    const Addr right = tm.read(cur + 8);
+    if (left == 0 && right == 0) {
+      tm.write(slot, 0);
+    } else if (left == 0) {
+      tm.write(slot, static_cast<std::uint64_t>(right));
+    } else if (right == 0) {
+      tm.write(slot, static_cast<std::uint64_t>(left));
+    } else {
+      const bool rotate_left_up =
+          tm.read(left + 32) > tm.read(right + 32);
+      rotate_up(tm, slot, cur, rotate_left_up ? left : right,
+                rotate_left_up);
+      // `cur` is now the child of the rotated-up node; find its new slot.
+      const Addr up = tm.read(slot);
+      sink_and_remove(tm, up + (rotate_left_up ? 8 : 0));
+      return;
+    }
+    tm.free(*arena_, cur, kNodeBytes);
+  }
+
+  std::size_t count(TmAccess& tm, Addr node) const {
+    if (node == 0) return 0;
+    return 1 + count(tm, tm.read(node + 0)) + count(tm, tm.read(node + 8));
+  }
+
+  template <typename Fn>
+  void peek_rec(Machine& m, Addr node, Fn& fn) const {
+    if (node == 0) return;
+    peek_rec(m, m.heap().read_word(node + 0, 8), fn);
+    fn(m.heap().read_word(node + 16, 8), m.heap().read_word(node + 24, 8));
+    peek_rec(m, m.heap().read_word(node + 8, 8), fn);
+  }
+
+  TxArena* arena_ = nullptr;
+  Addr root_ = sim::kNullAddr;  // address of the root pointer cell
+};
+
+}  // namespace tsxhpc::containers

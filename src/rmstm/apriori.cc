@@ -1,0 +1,78 @@
+// RMS-TM apriori: frequent-itemset mining. Threads scan transaction baskets
+// and bump support counters in a shared candidate hash tree, guarded by
+// per-bucket locks in the original code. Critical sections are a small
+// fraction of the work, but they perform *native memory allocation* (node
+// expansion) and occasional *file I/O* (logging) — with TM-MEM / TM-FILE
+// disabled these system calls occur inside transactional regions, which is
+// exactly the hazard Section 4.3 studies: as long as the abort is detected
+// early and the lock acquired, they are not a performance disaster.
+#include "rmstm/common.h"
+
+namespace tsxhpc::rmstm {
+
+Result run_apriori(const Config& cfg) {
+  Machine m(cfg.machine);
+  const std::size_t n_buckets = 256;
+  const std::size_t n_items = 64;
+  const std::size_t n_baskets = scaled(cfg.scale, 1536, 64);
+  constexpr std::size_t kBasketLen = 6;
+  CsRunner cs(m, cfg, n_buckets);
+
+  // Candidate pair-support counters, bucketed: support[bucket][slot].
+  constexpr std::size_t kSlots = 8;
+  auto support =
+      SharedArray<std::uint64_t>::alloc(m, n_buckets * kSlots, 0);
+  // Expansion count per bucket: models hash-tree node splits (mallocs).
+  auto expansions = SharedArray<std::uint64_t>::alloc(m, n_buckets, 0);
+
+  // Input baskets (host-side, read-only).
+  std::vector<std::array<std::uint16_t, kBasketLen>> baskets(n_baskets);
+  Xoshiro256 rng(cfg.seed);
+  for (auto& b : baskets) {
+    for (auto& item : b) {
+      item = static_cast<std::uint16_t>(rng.next_below(n_items));
+    }
+  }
+
+  auto next = Shared<std::uint64_t>::alloc(m, 0);
+  Result r = run_region(cfg, m, [&](Context& c) {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(c, 1);
+      if (i >= n_baskets) break;
+      const auto& basket = baskets[i];
+      // Candidate generation / subset enumeration: the parallel bulk.
+      c.compute(4000);
+      for (std::size_t a = 0; a < kBasketLen; ++a) {
+        for (std::size_t b = a + 1; b < kBasketLen; ++b) {
+          const std::uint64_t pair = basket[a] * n_items + basket[b];
+          const std::size_t bucket = pair % n_buckets;
+          const std::size_t slot = (pair / n_buckets) % kSlots;
+          cs.section(c, bucket, [&] {
+            const Addr cell = support.addr(bucket * kSlots + slot);
+            const std::uint64_t cnt = c.load(cell) + 1;
+            c.store(cell, cnt);
+            // Node split every 16 hits: native malloc inside the CS.
+            if (cnt % 16 == 0) {
+              c.syscall(300);  // mmap-backed allocation
+              c.store(expansions.addr(bucket),
+                      c.load(expansions.addr(bucket)) + 1);
+            }
+            // Periodic candidate logging: file I/O inside the CS.
+            if (cnt % 64 == 0) c.syscall(600);
+          });
+        }
+      }
+    }
+  });
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_buckets * kSlots; ++i) {
+    total += support.at(i).peek(m);
+  }
+  const std::uint64_t expect =
+      n_baskets * (kBasketLen * (kBasketLen - 1) / 2);
+  r.checksum = total == expect ? 0xA1 + total % 7 : 0;
+  return r;
+}
+
+}  // namespace tsxhpc::rmstm

@@ -1,0 +1,69 @@
+// RMS-TM fluidanimate (from PARSEC): SPH fluid simulation. Force
+// accumulation between particles in neighbouring grid cells takes one lock
+// per cell — a torrent of *tiny* critical sections. Under a single global
+// lock the sheer synchronization frequency serializes the run (Figure 3's
+// sgl collapse); fine-grained locks and TSX elision both scale.
+#include "rmstm/common.h"
+
+namespace tsxhpc::rmstm {
+
+Result run_fluidanimate(const Config& cfg) {
+  Machine m(cfg.machine);
+  const std::size_t grid_dim = 16;
+  const std::size_t n_cells = grid_dim * grid_dim;
+  const std::size_t n_particles = scaled(cfg.scale, 4096, 256);
+  const int timesteps = 2;
+  CsRunner cs(m, cfg, n_cells);
+
+  // Per-cell force accumulators (3 components + density).
+  auto force = SharedArray<std::uint64_t>::alloc(m, n_cells * 4, 0);
+
+  // Particle -> cell assignment (host-side; rebinning not modeled).
+  std::vector<std::uint32_t> cell_of(n_particles);
+  Xoshiro256 rng(cfg.seed);
+  for (auto& c0 : cell_of) {
+    c0 = static_cast<std::uint32_t>(rng.next_below(n_cells));
+  }
+
+  const std::uint64_t total_items =
+      static_cast<std::uint64_t>(timesteps) * n_particles;
+  auto next = Shared<std::uint64_t>::alloc(m, 0);
+  Result r = run_region(cfg, m, [&](Context& c) {
+    for (;;) {
+      const std::uint64_t b = next.fetch_add(c, 16);
+      if (b >= total_items) break;
+      const std::uint64_t e = std::min<std::uint64_t>(b + 16, total_items);
+      for (std::uint64_t i = b; i < e; ++i) {
+        const std::uint64_t p = i % n_particles;
+        const std::size_t cell = cell_of[p];
+        const std::size_t neighbor =
+            (cell + 1 + (p % 3) * grid_dim) % n_cells;
+        // Kernel evaluation between the particle and its neighbours.
+        c.compute(90);
+        // Tiny critical section #1: own-cell density update.
+        cs.section(c, cell, [&] {
+          const Addr d = force.addr(cell * 4 + 3);
+          c.store(d, c.load(d) + 1);
+        });
+        // Tiny critical section #2: symmetric force on the neighbour
+        // cell (the original acquires that cell's lock).
+        cs.section(c, neighbor, [&] {
+          const Addr fx = force.addr(neighbor * 4);
+          c.store(fx, c.load(fx) + p % 7);
+        });
+      }
+    }
+  });
+
+  std::uint64_t density = 0;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    density += force.at(i * 4 + 3).peek(m);
+  }
+  r.checksum =
+      density == static_cast<std::uint64_t>(timesteps) * n_particles
+          ? 0xF1D
+          : 0;
+  return r;
+}
+
+}  // namespace tsxhpc::rmstm

@@ -1,0 +1,24 @@
+#include "rmstm/rmstm.h"
+
+namespace tsxhpc::rmstm {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kFgl: return "fgl";
+    case Scheme::kSgl: return "sgl";
+    case Scheme::kTsx: return "tsx";
+  }
+  return "?";
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"apriori", run_apriori},
+      {"scalparc", run_scalparc},
+      {"utilitymine", run_utilitymine},
+      {"fluidanimate", run_fluidanimate},
+  };
+  return kWorkloads;
+}
+
+}  // namespace tsxhpc::rmstm

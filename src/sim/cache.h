@@ -1,0 +1,139 @@
+// Set-associative L1 data cache model. One instance per core; SMT siblings
+// share it, which is what creates the extra transactional capacity pressure
+// the paper observes with HyperThreading (Section 4.2).
+//
+// The cache tracks *which lines are resident* (for latency and transactional
+// capacity), not data values; values live in SharedHeap / the write buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// Result of touching a line in the L1.
+struct CacheTouch {
+  bool hit = false;
+  /// Line evicted to make room (only meaningful when !hit and a valid line
+  /// was displaced).
+  bool evicted = false;
+  Addr evicted_line = 0;
+  /// Hardware thread whose transaction had *written* the evicted line, or -1.
+  /// Evicting such a line is a capacity abort (Section 2: "Eviction of a
+  /// transactionally written line from the data cache will cause a
+  /// transactional abort").
+  ThreadId evicted_tx_writer = -1;
+  /// Bitmask of hardware threads that had the evicted line in their
+  /// transactional *read* set. Per Section 2 these are moved to a secondary
+  /// tracking structure rather than aborting.
+  std::uint16_t evicted_tx_readers = 0;
+};
+
+class L1Cache {
+ public:
+  explicit L1Cache(const MachineConfig& cfg)
+      : sets_(cfg.l1_sets()), ways_(cfg.l1_ways), entries_(sets_ * ways_) {}
+
+  /// Bring `line` into the cache (or refresh its LRU position). Marks the
+  /// entry with transactional ownership bits when requested.
+  CacheTouch touch(Addr line, ThreadId tid, bool tx_write, bool tx_read) {
+    CacheTouch r;
+    Entry* slot = find(line);
+    if (slot != nullptr) {
+      r.hit = true;
+    } else {
+      slot = victim(line);
+      if (slot->valid) {
+        r.evicted = true;
+        r.evicted_line = slot->line;
+        r.evicted_tx_writer = slot->tx_writer;
+        r.evicted_tx_readers = slot->tx_readers;
+      }
+      slot->valid = true;
+      slot->line = line;
+      slot->tx_writer = -1;
+      slot->tx_readers = 0;
+    }
+    if (tx_write) slot->tx_writer = tid;
+    if (tx_read) slot->tx_readers |= static_cast<std::uint16_t>(1u << tid);
+    slot->lru = ++tick_;
+    return r;
+  }
+
+  bool contains(Addr line) const {
+    return const_cast<L1Cache*>(this)->find(line) != nullptr;
+  }
+
+  /// Remote write: drop our copy (coherence invalidation).
+  void invalidate(Addr line) {
+    if (Entry* e = find(line)) e->valid = false;
+  }
+
+  /// Clear transactional marks owned by `tid` (on commit or abort). Aborts
+  /// additionally invalidate the written lines: their speculative data was
+  /// never real, and Haswell discards them.
+  void clear_tx_marks(ThreadId tid, bool invalidate_writes) {
+    for (auto& e : entries_) {
+      if (!e.valid) continue;
+      if (e.tx_writer == tid) {
+        e.tx_writer = -1;
+        if (invalidate_writes) e.valid = false;
+      }
+      e.tx_readers &= static_cast<std::uint16_t>(~(1u << tid));
+    }
+  }
+
+  /// Number of valid resident lines (testing hook).
+  std::size_t resident_lines() const {
+    std::size_t n = 0;
+    for (const auto& e : entries_)
+      if (e.valid) ++n;
+    return n;
+  }
+
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+ private:
+  struct Entry {
+    Addr line = 0;
+    std::uint64_t lru = 0;
+    ThreadId tx_writer = -1;
+    std::uint16_t tx_readers = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t set_of(Addr line) const {
+    // Lines are already addr / line_bytes; index by low bits.
+    return static_cast<std::uint32_t>(line) & (sets_ - 1);
+  }
+
+  Entry* find(Addr line) {
+    Entry* base = &entries_[set_of(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].line == line) return &base[w];
+    }
+    return nullptr;
+  }
+
+  /// LRU victim within the set; prefers invalid ways.
+  Entry* victim(Addr line) {
+    Entry* base = &entries_[set_of(line) * ways_];
+    Entry* best = &base[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (!base[w].valid) return &base[w];
+      if (base[w].lru < best->lru) best = &base[w];
+    }
+    return best;
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,100 @@
+// Machine configuration: core/cache geometry and cycle cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// Geometry and latency model of the simulated machine. Defaults model the
+/// paper's part: an Intel 4th Generation Core (Haswell) with 4 cores x 2
+/// HyperThreads and a 32 KB, 8-way, 64 B-line L1 data cache per core.
+///
+/// Latencies are first-order approximations of Haswell; the reproduction
+/// depends on their *ratios* (atomic vs. transaction overhead, L1 hit vs.
+/// cross-core transfer), not their absolute values.
+/// Thread-to-core placement policy (paper Section 3: "we use thread
+/// affinity to bind threads to cores so that as many cores are used as
+/// possible").
+enum class Affinity {
+  kSpreadCores,  // fill distinct cores first (the paper's policy)
+  kPackCores,    // fill HyperThread siblings first (for SMT ablations)
+};
+
+struct MachineConfig {
+  // --- Topology -----------------------------------------------------------
+  int num_cores = 4;
+  int smt_per_core = 2;
+  Affinity affinity = Affinity::kSpreadCores;
+
+  // --- L1 data cache (transactional buffering domain) ----------------------
+  std::uint32_t l1_bytes = 32 * 1024;
+  std::uint32_t l1_ways = 8;
+  std::uint32_t line_bytes = 64;
+
+  // --- Memory access latencies (cycles) ------------------------------------
+  Cycles lat_l1_hit = 4;
+  Cycles lat_llc_hit = 36;          // on-chip, not in any L1
+  Cycles lat_mem = 190;             // first touch / off-chip
+  Cycles lat_xfer_clean = 70;       // line shared-in from another core
+  Cycles lat_xfer_dirty = 84;       // dirty line forwarded from another core
+
+  // --- Synchronization instruction costs (cycles) ---------------------------
+  /// Extra cost of a LOCK-prefixed RMW on top of the memory access itself.
+  Cycles lat_atomic_rmw = 20;
+  /// XBEGIN retire cost (checkpoint registers, enter transactional mode).
+  Cycles lat_xbegin = 32;
+  /// XEND retire cost (commit, make write set visible).
+  Cycles lat_xend = 24;
+  /// Rollback cost on abort: discard write set, restore checkpoint, redirect
+  /// to fallback ip. Charged once per abort, plus pipeline-refill effects.
+  Cycles lat_abort = 150;
+  /// Cost of a kernel entry/exit (futex, file IO, mmap...).
+  Cycles lat_syscall = 900;
+  /// Additional cost to block (context switch away) in futex-wait, and to be
+  /// woken (scheduled back in). The paper observes this sleep/wake delay
+  /// dominates the TCP/IP stack critical path (Section 6.2).
+  Cycles lat_block = 1800;
+  Cycles lat_wake = 1800;
+
+  // --- Transactional execution model ---------------------------------------
+  /// Maximum supported transaction nesting depth (flat nesting).
+  int max_nest_depth = 7;
+  /// Probability that evicting a transactionally *read* line aborts the
+  /// reading transaction. Section 2: evicted read lines move to a secondary
+  /// tracking structure "and may result in an abort at some later time" —
+  /// on Haswell that structure is imprecise (bloom-filter-like), so large
+  /// read sets abort even single-threaded (Table 1: vacation 38%, bayes
+  /// 64%, labyrinth 87% at 1 thread). The decision is a deterministic hash
+  /// of (line, event counter): reproducible across runs and hosts.
+  double read_evict_abort_prob = 0.05;
+
+  // --- Scheduler -----------------------------------------------------------
+  /// A running thread keeps the token until its virtual clock exceeds the
+  /// minimum runnable clock by this many cycles. Smaller = finer-grain
+  /// interleaving (and slower simulation). Always deterministic.
+  Cycles sched_quantum = 200;
+  /// Hard per-run cap on any thread's virtual clock; exceeding it raises
+  /// SimError (livelock / runaway guard). 0 disables the guard.
+  Cycles max_cycles = 0;
+
+  /// Simulated core frequency, used only to convert cycles to seconds when
+  /// reporting bandwidth numbers (Figure 6).
+  double ghz = 3.4;
+
+  int num_hw_threads() const { return num_cores * smt_per_core; }
+
+  /// Core hosting hardware thread t under the configured affinity policy.
+  /// Under kSpreadCores a 4-thread run puts one thread on each core and an
+  /// 8-thread run puts two; under kPackCores threads 0 and 1 are siblings.
+  int core_of(ThreadId t) const {
+    return affinity == Affinity::kSpreadCores ? t % num_cores
+                                              : (t / smt_per_core) % num_cores;
+  }
+
+  std::uint32_t l1_sets() const { return l1_bytes / (l1_ways * line_bytes); }
+  Addr line_of(Addr a) const { return a / line_bytes; }
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,275 @@
+#include "sim/context.h"
+
+#include <cstring>
+
+#include "sim/machine.h"
+
+namespace tsxhpc::sim {
+
+namespace {
+constexpr Addr kWordMask = ~static_cast<Addr>(7);
+}
+
+int Context::num_threads() const { return m_.engine()->num_threads(); }
+
+Cycles Context::now() const { return m_.engine()->clock(tid_); }
+
+ThreadStats& Context::stats() { return m_.stats()[tid_]; }
+
+void Context::compute(Cycles cycles) {
+  check_doom();
+  m_.engine()->advance(tid_, cycles);
+}
+
+void Context::yield() {
+  check_doom();
+  m_.engine()->yield_point(tid_);
+}
+
+void Context::tx_account_start() {
+  tx_start_clock_ = now();
+  if (TraceLog* t = m_.trace()) {
+    t->record({TraceEvent::Kind::kBegin, tid_, now(), AbortCause::kNone, 0,
+               0});
+  }
+}
+
+void Context::tx_account_end(bool committed, AbortCause cause,
+                             std::uint32_t read_lines,
+                             std::uint32_t write_lines) {
+  const Cycles spent = now() - tx_start_clock_;
+  if (committed) {
+    stats().tx_cycles_committed += spent;
+  } else {
+    stats().tx_cycles_wasted += spent;
+  }
+  if (TraceLog* t = m_.trace()) {
+    t->record({committed ? TraceEvent::Kind::kCommit
+                         : TraceEvent::Kind::kAbort,
+               tid_, now(), cause, read_lines, write_lines});
+  }
+}
+
+void Context::check_doom() {
+  MemorySystem& mem = m_.mem();
+  if (!mem.in_tx(tid_) || !mem.doomed(tid_)) return;
+  const TxState& st = mem.tx_state(tid_);
+  const AbortCause cause = st.doom_cause;
+  const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+  const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+  mem.tx_rollback(tid_, cause);
+  tx_account_end(false, cause, r, w);
+  m_.engine()->advance(tid_, m_.config().lat_abort);
+  throw TxAbort{cause, 0};
+}
+
+std::uint64_t Context::load(Addr a, unsigned size) {
+  check_doom();
+  AccessResult r = m_.mem().load(tid_, a, size);
+  m_.engine()->advance(tid_, r.latency);
+  return r.value;
+}
+
+void Context::store(Addr a, std::uint64_t v, unsigned size) {
+  check_doom();
+  Cycles lat = m_.mem().store(tid_, a, v, size);
+  m_.engine()->advance(tid_, lat);
+}
+
+std::uint64_t Context::fetch_add(Addr a, std::int64_t delta, unsigned size) {
+  check_doom();
+  AccessResult r = m_.mem().atomic_rmw(
+      tid_, a, size, [delta](std::uint64_t old) {
+        return old + static_cast<std::uint64_t>(delta);
+      });
+  m_.engine()->advance(tid_, r.latency);
+  return r.value;
+}
+
+bool Context::cas(Addr a, std::uint64_t expected, std::uint64_t desired,
+                  unsigned size) {
+  check_doom();
+  bool ok = false;
+  AccessResult r = m_.mem().atomic_rmw(
+      tid_, a, size, [&](std::uint64_t old) {
+        ok = old == expected;
+        return ok ? desired : old;
+      });
+  m_.engine()->advance(tid_, r.latency);
+  return ok;
+}
+
+std::uint64_t Context::exchange(Addr a, std::uint64_t v, unsigned size) {
+  check_doom();
+  AccessResult r =
+      m_.mem().atomic_rmw(tid_, a, size, [v](std::uint64_t) { return v; });
+  m_.engine()->advance(tid_, r.latency);
+  return r.value;
+}
+
+std::uint64_t Context::fetch_or(Addr a, std::uint64_t bits, unsigned size) {
+  check_doom();
+  AccessResult r = m_.mem().atomic_rmw(
+      tid_, a, size, [bits](std::uint64_t old) { return old | bits; });
+  m_.engine()->advance(tid_, r.latency);
+  return r.value;
+}
+
+void Context::load_bytes(Addr a, void* dst, std::size_t n) {
+  check_doom();
+  if ((a & 7) != 0 || (n & 7) != 0) {
+    throw SimError("load_bytes requires 8-byte alignment");
+  }
+  auto* out = static_cast<std::uint8_t*>(dst);
+  if (m_.mem().in_tx(tid_)) {
+    // Word loop: must observe our own speculative buffer.
+    for (std::size_t off = 0; off < n; off += 8) {
+      AccessResult r = m_.mem().load(tid_, a + off, 8);
+      m_.engine()->advance(tid_, r.latency);
+      std::memcpy(out + off, &r.value, 8);
+    }
+    return;
+  }
+  // Non-transactional: one timed access per line, bulk value copy.
+  const Cycles line = m_.config().line_bytes;
+  for (Addr p = a & ~static_cast<Addr>(line - 1); p < a + n; p += line) {
+    AccessResult r = m_.mem().load(tid_, p >= a ? p : a, 8);
+    m_.engine()->advance(tid_, r.latency);
+  }
+  m_.heap().read_bytes(a, out, n);
+}
+
+void Context::store_bytes(Addr a, const void* src, std::size_t n) {
+  check_doom();
+  if ((a & 7) != 0 || (n & 7) != 0) {
+    throw SimError("store_bytes requires 8-byte alignment");
+  }
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  if (m_.mem().in_tx(tid_)) {
+    for (std::size_t off = 0; off < n; off += 8) {
+      std::uint64_t v;
+      std::memcpy(&v, in + off, 8);
+      Cycles lat = m_.mem().store(tid_, a + off, v, 8);
+      m_.engine()->advance(tid_, lat);
+    }
+    return;
+  }
+  const Cycles line = m_.config().line_bytes;
+  for (Addr p = a & ~static_cast<Addr>(line - 1); p < a + n; p += line) {
+    Addr at = p >= a ? p : a;
+    std::uint64_t v;
+    std::memcpy(&v, in + (at - a), 8);
+    Cycles lat = m_.mem().store(tid_, at, v, 8);
+    m_.engine()->advance(tid_, lat);
+  }
+  m_.heap().write_bytes(a, in, n);
+}
+
+void Context::xbegin() {
+  check_doom();
+  const bool outer = !m_.mem().in_tx(tid_);
+  m_.mem().tx_begin(tid_);
+  if (outer) tx_account_start();
+  if (m_.mem().doomed(tid_)) {
+    // Nesting-depth overflow detected at begin.
+    const TxState& st = m_.mem().tx_state(tid_);
+    const AbortCause cause = st.doom_cause;
+    const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+    const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+    m_.mem().tx_rollback(tid_, cause);
+    tx_account_end(false, cause, r, w);
+    m_.engine()->advance(tid_, m_.config().lat_abort);
+    throw TxAbort{cause, 0};
+  }
+  m_.engine()->advance(tid_, m_.config().lat_xbegin);
+}
+
+void Context::xend() {
+  check_doom();
+  const TxState& st = m_.mem().tx_state(tid_);
+  const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+  const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+  m_.mem().tx_end(tid_);
+  if (!m_.mem().in_tx(tid_)) {
+    tx_account_end(true, AbortCause::kNone, r, w);
+  }
+  m_.engine()->advance(tid_, m_.config().lat_xend);
+}
+
+void Context::xabort(std::uint8_t code) {
+  if (!m_.mem().in_tx(tid_)) {
+    // Architecturally XABORT outside a transaction is a no-op, but in this
+    // codebase it is always a bug; fail loudly.
+    throw SimError("XABORT outside a transaction");
+  }
+  const TxState& st = m_.mem().tx_state(tid_);
+  const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+  const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+  m_.mem().tx_rollback(tid_, AbortCause::kExplicit);
+  tx_account_end(false, AbortCause::kExplicit, r, w);
+  m_.engine()->advance(tid_, m_.config().lat_abort);
+  throw TxAbort{AbortCause::kExplicit, code};
+}
+
+bool Context::in_txn() const { return m_.mem().in_tx(tid_); }
+
+std::size_t Context::txn_footprint_lines() const {
+  return m_.mem().tx_state(tid_).footprint_lines();
+}
+
+void Context::syscall(Cycles extra_cost) {
+  check_doom();
+  if (m_.mem().in_tx(tid_)) {
+    const TxState& st = m_.mem().tx_state(tid_);
+    const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+    const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+    m_.mem().tx_rollback(tid_, AbortCause::kSyscall);
+    tx_account_end(false, AbortCause::kSyscall, r, w);
+    m_.engine()->advance(tid_, m_.config().lat_abort);
+    throw TxAbort{AbortCause::kSyscall, 0};
+  }
+  stats().syscalls++;
+  m_.engine()->advance(tid_, m_.config().lat_syscall + extra_cost);
+}
+
+void Context::futex_wait(Addr addr, std::uint32_t expected) {
+  check_doom();
+  if (m_.mem().in_tx(tid_)) {
+    throw SimError("futex_wait inside a transaction");
+  }
+  stats().syscalls++;
+  stats().futex_waits++;
+  m_.engine()->advance(tid_, m_.config().lat_syscall);
+  // Atomic check-and-enqueue: we hold the scheduler token throughout.
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(m_.heap().read_word(addr, 4));
+  if (v != expected) return;  // EAGAIN
+  // The value check, enqueue and block must be atomic: no engine call (and
+  // hence no token handoff) may occur between them, or a concurrent wake
+  // could be lost. Descheduling costs are charged after we are woken.
+  m_.futex().enqueue(addr, tid_);
+  m_.engine()->block(tid_);
+  m_.engine()->advance(tid_, m_.config().lat_block + m_.config().lat_wake);
+}
+
+int Context::futex_wake(Addr addr, int count) {
+  check_doom();
+  if (m_.mem().in_tx(tid_)) {
+    const TxState& st = m_.mem().tx_state(tid_);
+    const auto r = static_cast<std::uint32_t>(st.read_lines.size());
+    const auto w = static_cast<std::uint32_t>(st.write_lines.size());
+    m_.mem().tx_rollback(tid_, AbortCause::kSyscall);
+    tx_account_end(false, AbortCause::kSyscall, r, w);
+    m_.engine()->advance(tid_, m_.config().lat_abort);
+    throw TxAbort{AbortCause::kSyscall, 0};
+  }
+  stats().syscalls++;
+  stats().futex_wakes++;
+  m_.engine()->advance(tid_, m_.config().lat_syscall);
+  Engine* e = m_.engine();
+  const Cycles now = e->clock(tid_);
+  return m_.futex().wake(addr, count,
+                         [e, now](ThreadId t) { e->wake(t, now); });
+}
+
+}  // namespace tsxhpc::sim

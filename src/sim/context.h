@@ -1,0 +1,90 @@
+// Context: the per-simulated-thread execution handle. All timed work a
+// workload performs — compute, shared loads/stores, atomics, RTM
+// instructions, syscalls, futex — goes through this API.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+class Machine;
+
+class Context {
+ public:
+  Context(Machine& m, ThreadId tid) : m_(m), tid_(tid) {}
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  ThreadId tid() const { return tid_; }
+  int num_threads() const;
+  Machine& machine() { return m_; }
+  Cycles now() const;
+
+  /// Local (non-shared) computation: advance virtual time only.
+  void compute(Cycles cycles);
+
+  // --- Timed shared-memory accesses ---------------------------------------
+  std::uint64_t load(Addr a, unsigned size = 8);
+  void store(Addr a, std::uint64_t v, unsigned size = 8);
+
+  /// LOCK-prefixed fetch-and-add; returns the *old* value.
+  std::uint64_t fetch_add(Addr a, std::int64_t delta, unsigned size = 8);
+  /// LOCK-prefixed compare-and-swap; returns success.
+  bool cas(Addr a, std::uint64_t expected, std::uint64_t desired,
+           unsigned size = 8);
+  /// LOCK-prefixed exchange; returns the old value.
+  std::uint64_t exchange(Addr a, std::uint64_t v, unsigned size = 8);
+  /// LOCK-prefixed bitwise-or (used by lock-free algorithms).
+  std::uint64_t fetch_or(Addr a, std::uint64_t bits, unsigned size = 8);
+
+  /// Bulk copies, charged per cache line. Base and size must be 8-aligned.
+  void load_bytes(Addr a, void* dst, std::size_t n);
+  void store_bytes(Addr a, const void* src, std::size_t n);
+
+  // --- Restricted Transactional Memory ------------------------------------
+  /// XBEGIN. On abort, control returns to the retry loop *by throwing
+  /// TxAbort* from whichever simulator call observed the abort condition —
+  /// the software analogue of the hardware rolling back to the fallback ip.
+  void xbegin();
+  /// XEND: commit. Throws TxAbort if the transaction was doomed in flight.
+  void xend();
+  /// XABORT imm8.
+  [[noreturn]] void xabort(std::uint8_t code);
+  bool in_txn() const;
+  /// Lines currently in the transactional read+write sets (testing hook).
+  std::size_t txn_footprint_lines() const;
+
+  // --- Kernel interaction ---------------------------------------------------
+  /// Any system call. Inside a transaction this aborts it (Section 2:
+  /// "instructions that may always abort (e.g., system calls)").
+  void syscall(Cycles extra_cost = 0);
+
+  /// futex(FUTEX_WAIT): blocks iff *addr == expected, else returns
+  /// immediately (EAGAIN). Must not be called inside a transaction.
+  void futex_wait(Addr addr, std::uint32_t expected);
+  /// futex(FUTEX_WAKE): wakes up to `count` waiters, returns number woken.
+  int futex_wake(Addr addr, int count);
+
+  /// Cooperative fine-grain reschedule point (precise interleaving).
+  void yield();
+
+  ThreadStats& stats();
+
+ private:
+  /// If a remote conflict doomed our transaction, roll back and throw.
+  void check_doom();
+  /// Cycle-accounting / tracing hooks around transactional regions.
+  void tx_account_start();
+  void tx_account_end(bool committed, AbortCause cause,
+                      std::uint32_t read_lines, std::uint32_t write_lines);
+
+  Machine& m_;
+  ThreadId tid_;
+  Cycles tx_start_clock_ = 0;
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,193 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tsxhpc::sim {
+
+Engine::Engine(const MachineConfig& cfg, int num_threads)
+    : cfg_(cfg),
+      cvs_(num_threads),
+      states_(num_threads, State::kNotStarted),
+      clocks_(num_threads, 0),
+      end_clocks_(num_threads, 0) {
+  if (num_threads <= 0 || num_threads > cfg.num_hw_threads()) {
+    throw SimError("thread count " + std::to_string(num_threads) +
+                   " exceeds machine hardware threads (" +
+                   std::to_string(cfg.num_hw_threads()) + ")");
+  }
+}
+
+ThreadId Engine::pick_next(ThreadId exclude) const {
+  ThreadId best = -1;
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    if (t == exclude || states_[t] != State::kReady) continue;
+    if (best < 0 || clocks_[t] < clocks_[best]) best = t;
+  }
+  return best;
+}
+
+void Engine::recompute_deadline_locked(ThreadId running) {
+  Cycles min_other = std::numeric_limits<Cycles>::max();
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    if (t == running || states_[t] != State::kReady) continue;
+    min_other = std::min(min_other, clocks_[t]);
+  }
+  deadline_ = min_other == std::numeric_limits<Cycles>::max()
+                  ? min_other
+                  : min_other + cfg_.sched_quantum;
+}
+
+void Engine::wait_for_token(std::unique_lock<std::mutex>& lk, ThreadId t) {
+  cvs_[t].wait(lk, [&] { return stopping_ || current_ == t; });
+  if (stopping_) throw EngineStop{};
+  states_[t] = State::kRunning;
+  recompute_deadline_locked(t);
+}
+
+void Engine::advance(ThreadId t, Cycles cycles) {
+  clocks_[t] += cycles;
+  if (cfg_.max_cycles != 0 && clocks_[t] > cfg_.max_cycles) {
+    throw SimError("thread " + std::to_string(t) +
+                   " exceeded max_cycles (livelock guard)");
+  }
+  // Fast path: still within quantum of the earliest runnable peer.
+  if (clocks_[t] <= deadline_ && !stopping_) return;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopping_) throw EngineStop{};
+  states_[t] = State::kReady;
+  ThreadId next = pick_next(-1);
+  if (next == t) {
+    states_[t] = State::kRunning;
+    recompute_deadline_locked(t);
+    return;
+  }
+  current_ = next;
+  cvs_[next].notify_one();
+  wait_for_token(lk, t);
+}
+
+void Engine::yield_point(ThreadId t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopping_) throw EngineStop{};
+  states_[t] = State::kReady;
+  ThreadId next = pick_next(-1);
+  if (next == t) {
+    states_[t] = State::kRunning;
+    recompute_deadline_locked(t);
+    return;
+  }
+  current_ = next;
+  cvs_[next].notify_one();
+  wait_for_token(lk, t);
+}
+
+void Engine::block(ThreadId t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stopping_) throw EngineStop{};
+  states_[t] = State::kBlocked;
+  ThreadId next = pick_next(-1);
+  if (next < 0) {
+    // Every live thread is blocked: genuine deadlock.
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(
+          SimError("deadlock: all simulated threads are blocked"));
+    }
+    stopping_ = true;
+    for (auto& cv : cvs_) cv.notify_all();
+    throw EngineStop{};
+  }
+  current_ = next;
+  cvs_[next].notify_one();
+  wait_for_token(lk, t);
+}
+
+void Engine::wake(ThreadId t, Cycles waker_clock) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (states_[t] != State::kBlocked) return;  // no waiter: wake is lost
+  states_[t] = State::kReady;
+  clocks_[t] = std::max(clocks_[t], waker_clock);
+  if (current_ >= 0) recompute_deadline_locked(current_);
+}
+
+void Engine::thread_main(ThreadId t, const std::function<void()>& body) {
+  try {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      wait_for_token(lk, t);
+    }
+    body();
+  } catch (EngineStop&) {
+    // Torn down by another thread's failure (or a detected deadlock).
+    std::unique_lock<std::mutex> lk(mu_);
+    states_[t] = State::kDone;
+    end_clocks_[t] = clocks_[t];
+    alive_--;
+    done_cv_.notify_all();
+    return;
+  } catch (...) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+    stopping_ = true;
+    states_[t] = State::kDone;
+    end_clocks_[t] = clocks_[t];
+    alive_--;
+    for (auto& cv : cvs_) cv.notify_all();
+    done_cv_.notify_all();
+    return;
+  }
+
+  // Normal completion: pass the token on.
+  std::unique_lock<std::mutex> lk(mu_);
+  states_[t] = State::kDone;
+  end_clocks_[t] = clocks_[t];
+  alive_--;
+  ThreadId next = pick_next(-1);
+  if (next >= 0) {
+    current_ = next;
+    cvs_[next].notify_one();
+  } else if (alive_ > 0) {
+    // Remaining threads are all blocked and nobody can wake them.
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(SimError(
+          "deadlock: remaining simulated threads are all blocked"));
+    }
+    stopping_ = true;
+    for (auto& cv : cvs_) cv.notify_all();
+  } else {
+    current_ = -1;
+  }
+  done_cv_.notify_all();
+}
+
+void Engine::run(const std::vector<std::function<void()>>& bodies) {
+  if (static_cast<int>(bodies.size()) != num_threads()) {
+    throw SimError("body count does not match engine thread count");
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = false;
+    first_error_ = nullptr;
+    alive_ = num_threads();
+    for (ThreadId t = 0; t < num_threads(); ++t) {
+      states_[t] = State::kReady;
+      clocks_[t] = 0;
+      end_clocks_[t] = 0;
+    }
+    current_ = 0;
+    deadline_ = 0;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(bodies.size());
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    threads.emplace_back([this, t, &bodies] { thread_main(t, bodies[t]); });
+  }
+  for (auto& th : threads) th.join();
+
+  makespan_ = *std::max_element(end_clocks_.begin(), end_clocks_.end());
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,88 @@
+// Deterministic virtual-time scheduler. Each simulated hardware thread runs
+// on its own OS thread, but exactly one executes at a time: the engine hands
+// a token to the runnable thread with the minimum (virtual clock, thread id)
+// pair. A thread keeps the token until its clock exceeds the next runnable
+// thread's clock by the scheduling quantum. The interleaving is therefore a
+// pure function of the program and the configuration — no host scheduling or
+// wall-clock time ever leaks into results.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+class Engine {
+ public:
+  Engine(const MachineConfig& cfg, int num_threads);
+
+  /// Run all thread bodies to completion. Body i executes as simulated
+  /// thread i. Rethrows the first exception raised by any body.
+  void run(const std::vector<std::function<void()>>& bodies);
+
+  // --- Called from simulated threads while they hold the token ------------
+
+  /// Advance t's virtual clock; may hand the token to another thread and
+  /// return only when t is scheduled again.
+  void advance(ThreadId t, Cycles cycles);
+
+  /// Voluntarily reschedule even if within quantum (used at synchronization
+  /// boundary points that need fine-grained interleaving).
+  void yield_point(ThreadId t);
+
+  /// Block t until some other thread calls wake(t). Hands off the token.
+  void block(ThreadId t);
+
+  /// Make t runnable again; its clock jumps forward to the waker's clock if
+  /// it was behind. Caller must currently hold the token.
+  void wake(ThreadId t, Cycles waker_clock);
+
+  Cycles clock(ThreadId t) const { return clocks_[t]; }
+  void add_clock(ThreadId t, Cycles c) { clocks_[t] += c; }
+  bool is_blocked(ThreadId t) const { return states_[t] == State::kBlocked; }
+  int num_threads() const { return static_cast<int>(clocks_.size()); }
+
+  /// Makespan of the last run(): max end clock over all threads.
+  Cycles makespan() const { return makespan_; }
+  Cycles end_clock(ThreadId t) const { return end_clocks_[t]; }
+
+ private:
+  enum class State { kNotStarted, kReady, kRunning, kBlocked, kDone };
+
+  /// Thrown into a simulated thread when another thread failed and the run
+  /// is being torn down. Not derived from std::exception on purpose so that
+  /// workload catch blocks do not swallow it.
+  struct EngineStop {};
+
+  void thread_main(ThreadId t, const std::function<void()>& body);
+
+  // All of the below require mu_ held.
+  ThreadId pick_next(ThreadId exclude) const;
+  void hand_off_locked(std::unique_lock<std::mutex>& lk, ThreadId t,
+                       bool leaving);
+  void wait_for_token(std::unique_lock<std::mutex>& lk, ThreadId t);
+  void recompute_deadline_locked(ThreadId running);
+
+  const MachineConfig& cfg_;
+  mutable std::mutex mu_;
+  std::vector<std::condition_variable> cvs_;
+  std::condition_variable done_cv_;
+  std::vector<State> states_;
+  std::vector<Cycles> clocks_;
+  std::vector<Cycles> end_clocks_;
+  ThreadId current_ = -1;
+  Cycles deadline_ = 0;  // clock value at which the current thread must yield
+  int alive_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  Cycles makespan_ = 0;
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,92 @@
+// The simulated shared heap: a flat virtual address space whose contents are
+// the *values* of shared memory. All inter-thread-visible data in a workload
+// lives here so that the cache / conflict models see every access.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// Bump-allocated shared address space. Address 0 is reserved (null); the
+/// first allocation starts at one full cache line to keep line indices
+/// nonzero. Backing storage grows on demand; addresses are stable offsets.
+class SharedHeap {
+ public:
+  explicit SharedHeap(std::uint32_t line_bytes = 64)
+      : line_bytes_(line_bytes), brk_(line_bytes) {
+    mem_.resize(1 << 20);
+  }
+
+  /// Allocate `bytes` with the given alignment (power of two).
+  Addr allocate(std::size_t bytes, std::size_t align = 8) {
+    if (bytes == 0) bytes = 1;
+    Addr a = (brk_ + (align - 1)) & ~static_cast<Addr>(align - 1);
+    brk_ = a + bytes;
+    if (brk_ + line_bytes_ > mem_.size()) {
+      mem_.resize(next_pow2(brk_ + line_bytes_));
+    }
+    return a;
+  }
+
+  /// Allocate starting on a fresh cache line (avoids false sharing).
+  Addr allocate_lines(std::size_t bytes) {
+    return allocate(bytes, line_bytes_);
+  }
+
+  // Raw, *untimed* value access. The Context routes all timed accesses here
+  // after running the coherence/transaction machinery. Tests and workload
+  // setup phases may use these directly for initialization.
+  std::uint64_t read_word(Addr a, unsigned size) const {
+    check(a, size);
+    std::uint64_t v = 0;
+    std::memcpy(&v, mem_.data() + a, size);
+    return v;
+  }
+
+  void write_word(Addr a, std::uint64_t v, unsigned size) {
+    check(a, size);
+    std::memcpy(mem_.data() + a, &v, size);
+  }
+
+  void read_bytes(Addr a, void* dst, std::size_t n) const {
+    check(a, n);
+    std::memcpy(dst, mem_.data() + a, n);
+  }
+
+  void write_bytes(Addr a, const void* src, std::size_t n) {
+    check(a, n);
+    std::memcpy(mem_.data() + a, src, n);
+  }
+
+  Addr bytes_allocated() const { return brk_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  void check(Addr a, std::size_t n) const {
+    // Allow access up to the end of the last allocated cache line: the
+    // transactional write buffer merges at word granularity and may read
+    // back padding bytes of the final allocation.
+    const Addr limit = (brk_ + line_bytes_ - 1) & ~static_cast<Addr>(line_bytes_ - 1);
+    if (a == kNullAddr || a + n > limit) {
+      throw SimError("shared heap access out of bounds: addr=" +
+                     std::to_string(a) + " size=" + std::to_string(n) +
+                     " brk=" + std::to_string(brk_));
+    }
+  }
+
+  static std::size_t next_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::uint32_t line_bytes_;
+  Addr brk_;
+  std::vector<std::uint8_t> mem_;
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,50 @@
+#include "sim/machine.h"
+
+namespace tsxhpc::sim {
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg) {
+  stats_.resize(cfg_.num_hw_threads());
+  mem_ = std::make_unique<MemorySystem>(cfg_, stats_);
+}
+
+RunStats Machine::run(int num_threads,
+                      const std::function<void(Context&)>& body) {
+  std::vector<std::function<void(Context&)>> bodies(num_threads, body);
+  return run_each(bodies);
+}
+
+RunStats Machine::run_each(
+    const std::vector<std::function<void(Context&)>>& bodies) {
+  const int n = static_cast<int>(bodies.size());
+  for (auto& s : stats_) s = ThreadStats{};
+  mem_->reset_all_tx();
+  futex_.clear();
+
+  engine_ = std::make_unique<Engine>(cfg_, n);
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(n);
+  for (ThreadId t = 0; t < n; ++t) {
+    wrapped.emplace_back([this, t, &bodies] {
+      Context ctx(*this, t);
+      bodies[t](ctx);
+      if (mem_->in_tx(t)) {
+        throw SimError("thread body returned inside an open transaction");
+      }
+    });
+  }
+  try {
+    engine_->run(wrapped);
+  } catch (...) {
+    engine_.reset();
+    throw;
+  }
+
+  RunStats rs;
+  rs.threads.assign(stats_.begin(), stats_.begin() + n);
+  for (ThreadId t = 0; t < n; ++t) rs.threads[t].end_cycle = engine_->end_clock(t);
+  rs.makespan = engine_->makespan();
+  engine_.reset();
+  return rs;
+}
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,63 @@
+// Machine: the top-level simulator object. Owns the memory system, the
+// futex table, and per-run engines; provides the parallel-region entry
+// points that workloads and benchmarks call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/context.h"
+#include "sim/engine.h"
+#include "sim/futex.h"
+#include "sim/memory.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace tsxhpc::sim {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = MachineConfig{});
+
+  const MachineConfig& config() const { return cfg_; }
+  MemorySystem& mem() { return *mem_; }
+  SharedHeap& heap() { return mem_->heap(); }
+  FutexTable& futex() { return futex_; }
+
+  /// Allocate shared memory (cache-line aligned by default to avoid
+  /// accidental false sharing; pass align explicitly to study it).
+  Addr alloc(std::size_t bytes, std::size_t align = 64) {
+    return heap().allocate(bytes, align);
+  }
+
+  /// Run `body` on `num_threads` simulated threads (SPMD style). Statistics
+  /// are reset at region entry; returns per-thread stats and the makespan.
+  RunStats run(int num_threads, const std::function<void(Context&)>& body);
+
+  /// Run one distinct body per thread.
+  RunStats run_each(const std::vector<std::function<void(Context&)>>& bodies);
+
+  /// Engine of the in-flight run (used by Context; null between runs).
+  Engine* engine() { return engine_.get(); }
+
+  /// Attach/detach an event trace (null = tracing off; default).
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+  TraceLog* trace() { return trace_; }
+  std::vector<ThreadStats>& stats() { return stats_; }
+
+  /// Convert cycles to seconds using the configured frequency (bandwidth
+  /// reporting for Figure 6).
+  double seconds(Cycles c) const { return static_cast<double>(c) / (cfg_.ghz * 1e9); }
+
+ private:
+  MachineConfig cfg_;
+  std::vector<ThreadStats> stats_;
+  std::unique_ptr<MemorySystem> mem_;
+  FutexTable futex_;
+  std::unique_ptr<Engine> engine_;
+  TraceLog* trace_ = nullptr;
+};
+
+}  // namespace tsxhpc::sim

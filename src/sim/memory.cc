@@ -1,0 +1,298 @@
+#include "sim/memory.h"
+
+#include <string>
+
+namespace tsxhpc::sim {
+
+const char* to_string(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kSyscall: return "syscall";
+    case AbortCause::kNesting: return "nesting";
+    case AbortCause::kLockBusy: return "lock-busy";
+    case AbortCause::kCapacityRead: return "capacity-read";
+    default: return "?";
+  }
+}
+
+MemorySystem::MemorySystem(const MachineConfig& cfg,
+                           std::vector<ThreadStats>& stats)
+    : cfg_(cfg), stats_(stats), heap_(cfg.line_bytes) {
+  if ((cfg_.l1_sets() & (cfg_.l1_sets() - 1)) != 0) {
+    throw SimError("L1 set count must be a power of two");
+  }
+  l1_.reserve(cfg_.num_cores);
+  for (int c = 0; c < cfg_.num_cores; ++c) l1_.emplace_back(cfg_);
+  tx_.resize(cfg_.num_hw_threads());
+}
+
+void MemorySystem::check_alignment(Addr a, unsigned size) const {
+  if (size == 0 || size > 8 || (size & (size - 1)) != 0 ||
+      (a & (size - 1)) != 0) {
+    throw SimError("unaligned or invalid-size access: addr=" +
+                   std::to_string(a) + " size=" + std::to_string(size));
+  }
+}
+
+void MemorySystem::doom(ThreadId victim, AbortCause cause) {
+  TxState& v = tx_[victim];
+  if (!v.active || v.doomed) return;
+  v.doomed = true;
+  v.doom_cause = cause;
+  stats_[victim].tx_doomed_by_remote++;
+}
+
+void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
+  const std::uint16_t self = static_cast<std::uint16_t>(1u << t);
+  // A read conflicts with remote transactional writers; a write conflicts
+  // with remote transactional readers *and* writers.
+  std::uint16_t victims = 0;
+  if (auto it = line_writers_.find(line); it != line_writers_.end()) {
+    victims |= static_cast<std::uint16_t>(it->second & ~self);
+  }
+  if (is_write) {
+    if (auto it = line_readers_.find(line); it != line_readers_.end()) {
+      victims |= static_cast<std::uint16_t>(it->second & ~self);
+    }
+  }
+  while (victims != 0) {
+    int v = __builtin_ctz(victims);
+    victims &= static_cast<std::uint16_t>(victims - 1);
+    doom(v, AbortCause::kConflict);
+  }
+}
+
+void MemorySystem::tx_track(ThreadId t, Addr line, bool is_write) {
+  const std::uint16_t bit = static_cast<std::uint16_t>(1u << t);
+  if (is_write) {
+    std::uint16_t& mask = line_writers_[line];
+    if ((mask & bit) == 0) {
+      mask |= bit;
+      tx_[t].write_lines.push_back(line);
+    }
+  } else {
+    std::uint16_t& mask = line_readers_[line];
+    if ((mask & bit) == 0) {
+      mask |= bit;
+      tx_[t].read_lines.push_back(line);
+    }
+  }
+}
+
+Cycles MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
+  const int core = core_of(t);
+  TxState& tx = tx_[t];
+  const bool tx_write = tx.active && is_write;
+  const bool tx_read = tx.active && !is_write;
+
+  CacheTouch touch = l1_[core].touch(line, t, tx_write, tx_read);
+
+  // Handle capacity consequences of the eviction. Evicting a line another
+  // (or our own) transaction has *written* aborts that transaction; evicted
+  // *read* lines move to the secondary tracking structure (Section 2).
+  if (touch.evicted) {
+    if (touch.evicted_tx_writer >= 0) {
+      doom(touch.evicted_tx_writer, AbortCause::kCapacity);
+    }
+    std::uint16_t readers = touch.evicted_tx_readers;
+    while (readers != 0) {
+      int r = __builtin_ctz(readers);
+      readers &= static_cast<std::uint16_t>(readers - 1);
+      stats_[r].tx_read_lines_evicted++;
+      // Secondary-tracking imprecision: the eviction may doom the reader.
+      if (cfg_.read_evict_abort_prob > 0.0) {
+        std::uint64_t z = (touch.evicted_line * 0x9E3779B97F4A7C15ULL) ^
+                          (++evict_events_ * 0xBF58476D1CE4E5B9ULL);
+        z ^= z >> 31;
+        z *= 0x94D049BB133111EBULL;
+        z ^= z >> 29;
+        const double u =
+            static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+        if (u < cfg_.read_evict_abort_prob) {
+          doom(r, AbortCause::kCapacityRead);
+        }
+      }
+    }
+  }
+
+  DirEntry& d = dir_[line];
+  Cycles lat;
+  if (touch.hit) {
+    lat = cfg_.lat_l1_hit;
+    stats_[t].l1_hits++;
+  } else {
+    stats_[t].l1_misses++;
+    if (d.dirty_core >= 0 && d.dirty_core != core) {
+      lat = cfg_.lat_xfer_dirty;
+      stats_[t].xfers_in++;
+    } else if ((d.sharers & ~(1u << core)) != 0) {
+      lat = cfg_.lat_xfer_clean;
+      stats_[t].xfers_in++;
+    } else if (d.ever_touched) {
+      lat = cfg_.lat_llc_hit;
+    } else {
+      lat = cfg_.lat_mem;
+    }
+  }
+
+  // Coherence state update.
+  d.ever_touched = true;
+  if (is_write) {
+    // Invalidate all other cores' copies.
+    for (int c = 0; c < cfg_.num_cores; ++c) {
+      if (c != core && (d.sharers & (1u << c))) l1_[c].invalidate(line);
+    }
+    if (d.dirty_core >= 0 && d.dirty_core != core) {
+      l1_[d.dirty_core].invalidate(line);
+    }
+    d.dirty_core = core;
+    d.sharers = static_cast<std::uint16_t>(1u << core);
+  } else {
+    if (d.dirty_core >= 0 && d.dirty_core != core) d.dirty_core = -1;
+    d.sharers |= static_cast<std::uint16_t>(1u << core);
+  }
+  return lat;
+}
+
+AccessResult MemorySystem::load(ThreadId t, Addr a, unsigned size) {
+  check_alignment(a, size);
+  const Addr line = line_of(a);
+  TxState& tx = tx_[t];
+
+  detect_conflicts(t, line, /*is_write=*/false);
+  AccessResult r;
+  r.latency = cache_access(t, line, /*is_write=*/false);
+  if (tx.active) tx_track(t, line, /*is_write=*/false);
+
+  // Read our own speculative value if present.
+  if (tx.active && !tx.write_buffer.empty()) {
+    const Addr word = a & ~static_cast<Addr>(7);
+    if (auto it = tx.write_buffer.find(word); it != tx.write_buffer.end()) {
+      std::uint64_t w = it->second;
+      const unsigned shift = static_cast<unsigned>(a - word) * 8;
+      std::uint64_t mask =
+          size == 8 ? ~0ULL : ((1ULL << (size * 8)) - 1) << shift;
+      r.value = (w & mask) >> shift;
+      return r;
+    }
+  }
+  r.value = heap_.read_word(a, size);
+  return r;
+}
+
+Cycles MemorySystem::store(ThreadId t, Addr a, std::uint64_t v, unsigned size) {
+  check_alignment(a, size);
+  const Addr line = line_of(a);
+  TxState& tx = tx_[t];
+
+  detect_conflicts(t, line, /*is_write=*/true);
+  Cycles lat = cache_access(t, line, /*is_write=*/true);
+
+  if (!tx.active) {
+    heap_.write_word(a, v, size);
+    return lat;
+  }
+
+  tx_track(t, line, /*is_write=*/true);
+  // Merge into the word-granularity speculative buffer.
+  const Addr word = a & ~static_cast<Addr>(7);
+  std::uint64_t w;
+  if (auto it = tx.write_buffer.find(word); it != tx.write_buffer.end()) {
+    w = it->second;
+  } else {
+    w = heap_.read_word(word, 8);
+  }
+  const unsigned shift = static_cast<unsigned>(a - word) * 8;
+  const std::uint64_t mask =
+      size == 8 ? ~0ULL : ((1ULL << (size * 8)) - 1) << shift;
+  w = (w & ~mask) | ((v << shift) & mask);
+  tx.write_buffer[word] = w;
+  return lat;
+}
+
+void MemorySystem::tx_begin(ThreadId t) {
+  TxState& tx = tx_[t];
+  if (tx.active) {
+    // Flat nesting: just bump the depth.
+    if (++tx.nest_depth > cfg_.max_nest_depth) {
+      tx.nest_depth--;  // keep state consistent; caller rolls back
+      tx.doomed = true;
+      tx.doom_cause = AbortCause::kNesting;
+    }
+    return;
+  }
+  tx.active = true;
+  tx.nest_depth = 1;
+  tx.doomed = false;
+  tx.doom_cause = AbortCause::kNone;
+  stats_[t].tx_started++;
+}
+
+void MemorySystem::clear_tx_registry(ThreadId t) {
+  const std::uint16_t bit = static_cast<std::uint16_t>(1u << t);
+  TxState& tx = tx_[t];
+  for (Addr line : tx.read_lines) {
+    auto it = line_readers_.find(line);
+    if (it != line_readers_.end()) {
+      it->second &= static_cast<std::uint16_t>(~bit);
+      if (it->second == 0) line_readers_.erase(it);
+    }
+  }
+  for (Addr line : tx.write_lines) {
+    auto it = line_writers_.find(line);
+    if (it != line_writers_.end()) {
+      it->second &= static_cast<std::uint16_t>(~bit);
+      if (it->second == 0) line_writers_.erase(it);
+    }
+  }
+}
+
+void MemorySystem::tx_end(ThreadId t) {
+  TxState& tx = tx_[t];
+  if (!tx.active) throw SimError("XEND outside a transaction");
+  if (tx.nest_depth > 1) {
+    tx.nest_depth--;
+    return;
+  }
+  // Publish the speculative writes.
+  for (const auto& [word, value] : tx.write_buffer) {
+    heap_.write_word(word, value, 8);
+  }
+  clear_tx_registry(t);
+  l1_[core_of(t)].clear_tx_marks(t, /*invalidate_writes=*/false);
+  tx.reset();
+  stats_[t].tx_committed++;
+}
+
+void MemorySystem::tx_rollback(ThreadId t, AbortCause cause) {
+  TxState& tx = tx_[t];
+  if (!tx.active) throw SimError("rollback outside a transaction");
+  clear_tx_registry(t);
+  l1_[core_of(t)].clear_tx_marks(t, /*invalidate_writes=*/true);
+  tx.reset();
+  stats_[t].tx_aborted[static_cast<size_t>(cause)]++;
+}
+
+void MemorySystem::reset_all_tx() {
+  for (ThreadId t = 0; t < static_cast<ThreadId>(tx_.size()); ++t) {
+    if (!tx_[t].active) continue;
+    clear_tx_registry(t);
+    l1_[core_of(t)].clear_tx_marks(t, /*invalidate_writes=*/true);
+    tx_[t].reset();
+  }
+}
+
+std::uint16_t MemorySystem::readers_of_line(Addr line) const {
+  auto it = line_readers_.find(line);
+  return it == line_readers_.end() ? 0 : it->second;
+}
+
+std::uint16_t MemorySystem::writers_of_line(Addr line) const {
+  auto it = line_writers_.find(line);
+  return it == line_writers_.end() ? 0 : it->second;
+}
+
+}  // namespace tsxhpc::sim

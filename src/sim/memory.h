@@ -1,0 +1,159 @@
+// MemorySystem: ties together the shared heap, per-core L1 models, a
+// directory-based coherence cost model, and the per-hardware-thread RTM
+// transactional state (read/write line sets, write buffer, abort causes).
+//
+// Every *timed* shared-memory access in the simulator funnels through
+// MemorySystem::access(); this is where conflicts are detected (eagerly,
+// requester-wins, at cache-line granularity — matching the first TSX
+// implementation described in Section 2 of the paper) and where capacity
+// aborts originate (transactionally written line evicted from the L1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/config.h"
+#include "sim/heap.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// Transactional state of one hardware thread.
+struct TxState {
+  bool active = false;
+  int nest_depth = 0;
+
+  // Doomed by a remote conflicting access (requester wins); the victim
+  // observes this at its next simulator event and rolls back.
+  bool doomed = false;
+  AbortCause doom_cause = AbortCause::kNone;
+
+  // Line-granularity read/write sets (global registry holds reverse maps).
+  std::vector<Addr> read_lines;
+  std::vector<Addr> write_lines;
+
+  // Word-granularity (8 B aligned) speculative write buffer: address -> value.
+  std::unordered_map<Addr, std::uint64_t> write_buffer;
+
+  std::size_t footprint_lines() const {
+    return read_lines.size() + write_lines.size();
+  }
+
+  void reset() {
+    active = false;
+    nest_depth = 0;
+    doomed = false;
+    doom_cause = AbortCause::kNone;
+    read_lines.clear();
+    write_lines.clear();
+    write_buffer.clear();
+  }
+};
+
+/// Outcome of a timed access, consumed by Context.
+struct AccessResult {
+  Cycles latency = 0;
+  std::uint64_t value = 0;  // loads only
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const MachineConfig& cfg, std::vector<ThreadStats>& stats);
+
+  SharedHeap& heap() { return heap_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  // --- Timed accesses (called by Context with the scheduler token held) ----
+
+  /// Timed load of `size` (1/2/4/8, naturally aligned) bytes at `a`.
+  AccessResult load(ThreadId t, Addr a, unsigned size);
+
+  /// Timed store.
+  Cycles store(ThreadId t, Addr a, std::uint64_t v, unsigned size);
+
+  /// LOCK-prefixed read-modify-write outside a transaction; inside a
+  /// transaction it degenerates to load+store within the speculative domain
+  /// (legal on real hardware). `op` combines old value and operand.
+  template <typename F>
+  AccessResult atomic_rmw(ThreadId t, Addr a, unsigned size, F&& op) {
+    AccessResult r = load(t, a, size);
+    std::uint64_t nv = op(r.value);
+    r.latency += store(t, a, nv, size);
+    if (!tx_[t].active) r.latency += cfg_.lat_atomic_rmw;
+    stats_[t].atomics++;
+    return r;
+  }
+
+  // --- Transactional control -----------------------------------------------
+
+  /// XBEGIN. Returns false (and records an explicit-style abort) only on
+  /// nesting overflow; the caller converts that into a TxAbort.
+  void tx_begin(ThreadId t);
+
+  /// XEND: publish the write buffer, clear sets. Caller charges lat_xend.
+  void tx_end(ThreadId t);
+
+  /// Roll back thread t's transaction with the given cause. Clears all
+  /// speculative state; caller throws TxAbort and charges lat_abort.
+  void tx_rollback(ThreadId t, AbortCause cause);
+
+  bool in_tx(ThreadId t) const { return tx_[t].active; }
+  const TxState& tx_state(ThreadId t) const { return tx_[t]; }
+  TxState& tx_state_mut(ThreadId t) { return tx_[t]; }
+
+  /// True if t has been doomed by a remote conflict and must roll back.
+  bool doomed(ThreadId t) const { return tx_[t].doomed; }
+
+  /// Abandon any in-flight transactions (run teardown after an error).
+  void reset_all_tx();
+
+  // Testing hooks.
+  const L1Cache& l1_of_core(int core) const { return l1_[core]; }
+  std::uint16_t readers_of_line(Addr line) const;
+  std::uint16_t writers_of_line(Addr line) const;
+
+ private:
+  struct DirEntry {
+    int dirty_core = -1;       // core holding the line dirty, or -1
+    std::uint16_t sharers = 0;  // bitmask of cores with a (clean) copy
+    bool ever_touched = false;
+  };
+
+  Addr line_of(Addr a) const { return cfg_.line_of(a); }
+  int core_of(ThreadId t) const { return cfg_.core_of(t); }
+
+  /// Eager conflict detection, requester wins: doom every *other* thread
+  /// whose transactional sets overlap this access.
+  void detect_conflicts(ThreadId t, Addr line, bool is_write);
+
+  void doom(ThreadId victim, AbortCause cause);
+
+  /// Track line membership in t's transactional read or write set.
+  void tx_track(ThreadId t, Addr line, bool is_write);
+
+  /// Run the L1 + directory machinery; returns access latency.
+  Cycles cache_access(ThreadId t, Addr line, bool is_write);
+
+  /// Remove t's bits from the global line->readers/writers registries.
+  void clear_tx_registry(ThreadId t);
+
+  void check_alignment(Addr a, unsigned size) const;
+
+  const MachineConfig& cfg_;
+  std::vector<ThreadStats>& stats_;
+  SharedHeap heap_;
+  std::vector<L1Cache> l1_;           // per core
+  std::vector<TxState> tx_;           // per hardware thread
+  std::unordered_map<Addr, DirEntry> dir_;
+  // Reverse maps: line -> bitmask of hw threads with the line in their
+  // transactional read / write set. Enables O(1) conflict checks.
+  std::unordered_map<Addr, std::uint16_t> line_readers_;
+  std::unordered_map<Addr, std::uint16_t> line_writers_;
+  // Monotone counter feeding the deterministic read-evict abort hash.
+  std::uint64_t evict_events_ = 0;
+};
+
+}  // namespace tsxhpc::sim

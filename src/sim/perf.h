@@ -1,0 +1,70 @@
+// perf-style reporting of the simulated TSX event counters — the analogue
+// of `perf stat -e tx-start,tx-commit,tx-abort,cycles-t,cycles-ct ...`
+// that the paper uses to collect Table 1 (Section 4.2: "We collect Intel
+// TSX statistics through Linux perf").
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace tsxhpc::sim {
+
+/// Render a perf-stat-like counter block for a finished run.
+inline std::string perf_report(const RunStats& rs) {
+  const ThreadStats t = rs.total();
+  char buf[1536];
+  const double abort_pct = t.abort_rate_pct();
+  const double tx_cycles =
+      static_cast<double>(t.tx_cycles_committed + t.tx_cycles_wasted);
+  const double wasted_pct =
+      tx_cycles == 0 ? 0.0
+                     : 100.0 * static_cast<double>(t.tx_cycles_wasted) /
+                           tx_cycles;
+  std::snprintf(
+      buf, sizeof(buf),
+      "  %12llu      tx-start\n"
+      "  %12llu      tx-commit\n"
+      "  %12llu      tx-abort                  # %5.1f%% of starts\n"
+      "  %12llu      tx-abort.conflict\n"
+      "  %12llu      tx-abort.capacity\n"
+      "  %12llu      tx-abort.explicit\n"
+      "  %12llu      tx-abort.syscall\n"
+      "  %12llu      tx-abort.capacity-read    # secondary-tracker losses\n"
+      "  %12llu      cycles-t                  # cycles in transactions\n"
+      "  %12llu      cycles-ct                 # committed-transaction cycles\n"
+      "  %12llu      cycles-wasted             # %5.1f%% of transactional cycles\n"
+      "  %12llu      tx-read-lines-evicted     # secondary tracking\n"
+      "  %12llu      l1-hits\n"
+      "  %12llu      l1-misses\n"
+      "  %12llu      atomics\n"
+      "  %12llu      syscalls\n"
+      "  %12llu      makespan-cycles\n",
+      static_cast<unsigned long long>(t.tx_started),
+      static_cast<unsigned long long>(t.tx_committed),
+      static_cast<unsigned long long>(t.tx_aborts_total()), abort_pct,
+      static_cast<unsigned long long>(
+          t.tx_aborted[static_cast<size_t>(AbortCause::kConflict)]),
+      static_cast<unsigned long long>(
+          t.tx_aborted[static_cast<size_t>(AbortCause::kCapacity)]),
+      static_cast<unsigned long long>(
+          t.tx_aborted[static_cast<size_t>(AbortCause::kExplicit)]),
+      static_cast<unsigned long long>(
+          t.tx_aborted[static_cast<size_t>(AbortCause::kSyscall)]),
+      static_cast<unsigned long long>(
+          t.tx_aborted[static_cast<size_t>(AbortCause::kCapacityRead)]),
+      static_cast<unsigned long long>(t.tx_cycles_committed +
+                                      t.tx_cycles_wasted),
+      static_cast<unsigned long long>(t.tx_cycles_committed),
+      static_cast<unsigned long long>(t.tx_cycles_wasted), wasted_pct,
+      static_cast<unsigned long long>(t.tx_read_lines_evicted),
+      static_cast<unsigned long long>(t.l1_hits),
+      static_cast<unsigned long long>(t.l1_misses),
+      static_cast<unsigned long long>(t.atomics),
+      static_cast<unsigned long long>(t.syscalls),
+      static_cast<unsigned long long>(rs.makespan));
+  return buf;
+}
+
+}  // namespace tsxhpc::sim

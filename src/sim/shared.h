@@ -1,0 +1,131 @@
+// Typed wrappers over simulated shared memory: Shared<T> (one scalar cell)
+// and SharedArray<T>. T must be trivially copyable and at most 8 bytes.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "sim/context.h"
+#include "sim/machine.h"
+
+namespace tsxhpc::sim {
+
+namespace detail {
+
+template <typename T>
+constexpr unsigned size_class() {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                    sizeof(T) == 8,
+                "Shared<T> requires a power-of-two size up to 8 bytes");
+  return sizeof(T);
+}
+
+template <typename T>
+std::uint64_t encode(T v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T));
+  return bits;
+}
+
+template <typename T>
+T decode(std::uint64_t bits) {
+  T v;
+  std::memcpy(&v, &bits, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+/// Handle to one shared scalar of type T at a fixed simulated address.
+template <typename T>
+class Shared {
+ public:
+  Shared() : a_(kNullAddr) {}
+  explicit Shared(Addr a) : a_(a) {}
+
+  /// Allocate a fresh, cache-line-aligned cell and initialize it (untimed).
+  static Shared alloc(Machine& m, T init = T{}) {
+    Shared s(m.alloc(sizeof(T), 64));
+    s.init(m, init);
+    return s;
+  }
+
+  Addr addr() const { return a_; }
+  bool valid() const { return a_ != kNullAddr; }
+
+  /// Untimed initialization (setup phases, outside the measured region).
+  void init(Machine& m, T v) const {
+    m.heap().write_word(a_, detail::encode(v), detail::size_class<T>());
+  }
+  T peek(Machine& m) const {
+    return detail::decode<T>(m.heap().read_word(a_, detail::size_class<T>()));
+  }
+
+  // Timed accesses.
+  T load(Context& c) const {
+    return detail::decode<T>(c.load(a_, detail::size_class<T>()));
+  }
+  void store(Context& c, T v) const {
+    c.store(a_, detail::encode(v), detail::size_class<T>());
+  }
+  /// LOCK XADD-style atomic add (integral T); returns the old value.
+  T fetch_add(Context& c, T delta) const
+    requires std::is_integral_v<T>
+  {
+    return detail::decode<T>(c.fetch_add(
+        a_, static_cast<std::int64_t>(delta), detail::size_class<T>()));
+  }
+  /// CMPXCHG-loop atomic add for floating-point T (what `#pragma omp
+  /// atomic` compiles to for doubles); returns the old value.
+  T atomic_add(Context& c, T delta) const
+    requires std::is_floating_point_v<T>
+  {
+    for (;;) {
+      T old = load(c);
+      if (cas(c, old, old + delta)) return old;
+    }
+  }
+  bool cas(Context& c, T expected, T desired) const {
+    return c.cas(a_, detail::encode(expected), detail::encode(desired),
+                 detail::size_class<T>());
+  }
+  T exchange(Context& c, T v) const {
+    return detail::decode<T>(
+        c.exchange(a_, detail::encode(v), detail::size_class<T>()));
+  }
+
+ private:
+  Addr a_;
+};
+
+/// Contiguous shared array of T. Elements are *packed* (natural alignment):
+/// multiple elements share cache lines exactly as they would in C.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() : base_(kNullAddr), n_(0) {}
+  SharedArray(Addr base, std::size_t n) : base_(base), n_(n) {}
+
+  static SharedArray alloc(Machine& m, std::size_t n, T init = T{}) {
+    SharedArray arr(m.alloc(n * sizeof(T), 64), n);
+    for (std::size_t i = 0; i < n; ++i) arr.at(i).init(m, init);
+    return arr;
+  }
+
+  std::size_t size() const { return n_; }
+  Addr addr(std::size_t i) const { return base_ + i * sizeof(T); }
+  Shared<T> at(std::size_t i) const {
+    if (i >= n_) throw SimError("SharedArray index out of range");
+    return Shared<T>(addr(i));
+  }
+  Shared<T> operator[](std::size_t i) const { return at(i); }
+  Addr base() const { return base_; }
+
+ private:
+  Addr base_;
+  std::size_t n_;
+};
+
+}  // namespace tsxhpc::sim

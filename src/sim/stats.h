@@ -1,0 +1,91 @@
+// Per-thread and aggregate statistics. This is the reproduction's stand-in
+// for the Linux `perf` TSX event counters the paper collects (Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// Counters for one hardware thread. All counters are cumulative over a run.
+struct ThreadStats {
+  // Transactional execution (RTM).
+  std::uint64_t tx_started = 0;
+  std::uint64_t tx_committed = 0;
+  std::array<std::uint64_t, static_cast<size_t>(AbortCause::kNumCauses)>
+      tx_aborted{};  // indexed by AbortCause
+  std::uint64_t tx_read_lines_evicted = 0;  // moved to secondary tracking
+  std::uint64_t tx_doomed_by_remote = 0;    // requester-wins victims
+  // Transactional cycle accounting (perf's cycles-t / cycles-ct analogue):
+  // cycles spent inside regions that eventually committed vs. aborted.
+  Cycles tx_cycles_committed = 0;
+  Cycles tx_cycles_wasted = 0;
+
+  // Memory system.
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t xfers_in = 0;  // lines transferred from another core
+  std::uint64_t atomics = 0;
+
+  // Kernel interaction.
+  std::uint64_t syscalls = 0;
+  std::uint64_t futex_waits = 0;
+  std::uint64_t futex_wakes = 0;
+
+  // Final virtual clock when the thread body returned.
+  Cycles end_cycle = 0;
+
+  std::uint64_t tx_aborts_total() const {
+    std::uint64_t n = 0;
+    for (auto a : tx_aborted) n += a;
+    return n;
+  }
+
+  /// Abort rate in percent, as reported in the paper's Table 1:
+  /// aborts / started transactions.
+  double abort_rate_pct() const {
+    return tx_started == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(tx_aborts_total()) /
+                     static_cast<double>(tx_started);
+  }
+};
+
+/// Aggregate over all threads of a run.
+struct RunStats {
+  std::vector<ThreadStats> threads;
+
+  /// Simulated execution time of the parallel region: the maximum end cycle
+  /// over all participating threads.
+  Cycles makespan = 0;
+
+  ThreadStats total() const {
+    ThreadStats t;
+    for (const auto& s : threads) {
+      t.tx_started += s.tx_started;
+      t.tx_committed += s.tx_committed;
+      for (size_t i = 0; i < t.tx_aborted.size(); ++i)
+        t.tx_aborted[i] += s.tx_aborted[i];
+      t.tx_read_lines_evicted += s.tx_read_lines_evicted;
+      t.tx_doomed_by_remote += s.tx_doomed_by_remote;
+      t.tx_cycles_committed += s.tx_cycles_committed;
+      t.tx_cycles_wasted += s.tx_cycles_wasted;
+      t.l1_hits += s.l1_hits;
+      t.l1_misses += s.l1_misses;
+      t.xfers_in += s.xfers_in;
+      t.atomics += s.atomics;
+      t.syscalls += s.syscalls;
+      t.futex_waits += s.futex_waits;
+      t.futex_wakes += s.futex_wakes;
+    }
+    return t;
+  }
+
+  double abort_rate_pct() const { return total().abort_rate_pct(); }
+};
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,64 @@
+// Optional event tracing of transactional execution — the debugging tool
+// you reach for when an abort storm appears: every XBEGIN/commit/abort is
+// recorded with its thread, cycle stamp, cause, and footprint.
+//
+// Tracing is off by default (zero overhead beyond a null check). Attach a
+// TraceLog to a Machine for the duration of a run:
+//
+//   sim::TraceLog trace;
+//   machine.set_trace(&trace);
+//   machine.run(...);
+//   machine.set_trace(nullptr);
+//   for (const auto& e : trace.events()) ...      // or trace.dump(stdout)
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kBegin, kCommit, kAbort };
+  Kind kind;
+  ThreadId tid;
+  Cycles at;
+  AbortCause cause;          // kAbort only
+  std::uint32_t read_lines;  // footprint at commit/abort
+  std::uint32_t write_lines;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent e) { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  std::size_t count(TraceEvent::Kind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  void dump(std::FILE* out) const {
+    for (const auto& e : events_) {
+      const char* kind = e.kind == TraceEvent::Kind::kBegin    ? "BEGIN "
+                         : e.kind == TraceEvent::Kind::kCommit ? "COMMIT"
+                                                               : "ABORT ";
+      std::fprintf(out, "%12llu  t%-2d %s  r=%u w=%u%s%s\n",
+                   static_cast<unsigned long long>(e.at), e.tid, kind,
+                   e.read_lines, e.write_lines,
+                   e.kind == TraceEvent::Kind::kAbort ? "  cause=" : "",
+                   e.kind == TraceEvent::Kind::kAbort ? to_string(e.cause)
+                                                      : "");
+    }
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tsxhpc::sim

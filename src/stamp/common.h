@@ -1,0 +1,73 @@
+// Shared scaffolding for STAMP workload implementations.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "containers/arena.h"
+#include "sim/rng.h"
+#include "sim/shared.h"
+#include "stamp/stamp.h"
+
+namespace tsxhpc::stamp {
+
+using containers::TxArena;
+using sim::Addr;
+using sim::Context;
+using sim::Machine;
+using sim::Shared;
+using sim::SharedArray;
+using sim::Xoshiro256;
+using tmlib::TmAccess;
+using tmlib::TmRuntime;
+using tmlib::TmThread;
+
+/// Scale an integer parameter, keeping a sane minimum.
+inline std::size_t scaled(double scale, std::size_t base, std::size_t min = 1) {
+  const auto v = static_cast<std::size_t>(std::llround(base * scale));
+  return v < min ? min : v;
+}
+
+/// Run the SPMD body under the configured machine/backend; collects hardware
+/// stats, TL2 stats, and the makespan into a Result.
+template <typename BodyFn>
+Result run_region(const Config& cfg, Machine& m, TmRuntime& rt,
+                  BodyFn&& body) {
+  Result r;
+  r.stats = m.run(cfg.threads, [&](Context& c) {
+    TmThread t(rt, c);
+    body(c, t);
+  });
+  r.makespan = r.stats.makespan;
+  r.tl2_starts = rt.tl2_starts();
+  r.tl2_aborts = rt.tl2_aborts();
+  return r;
+}
+
+/// Shared work counter: threads grab chunks of `chunk` items until `total`
+/// is exhausted (STAMP's thread pools partition work dynamically).
+class WorkCounter {
+ public:
+  WorkCounter(Machine& m, std::uint64_t total, std::uint64_t chunk = 8)
+      : total_(total), chunk_(chunk),
+        next_(Shared<std::uint64_t>::alloc(m, 0)) {}
+
+  /// Returns [begin, end) or false when exhausted.
+  bool next(Context& c, std::uint64_t& begin, std::uint64_t& end) {
+    const std::uint64_t b = next_.fetch_add(c, chunk_);
+    if (b >= total_) return false;
+    begin = b;
+    end = b + chunk_ < total_ ? b + chunk_ : total_;
+    return true;
+  }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t chunk_;
+  Shared<std::uint64_t> next_;
+};
+
+}  // namespace tsxhpc::stamp

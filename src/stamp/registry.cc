@@ -1,0 +1,15 @@
+#include "stamp/stamp.h"
+
+namespace tsxhpc::stamp {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kWorkloads = {
+      {"bayes", run_bayes},         {"genome", run_genome},
+      {"intruder", run_intruder},   {"kmeans", run_kmeans},
+      {"labyrinth", run_labyrinth}, {"ssca2", run_ssca2},
+      {"vacation", run_vacation},   {"yada", run_yada},
+  };
+  return kWorkloads;
+}
+
+}  // namespace tsxhpc::stamp

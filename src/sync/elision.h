@@ -1,0 +1,267 @@
+// RTM-based lock elision — the synchronization-library technique at the heart
+// of the paper (Section 3), plus *lockset elision* (Section 5.2.1).
+//
+// The elision wrapper executes a critical section transactionally. The lock
+// word is read ("subscribed") inside the transaction and the section aborts
+// if the lock is held, guaranteeing correct interaction with threads that
+// acquired the lock explicitly. On abort, a policy decides between retrying
+// transactionally and falling back to a real acquisition; the paper found 5
+// retries best on its hardware and workloads, which is our default.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "sim/context.h"
+#include "sync/locks.h"
+
+namespace tsxhpc::sync {
+
+/// XABORT code used when the subscribed lock word is observed held.
+inline constexpr std::uint8_t kAbortCodeLockBusy = 0xFF;
+
+/// Fallback policy knobs.
+struct ElisionPolicy {
+  /// Transactional attempts before explicitly acquiring the lock.
+  int max_retries = 5;
+  /// Wait for the lock to become free before retrying after a lock-busy
+  /// abort (avoids the lemming effect: immediately re-eliding while the
+  /// lock is held just aborts again).
+  bool spin_until_free = true;
+  /// Aborts whose cause cannot succeed on retry (capacity, syscall,
+  /// nesting) skip the remaining attempts — the analogue of the hardware
+  /// abort-status "retry" hint bit being clear.
+  bool honor_retry_hint = true;
+  /// Backoff between transactional retries after a conflict abort.
+  Cycles conflict_backoff = 120;
+  /// Adaptive elision (glibc-style skip_lock_internal_abort): once
+  /// `adaptive_trigger` CONSECUTIVE sections end in capacity/syscall-driven
+  /// fallbacks, skip elision for `adaptive_skip` sections, doubling the
+  /// holiday (capped at 128) while the condition persists. Structurally
+  /// hopeless sections (labyrinth's over-capacity copies) degenerate to
+  /// plain locking; workloads whose sections only *sometimes* overflow
+  /// (vacation) keep eliding the ones that fit.
+  int adaptive_skip = 4;
+  int adaptive_trigger = 4;
+};
+
+/// Whether the hardware would set the "retry may succeed" status bit.
+/// Conflicts are transient, and so are secondary-read-tracker losses (the
+/// loss depends on incidental cache state, which differs on retry) — this
+/// is why the paper's retry-5 policy pays off on vacation despite its
+/// 38-52% abort rates. Write-set overflow, syscalls and nesting overflow
+/// fail deterministically and clear the hint.
+inline bool retry_may_succeed(sim::AbortCause cause) {
+  return cause == sim::AbortCause::kConflict ||
+         cause == sim::AbortCause::kCapacityRead;
+}
+
+/// Capacity-class causes: even when individually retryable, a section that
+/// keeps dying of these is structurally oversized and should trigger the
+/// adaptive elision holiday.
+inline bool is_capacity_class(sim::AbortCause cause) {
+  return cause == sim::AbortCause::kCapacity ||
+         cause == sim::AbortCause::kCapacityRead ||
+         cause == sim::AbortCause::kSyscall ||
+         cause == sim::AbortCause::kNesting;
+}
+
+/// Per-lock elision statistics (host-side: simulated threads are serialized
+/// by the scheduler token, so plain integers are race-free).
+struct ElisionStats {
+  std::uint64_t elided_commits = 0;
+  std::uint64_t fallback_acquires = 0;
+  std::uint64_t aborts = 0;
+
+  double elision_rate() const {
+    const double total =
+        static_cast<double>(elided_commits + fallback_acquires);
+    return total == 0 ? 0.0 : static_cast<double>(elided_commits) / total;
+  }
+};
+
+/// A lock whose critical sections are executed via RTM lock elision.
+class ElidedLock {
+ public:
+  ElidedLock() = default;
+  explicit ElidedLock(Machine& m, ElisionPolicy policy = {})
+      : lock_(m), policy_(policy), skip_base_(policy.adaptive_skip) {}
+
+  /// Execute `f` as an elided critical section.
+  ///
+  /// Abort semantics follow hardware RTM: on abort, *everything* the section
+  /// did is rolled back and `f` re-executes from the top. Consequently `f`
+  /// must keep non-simulated (host) side effects idempotent or declare them
+  /// inside the lambda.
+  template <typename F>
+  void critical(Context& c, F&& f) {
+    if (c.in_txn()) {
+      // Nested elision inside an outer transactional region: subscribe this
+      // lock too and run flat; any abort unwinds to the outermost retry loop.
+      c.xbegin();
+      if (lock_.word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
+      f();
+      c.xend();
+      return;
+    }
+    if (skip_elision_ > 0) {
+      // Adaptive phase: this lock recently failed to elide; take it.
+      skip_elision_--;
+      stats_.fallback_acquires++;
+      lock_.acquire(c);
+      f();
+      lock_.release(c);
+      return;
+    }
+    bool saw_hard_abort = false;   // capacity/syscall: elision is hopeless
+    int capacity_aborts_here = 0;  // per-section capacity-class abort count
+    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      try {
+        c.xbegin();
+        if (lock_.word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
+        f();
+        c.xend();
+        stats_.elided_commits++;
+        skip_base_ = policy_.adaptive_skip;  // elision works again: forgive
+        consecutive_hard_fallbacks_ = 0;
+        return;
+      } catch (const sim::TxAbort& a) {
+        stats_.aborts++;
+        if (is_capacity_class(a.cause)) {
+          saw_hard_abort = true;
+          // A capacity-class abort may be incidental (secondary-tracker
+          // loss) — worth ONE more try — but two in the same section means
+          // the footprint itself is the problem: stop wasting work.
+          if (++capacity_aborts_here >= 2) break;
+        }
+        if (!handle_abort(c, a)) break;
+      }
+    }
+    stats_.fallback_acquires++;
+    if (saw_hard_abort &&
+        ++consecutive_hard_fallbacks_ >= policy_.adaptive_trigger) {
+      // Elision looks structurally hopeless here (footprint, syscalls):
+      // take a holiday, doubling it while the condition persists.
+      skip_elision_ = skip_base_;
+      if (skip_base_ < 128) skip_base_ *= 2;
+    }
+    lock_.acquire(c);
+    f();
+    lock_.release(c);
+  }
+
+  /// Explicit (non-transactional) acquisition, for code that needs the lock
+  /// across scopes. Any concurrent elided sections subscribed to this lock
+  /// are doomed by this write, as on real hardware.
+  void acquire(Context& c) {
+    stats_.fallback_acquires++;
+    lock_.acquire(c);
+  }
+  void release(Context& c) { lock_.release(c); }
+
+  SpinLock& underlying() { return lock_; }
+  const ElisionStats& stats() const { return stats_; }
+  const ElisionPolicy& policy() const { return policy_; }
+
+ private:
+  friend class ElidedLockSet;
+
+  /// Returns true if another transactional attempt should be made.
+  bool handle_abort(Context& c, const sim::TxAbort& a) {
+    if (a.cause == sim::AbortCause::kExplicit && a.code == kAbortCodeLockBusy) {
+      if (policy_.spin_until_free) {
+        while (lock_.word().load(c) != 0) c.compute(80);
+      }
+      return true;
+    }
+    if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) return false;
+    c.compute(policy_.conflict_backoff);
+    return true;
+  }
+
+  SpinLock lock_;
+  ElisionPolicy policy_;
+  ElisionStats stats_;
+  // Host-side adaptive-skip state (simulated threads are serialized by
+  // the scheduler token, so plain ints are race-free).
+  int skip_elision_ = 0;
+  int skip_base_ = 4;
+  int consecutive_hard_fallbacks_ = 0;
+};
+
+/// Lockset elision (Section 5.2.1): replace the acquisition of a *set* of
+/// locks with a single transactional region. Used by physicsSolver (two
+/// object locks per constraint) and graphCluster (test-lock + set-lock
+/// paths). The fallback acquires the whole set in a canonical (address)
+/// order to stay deadlock free.
+class ElidedLockSet {
+ public:
+  explicit ElidedLockSet(ElisionPolicy policy = {}) : policy_(policy) {}
+
+  /// Elide `locks` (any iterable of SpinLock*) around `f`.
+  template <typename F>
+  void critical(Context& c, std::initializer_list<SpinLock*> locks, F&& f) {
+    critical_impl(c, std::vector<SpinLock*>(locks), std::forward<F>(f));
+  }
+  template <typename F>
+  void critical(Context& c, std::vector<SpinLock*> locks, F&& f) {
+    critical_impl(c, std::move(locks), std::forward<F>(f));
+  }
+
+  const ElisionStats& stats() const { return stats_; }
+
+ private:
+  template <typename F>
+  void critical_impl(Context& c, std::vector<SpinLock*> locks, F&& f) {
+    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      try {
+        c.xbegin();
+        // A single transactional begin subscribes every lock in the set —
+        // this is the entire point of lockset elision: one XBEGIN replaces
+        // N atomic lock acquisitions.
+        for (SpinLock* l : locks) {
+          if (l->word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
+        }
+        f();
+        c.xend();
+        stats_.elided_commits++;
+        return;
+      } catch (const sim::TxAbort& a) {
+        stats_.aborts++;
+        if (a.cause == sim::AbortCause::kExplicit &&
+            a.code == kAbortCodeLockBusy) {
+          if (policy_.spin_until_free) {
+            for (SpinLock* l : locks) {
+              while (l->word().load(c) != 0) c.compute(80);
+            }
+          }
+          continue;
+        }
+        if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
+        c.compute(policy_.conflict_backoff);
+      }
+    }
+    // Fallback: acquire all locks in canonical order. Deduplicate first —
+    // a batched lockset (e.g. dynamic coarsening over constraints sharing
+    // an object) may name the same lock twice, and acquiring a lock twice
+    // would self-deadlock.
+    stats_.fallback_acquires++;
+    std::sort(locks.begin(), locks.end(),
+              [](const SpinLock* a, const SpinLock* b) {
+                return a->word().addr() < b->word().addr();
+              });
+    locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+    for (SpinLock* l : locks) l->acquire(c);
+    f();
+    for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+      (*it)->release(c);
+    }
+  }
+
+  ElisionPolicy policy_;
+  ElisionStats stats_;
+};
+
+}  // namespace tsxhpc::sync

@@ -1,0 +1,296 @@
+// Monitors and condition variables under five synchronization schemes —
+// the implementation options compared in the paper's TCP/IP stack study
+// (Section 6): pthread-style mutex + condvar, TSX with abort-on-wait, TSX
+// with a transactional-execution-aware condition variable (futex based,
+// after Dudnik & Swift), and the busy-wait variants of Listing 6.
+//
+// Usage:
+//   TxMonitor mon(machine, MonitorScheme::kTsxCond);
+//   CondVar cv(machine);
+//   mon.enter(ctx, [&](MonitorOps& ops) {
+//     if (queue_empty()) ops.wait(cv);   // restarts the body after waking
+//     pop(); ops.signal(space_cv);
+//   });
+//
+// Monitor bodies re-execute from the top after a wait — the standard
+// `while (!pred) wait();` recheck loop, expressed as restart. CONTRACT:
+// statements executed on a path that reaches wait() must not perform shared
+// writes (check the predicate first). This mirrors the paper's §6.1 "commit
+// partial results when it finds the need to wait": with a read-only prefix,
+// the early commit publishes nothing and cannot be half-applied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/context.h"
+#include "sync/elision.h"
+#include "sync/locks.h"
+
+namespace tsxhpc::sync {
+
+enum class MonitorScheme {
+  kMutex,          // pthread mutex + pthread condvar (baseline)
+  kTsxAbort,       // elide; abort + take the lock whenever a condvar is used
+  kTsxCond,        // elide; transactional-execution-aware condvar (futex)
+  kMutexBusyWait,  // pthread mutex; waits replaced by busy-wait (Listing 6)
+  kTsxBusyWait,    // elide; waits replaced by busy-wait
+};
+
+const char* to_string(MonitorScheme s);
+
+inline bool scheme_uses_tsx(MonitorScheme s) {
+  return s == MonitorScheme::kTsxAbort || s == MonitorScheme::kTsxCond ||
+         s == MonitorScheme::kTsxBusyWait;
+}
+
+/// Condition variable: a futex sequence word.
+class CondVar {
+ public:
+  CondVar() = default;
+  explicit CondVar(Machine& m)
+      : seq_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+  sim::Shared<std::uint32_t> seq() const { return seq_; }
+
+ private:
+  sim::Shared<std::uint32_t> seq_;
+};
+
+/// XABORT code used by kTsxAbort when a wait or signal needs the lock.
+inline constexpr std::uint8_t kAbortCodeCondVar = 0xCD;
+
+namespace detail {
+/// Control-flow token thrown by MonitorOps::wait; caught by TxMonitor.
+struct WaitToken {
+  sim::Addr seq_addr = sim::kNullAddr;
+  std::uint32_t captured_seq = 0;
+};
+}  // namespace detail
+
+class TxMonitor;
+
+/// Operations available to a monitor body.
+class MonitorOps {
+ public:
+  /// Give up the monitor until `cv` is signalled (or, under busy-wait
+  /// schemes, until a spin delay elapses); then restart the body.
+  [[noreturn]] void wait(CondVar& cv);
+
+  /// Signal one / all waiters. Under TSX schemes the futex update is
+  /// deferred to the transaction's commit (the §6.1 callback); under mutex
+  /// schemes it happens immediately.
+  void signal(CondVar& cv) { queue_signal(cv, 1); }
+  void broadcast(CondVar& cv) { queue_signal(cv, 1 << 30); }
+
+ private:
+  friend class TxMonitor;
+  MonitorOps(TxMonitor& mon, Context& c, bool transactional)
+      : mon_(mon), c_(c), transactional_(transactional) {}
+  void queue_signal(CondVar& cv, int count);
+
+  struct PendingSignal {
+    sim::Addr seq_addr;
+    int count;
+  };
+
+  TxMonitor& mon_;
+  Context& c_;
+  bool transactional_;
+  // Per-attempt deferred-signal registry (the §6.1 commit callbacks). Each
+  // body attempt owns its own MonitorOps, so an abort in ANOTHER thread
+  // (or this one) can never discard someone else's pending signals.
+  std::vector<PendingSignal> pending_;
+};
+
+/// A monitor (one internal lock) whose critical sections run under the
+/// configured scheme. All workloads sharing a TxMonitor instance contend on
+/// the same lock, exactly like the single locking module of the PARSEC
+/// user-level TCP/IP stack.
+class TxMonitor {
+ public:
+  TxMonitor() = default;
+  TxMonitor(Machine& m, MonitorScheme scheme, ElisionPolicy policy = {},
+            Cycles busy_wait_spin = 400)
+      : scheme_(scheme),
+        policy_(policy),
+        busy_wait_spin_(busy_wait_spin),
+        mutex_(m) {}
+
+  MonitorScheme scheme() const { return scheme_; }
+  const ElisionStats& stats() const { return stats_; }
+
+  template <typename F>
+  void enter(Context& c, F&& body) {
+    for (;;) {  // wait-restart loop
+      if (scheme_ == MonitorScheme::kMutex ||
+          scheme_ == MonitorScheme::kMutexBusyWait) {
+        if (run_locked(c, body)) return;
+        continue;
+      }
+      if (run_transactional(c, body)) return;
+    }
+  }
+
+ private:
+  friend class MonitorOps;
+
+  /// One attempt under the real lock. Returns true when the body completed
+  /// (false: it waited and must restart).
+  template <typename F>
+  bool run_locked(Context& c, F& body) {
+    mutex_.acquire(c);
+    try {
+      MonitorOps ops(*this, c, /*transactional=*/false);
+      body(ops);
+      mutex_.release(c);
+      return true;
+    } catch (const detail::WaitToken& w) {
+      mutex_.release(c);
+      do_wait(c, w);
+      return false;
+    }
+  }
+
+  /// Elision attempt loop, then lock fallback. Returns true when the body
+  /// completed, false when it waited (restart required).
+  template <typename F>
+  bool run_transactional(Context& c, F& body) {
+    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      try {
+        c.xbegin();
+        if (mutex_.word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
+        MonitorOps ops(*this, c, /*transactional=*/true);
+        body(ops);
+        c.xend();
+        stats_.elided_commits++;
+        flush_signals(c, ops);
+        return true;
+      } catch (const detail::WaitToken& w) {
+        // kTsxCond / kTsxBusyWait: wait() committed the (read-only) prefix
+        // before throwing; we are no longer transactional.
+        stats_.elided_commits++;
+        do_wait(c, w);
+        return false;
+      } catch (const sim::TxAbort& a) {
+        // Deferred signals die with the aborted attempt: each attempt owns
+        // its MonitorOps instance, so nothing to clean up here.
+        stats_.aborts++;
+        if (a.cause == sim::AbortCause::kExplicit) {
+          if (a.code == kAbortCodeCondVar) {
+            // kTsxAbort uses the paper's *generic* Section 3 retry policy:
+            // the fallback handler counts failed attempts without decoding
+            // the abort reason, so a condition-variable abort is retried
+            // like any other — re-executing the whole section and aborting
+            // again, up to max_retries. This wasted work is precisely why
+            // tsx.abort "drops drastically on netferret" (Section 6.2).
+            continue;
+          }
+          if (a.code == kAbortCodeLockBusy) {
+            if (policy_.spin_until_free) {
+              while (mutex_.word().load(c) != 0) c.compute(80);
+            }
+            continue;
+          }
+        }
+        if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
+        c.compute(policy_.conflict_backoff);
+      }
+    }
+    stats_.fallback_acquires++;
+    return run_locked(c, body);
+  }
+
+  void do_wait(Context& c, const detail::WaitToken& w) {
+    if (scheme_ == MonitorScheme::kMutexBusyWait ||
+        scheme_ == MonitorScheme::kTsxBusyWait) {
+      c.compute(busy_wait_spin_);
+    } else {
+      c.futex_wait(w.seq_addr, w.captured_seq);
+    }
+  }
+
+  void flush_signals(Context& c, MonitorOps& ops);
+
+  MonitorScheme scheme_ = MonitorScheme::kMutex;
+  ElisionPolicy policy_;
+  Cycles busy_wait_spin_ = 400;
+  FutexMutex mutex_;
+  ElisionStats stats_;
+};
+
+inline void MonitorOps::wait(CondVar& cv) {
+  switch (mon_.scheme_) {
+    case MonitorScheme::kMutex: {
+      // Lock is held: capturing the sequence then releasing is atomic
+      // enough (pthread_cond_wait semantics).
+      detail::WaitToken w{cv.seq().addr(), cv.seq().load(c_)};
+      throw w;
+    }
+    case MonitorScheme::kMutexBusyWait:
+      throw detail::WaitToken{};
+    case MonitorScheme::kTsxAbort:
+      if (transactional_ && c_.in_txn()) c_.xabort(kAbortCodeCondVar);
+      {
+        // Fallback path (lock held): behave like kMutex.
+        detail::WaitToken w{cv.seq().addr(), cv.seq().load(c_)};
+        throw w;
+      }
+    case MonitorScheme::kTsxCond: {
+      // §6.1: commit partial results, then sleep on the futex. The sequence
+      // is captured transactionally (subscribed) before the commit, so a
+      // wakeup between commit and FUTEX_WAIT is detected by value mismatch.
+      detail::WaitToken w{cv.seq().addr(), cv.seq().load(c_)};
+      if (c_.in_txn()) c_.xend();
+      throw w;
+    }
+    case MonitorScheme::kTsxBusyWait: {
+      if (c_.in_txn()) c_.xend();
+      throw detail::WaitToken{};
+    }
+  }
+  throw sim::SimError("unreachable: unknown monitor scheme");
+}
+
+inline void TxMonitor::flush_signals(Context& c, MonitorOps& ops) {
+  for (const MonitorOps::PendingSignal& s : ops.pending_) {
+    // Bump the sequence and wake; both outside any transaction.
+    c.fetch_add(s.seq_addr, 1, 4);
+    c.futex_wake(s.seq_addr, s.count);
+  }
+  ops.pending_.clear();
+}
+
+inline void MonitorOps::queue_signal(CondVar& cv, int count) {
+  switch (mon_.scheme_) {
+    case MonitorScheme::kMutex:
+      cv.seq().fetch_add(c_, 1);
+      c_.futex_wake(cv.seq().addr(), count);
+      return;
+    case MonitorScheme::kMutexBusyWait:
+    case MonitorScheme::kTsxBusyWait:
+      // Busy waiters poll the monitor state; no futex involved. The paper
+      // notes this trades wasted cycles for latency (Section 6.2).
+      return;
+    case MonitorScheme::kTsxAbort:
+      if (transactional_ && c_.in_txn()) {
+        // pthread_cond_signal may enter the kernel; the transactional
+        // execution cannot survive it (Section 6.1).
+        c_.xabort(kAbortCodeCondVar);
+      }
+      cv.seq().fetch_add(c_, 1);
+      c_.futex_wake(cv.seq().addr(), count);
+      return;
+    case MonitorScheme::kTsxCond:
+      if (transactional_ && c_.in_txn()) {
+        // Register the §6.1 commit callback.
+        pending_.push_back({cv.seq().addr(), count});
+      } else {
+        cv.seq().fetch_add(c_, 1);
+        c_.futex_wake(cv.seq().addr(), count);
+      }
+      return;
+  }
+  throw sim::SimError("unreachable: unknown monitor scheme");
+}
+
+}  // namespace tsxhpc::sync

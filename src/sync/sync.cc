@@ -1,0 +1,16 @@
+#include "sync/monitor.h"
+
+namespace tsxhpc::sync {
+
+const char* to_string(MonitorScheme s) {
+  switch (s) {
+    case MonitorScheme::kMutex: return "mutex";
+    case MonitorScheme::kTsxAbort: return "tsx.abort";
+    case MonitorScheme::kTsxCond: return "tsx.cond";
+    case MonitorScheme::kMutexBusyWait: return "mutex.busywait";
+    case MonitorScheme::kTsxBusyWait: return "tsx.busywait";
+  }
+  return "?";
+}
+
+}  // namespace tsxhpc::sync

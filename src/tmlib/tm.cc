@@ -1,0 +1,14 @@
+#include "tmlib/tm.h"
+
+namespace tsxhpc::tmlib {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSgl: return "sgl";
+    case Backend::kTl2: return "tl2";
+    case Backend::kTsx: return "tsx";
+  }
+  return "?";
+}
+
+}  // namespace tsxhpc::tmlib

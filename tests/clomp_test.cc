@@ -1,0 +1,100 @@
+// Tests for the CLOMP-TM benchmark: correctness of every scheme and the
+// qualitative Figure 1 shape claims.
+#include <gtest/gtest.h>
+
+#include "clomp/clomp.h"
+
+namespace tsxhpc::clomp {
+namespace {
+
+Config small_config(int scatters) {
+  Config cfg;
+  cfg.zones_per_thread = 32;
+  cfg.scatters_per_zone = scatters;
+  cfg.repetitions = 6;
+  return cfg;
+}
+
+class ClompSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(ClompSchemes, ChecksumMatchesSerial) {
+  // Every synchronized scheme must compute exactly what the serial version
+  // computes (deposits are additive and scheme-independent).
+  Config cfg = small_config(4);
+  cfg.cross_partition_fraction = 0.3;  // force real contention
+  const Result serial = run(cfg, Scheme::kSerial);
+  const Result r = run(cfg, GetParam());
+  EXPECT_EQ(r.checksum, serial.checksum) << to_string(GetParam());
+  EXPECT_EQ(r.total_updates, serial.total_updates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ClompSchemes,
+    ::testing::Values(Scheme::kSmallAtomic, Scheme::kSmallCritical,
+                      Scheme::kLargeCritical, Scheme::kSmallTM,
+                      Scheme::kLargeTM),
+    [](const ::testing::TestParamInfo<Scheme>& info) {
+      std::string s = to_string(info.param);
+      for (auto& ch : s)
+        if (ch == '-') ch = '_';
+      return s;
+    });
+
+TEST(Clomp, SerialDeterminism) {
+  Config cfg = small_config(4);
+  const Result a = run(cfg, Scheme::kLargeTM);
+  const Result b = run(cfg, Scheme::kLargeTM);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(Clomp, Figure1SmallAtomicBeatsSmallTMAndSmallCritical) {
+  Config cfg = small_config(1);
+  const double atomic = speedup_vs_serial(cfg, Scheme::kSmallAtomic);
+  const double small_tm = speedup_vs_serial(cfg, Scheme::kSmallTM);
+  const double small_crit = speedup_vs_serial(cfg, Scheme::kSmallCritical);
+  EXPECT_GT(atomic, small_tm) << "LOCK-prefixed beats per-update txn";
+  EXPECT_GT(small_tm, small_crit) << "per-update lock is worst";
+  // "not too much worse": within ~2.5x.
+  EXPECT_GT(small_tm, atomic / 2.5);
+}
+
+TEST(Clomp, Figure1LargeTMOvertakesSmallAtomicWhenBatching) {
+  // The headline crossover: batching 3-4 scatter updates makes Large TM win.
+  Config cfg1 = small_config(1);
+  EXPECT_LT(speedup_vs_serial(cfg1, Scheme::kLargeTM) /
+                speedup_vs_serial(cfg1, Scheme::kSmallAtomic),
+            1.05)
+      << "no batching advantage at 1 scatter";
+  Config cfg6 = small_config(6);
+  EXPECT_GT(speedup_vs_serial(cfg6, Scheme::kLargeTM),
+            speedup_vs_serial(cfg6, Scheme::kSmallAtomic))
+      << "Large TM must win once >=6 updates are batched";
+}
+
+TEST(Clomp, Figure1LargeCriticalStaysSlow) {
+  Config cfg = small_config(8);
+  const double large_crit = speedup_vs_serial(cfg, Scheme::kLargeCritical);
+  const double large_tm = speedup_vs_serial(cfg, Scheme::kLargeTM);
+  EXPECT_LT(large_crit, 1.6) << "global lock serializes 4 threads";
+  EXPECT_GT(large_tm, 2 * large_crit);
+}
+
+TEST(Clomp, NoContentionConfigHasNoConflictAborts) {
+  Config cfg = small_config(4);
+  const Result r = run(cfg, Scheme::kLargeTM);
+  EXPECT_EQ(
+      r.stats.total().tx_aborted[size_t(sim::AbortCause::kConflict)], 0u)
+      << "Figure 1 wiring keeps partitions disjoint";
+}
+
+TEST(Clomp, CrossPartitionWiringCausesAborts) {
+  Config cfg = small_config(4);
+  cfg.cross_partition_fraction = 0.5;
+  cfg.repetitions = 10;
+  const Result r = run(cfg, Scheme::kLargeTM);
+  EXPECT_GT(r.stats.total().tx_aborts_total(), 0u);
+}
+
+}  // namespace
+}  // namespace tsxhpc::clomp

@@ -1,0 +1,120 @@
+// Cross-backend equivalence: a randomized program whose threads operate on
+// DISJOINT key ranges has an interleaving-independent final state, so its
+// outcome must be bit-identical across ALL TM backends and thread counts.
+// This is the strongest end-to-end check of the transactional machinery:
+// any isolation bug, lost write, stale read, or rollback leak in sgl, TL2,
+// or the RTM elision path breaks the equality.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "containers/hashmap.h"
+#include "containers/list.h"
+#include "containers/queue.h"
+#include "containers/rbtree.h"
+#include "containers/treap.h"
+#include "sim/rng.h"
+
+namespace tsxhpc::containers {
+namespace {
+
+using sim::Context;
+using sim::Machine;
+using tmlib::Backend;
+using tmlib::TmAccess;
+using tmlib::TmRuntime;
+using tmlib::TmThread;
+
+/// Deterministic op stream for one thread over its private key range.
+/// Returns a digest of the structures' final contents.
+std::uint64_t run_program(Backend backend, int threads, std::uint64_t seed) {
+  Machine m;
+  TmRuntime rt(m, backend);
+  TxArena arena(m);
+  TmRbMap rb(m, arena);
+  TmMap treap(m, arena);
+  TmHashMap hash(m, arena, 256);
+  TmList list(m, arena);
+
+  constexpr std::uint64_t kRangePerThread = 1000;
+  m.run(threads, [&](Context& c) {
+    TmThread t(rt, c);
+    const std::uint64_t lo = 1 + c.tid() * kRangePerThread;
+    sim::Xoshiro256 rng(seed * 1000003 + c.tid());
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t key = lo + rng.next_below(kRangePerThread);
+      const std::uint64_t val = rng.next();
+      const int structure = static_cast<int>(rng.next_below(4));
+      const bool insert = rng.next_bool(0.65);
+      t.atomic([&](TmAccess& tm) {
+        switch (structure) {
+          case 0:
+            insert ? (void)rb.insert(tm, key, val) : (void)rb.remove(tm, key);
+            break;
+          case 1:
+            insert ? (void)treap.insert(tm, key, val)
+                   : (void)treap.remove(tm, key);
+            break;
+          case 2:
+            insert ? (void)hash.insert(tm, key, val)
+                   : (void)hash.remove(tm, key);
+            break;
+          default:
+            insert ? (void)list.insert(tm, key, val)
+                   : (void)list.remove(tm, key);
+        }
+      });
+    }
+  });
+
+  // Order-insensitive content digest over all four structures.
+  std::uint64_t digest = 0x9E3779B97F4A7C15ULL;
+  auto mix = [&](std::uint64_t k, std::uint64_t v) {
+    digest += k * 0xBF58476D1CE4E5B9ULL + v;
+    digest ^= digest >> 29;
+  };
+  rb.peek_inorder(m, mix);
+  treap.peek_inorder(m, mix);
+  std::uint64_t hsum = 0;
+  hash.peek_each(m, [&](std::uint64_t k, std::uint64_t v) {
+    hsum += k * 131 + v;  // bucket order varies by nothing, but be safe
+  });
+  digest ^= hsum;
+  // List iteration needs a TM context; use a 1-thread region.
+  std::uint64_t lsum = 0;
+  TmRuntime srt(m, Backend::kSgl);
+  m.run(1, [&](Context& c) {
+    TmThread t(srt, c);
+    t.atomic([&](TmAccess& tm) {
+      list.for_each(tm, [&](std::uint64_t k, std::uint64_t v) {
+        lsum += k * 31 + v;
+        return true;
+      });
+    });
+  });
+  return digest ^ lsum;
+}
+
+class Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Equivalence, AllBackendsAgreeAtEveryThreadCount) {
+  const std::uint64_t seed = GetParam();
+  // Thread count fixes WHICH op streams run; for a given count the final
+  // state must be identical across backends (disjoint key ranges make it
+  // interleaving-independent).
+  for (int threads : {1, 2, 4, 8}) {
+    const std::uint64_t reference =
+        run_program(Backend::kSgl, threads, seed);
+    ASSERT_NE(reference, 0u);
+    for (Backend b : {Backend::kTl2, Backend::kTsx}) {
+      EXPECT_EQ(run_program(b, threads, seed), reference)
+          << tmlib::to_string(b) << " with " << threads << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
+                         ::testing::Values(1u, 42u, 1234567u));
+
+}  // namespace
+}  // namespace tsxhpc::containers

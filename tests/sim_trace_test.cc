@@ -1,0 +1,92 @@
+// Tests for the transactional event trace.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/shared.h"
+#include "sim/trace.h"
+
+namespace tsxhpc::sim {
+namespace {
+
+TEST(Trace, RecordsBeginCommitAbortWithFootprints) {
+  Machine m;
+  TraceLog trace;
+  m.set_trace(&trace);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, 16, 0);
+  m.run(1, [&](Context& c) {
+    // A committing transaction touching 3 lines (16 cells span 2 lines;
+    // write two of them plus a read).
+    c.xbegin();
+    (void)cells.at(0).load(c);
+    cells.at(8).store(c, 1);
+    c.xend();
+    // An explicitly aborted one.
+    try {
+      c.xbegin();
+      cells.at(0).store(c, 2);
+      c.xabort(0x11);
+    } catch (const TxAbort&) {
+    }
+  });
+  m.set_trace(nullptr);
+
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kBegin), 2u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kCommit), 1u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kAbort), 1u);
+
+  const TraceEvent& commit = trace.events()[1];
+  EXPECT_EQ(commit.kind, TraceEvent::Kind::kCommit);
+  EXPECT_EQ(commit.read_lines, 1u);
+  EXPECT_EQ(commit.write_lines, 1u);
+
+  const TraceEvent& abort = trace.events()[3];
+  EXPECT_EQ(abort.kind, TraceEvent::Kind::kAbort);
+  EXPECT_EQ(abort.cause, AbortCause::kExplicit);
+  EXPECT_EQ(abort.write_lines, 1u);
+}
+
+TEST(Trace, CycleStampsAreMonotonePerThread) {
+  Machine m;
+  TraceLog trace;
+  m.set_trace(&trace);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  m.run(4, [&](Context& c) {
+    for (int i = 0; i < 20; ++i) {
+      try {
+        c.xbegin();
+        cell.store(c, cell.load(c) + 1);
+        c.compute(100);
+        c.xend();
+      } catch (const TxAbort&) {
+      }
+    }
+  });
+  m.set_trace(nullptr);
+  std::vector<Cycles> last(4, 0);
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.at, last[e.tid]);
+    last[e.tid] = e.at;
+  }
+  // Every one of the 80 attempts ends in exactly one commit or abort.
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kBegin), 80u);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kCommit) +
+                trace.count(TraceEvent::Kind::kAbort),
+            80u);
+  EXPECT_GE(trace.count(TraceEvent::Kind::kCommit), 1u);
+}
+
+TEST(Trace, DetachedTraceRecordsNothing) {
+  Machine m;
+  TraceLog trace;
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  m.run(1, [&](Context& c) {
+    c.xbegin();
+    cell.store(c, 1);
+    c.xend();
+  });
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace tsxhpc::sim

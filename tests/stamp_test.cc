@@ -1,0 +1,153 @@
+// Tests for the STAMP suite: every workload must produce a valid (nonzero)
+// verification checksum under every backend and thread count, checksums of
+// order-insensitive workloads must agree across backends, and the Table 1
+// shape claims must hold.
+#include <gtest/gtest.h>
+
+#include "stamp/stamp.h"
+
+namespace tsxhpc::stamp {
+namespace {
+
+Config quick_config(Backend b, int threads) {
+  Config cfg;
+  cfg.backend = b;
+  cfg.threads = threads;
+  cfg.scale = 0.25;
+  return cfg;
+}
+
+struct Case {
+  const char* name;
+  int threads;
+  Backend backend;
+};
+
+class StampMatrix
+    : public ::testing::TestWithParam<std::tuple<int, Backend, int>> {};
+
+TEST_P(StampMatrix, ChecksumIsValid) {
+  const auto [widx, backend, threads] = GetParam();
+  const Workload& w = all_workloads()[widx];
+  const Result r = w.fn(quick_config(backend, threads));
+  EXPECT_NE(r.checksum, 0u)
+      << w.name << " invariant broken under " << tmlib::to_string(backend)
+      << " with " << threads << " threads";
+  EXPECT_GT(r.makespan, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, StampMatrix,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(Backend::kSgl, Backend::kTl2,
+                                         Backend::kTsx),
+                       ::testing::Values(1, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, Backend, int>>& info) {
+      return all_workloads()[std::get<0>(info.param)].name +
+             std::string("_") + tmlib::to_string(std::get<1>(info.param)) +
+             "_t" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Stamp, OrderInsensitiveChecksumsAgreeAcrossBackends) {
+  // ssca2 and genome build schedule-independent sets; their checksums must
+  // be identical for every backend and thread count.
+  for (const char* name : {"ssca2", "genome"}) {
+    const Workload* w = nullptr;
+    for (const auto& cand : all_workloads()) {
+      if (cand.name == std::string(name)) w = &cand;
+    }
+    ASSERT_NE(w, nullptr);
+    const std::uint64_t ref =
+        w->fn(quick_config(Backend::kSgl, 1)).checksum;
+    for (Backend b : {Backend::kSgl, Backend::kTl2, Backend::kTsx}) {
+      for (int threads : {1, 4, 8}) {
+        EXPECT_EQ(w->fn(quick_config(b, threads)).checksum, ref)
+            << name << " " << tmlib::to_string(b) << " t" << threads;
+      }
+    }
+  }
+}
+
+TEST(Stamp, Determinism) {
+  const Workload& w = all_workloads()[6];  // vacation
+  const Result a = w.fn(quick_config(Backend::kTsx, 4));
+  const Result b = w.fn(quick_config(Backend::kTsx, 4));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats.total().tx_aborts_total(),
+            b.stats.total().tx_aborts_total());
+}
+
+TEST(Stamp, Table1Ssca2AbortRateNearZero) {
+  const Result r = run_ssca2(quick_config(Backend::kTsx, 8));
+  EXPECT_LT(r.abort_rate_pct(Backend::kTsx), 6.0);
+}
+
+TEST(Stamp, Table1LabyrinthAbortsNearlyAlwaysUnderTsx) {
+  const Result r = run_labyrinth(quick_config(Backend::kTsx, 4));
+  EXPECT_GT(r.abort_rate_pct(Backend::kTsx), 60.0)
+      << "the unannotated grid copy must blow out hardware read tracking";
+}
+
+TEST(Stamp, Table1LabyrinthCheapForTl2) {
+  // The same copy is invisible to TL2 (unannotated).
+  const Result r = run_labyrinth(quick_config(Backend::kTl2, 1));
+  EXPECT_LT(r.abort_rate_pct(Backend::kTl2), 10.0);
+}
+
+TEST(Stamp, Table1Tl2SingleThreadNeverAborts) {
+  for (const auto& w : all_workloads()) {
+    const Result r = w.fn(quick_config(Backend::kTl2, 1));
+    EXPECT_EQ(r.tl2_aborts, 0u) << w.name;
+  }
+}
+
+TEST(Stamp, Table1HyperThreadingRaisesTsxAbortRate) {
+  // 8 threads put two hardware threads per core: L1 pressure must push the
+  // tsx abort rate above the 4-thread rate for the capacity-bound
+  // workloads (the paper highlights genome/kmeans/vacation).
+  int raised = 0;
+  for (const char* name : {"genome", "kmeans", "vacation"}) {
+    const Workload* w = nullptr;
+    for (const auto& cand : all_workloads()) {
+      if (cand.name == std::string(name)) w = &cand;
+    }
+    const double r4 =
+        w->fn(quick_config(Backend::kTsx, 4)).abort_rate_pct(Backend::kTsx);
+    const double r8 =
+        w->fn(quick_config(Backend::kTsx, 8)).abort_rate_pct(Backend::kTsx);
+    if (r8 > r4) raised++;
+  }
+  EXPECT_GE(raised, 2);
+}
+
+TEST(Stamp, Figure2SglDoesNotScale) {
+  // Intruder under sgl: 8 threads no faster than ~1.3x of 1 thread.
+  const Result t1 = run_intruder(quick_config(Backend::kSgl, 1));
+  const Result t8 = run_intruder(quick_config(Backend::kSgl, 8));
+  const double speedup = static_cast<double>(t1.makespan) /
+                         static_cast<double>(t8.makespan);
+  EXPECT_LT(speedup, 1.6);
+}
+
+TEST(Stamp, Figure2TsxSingleThreadCheap) {
+  // genome: tsx 1-thread within 1.4x of sgl 1-thread; tl2 above 1.5x.
+  const double sgl = static_cast<double>(
+      run_genome(quick_config(Backend::kSgl, 1)).makespan);
+  const double tsx = static_cast<double>(
+      run_genome(quick_config(Backend::kTsx, 1)).makespan);
+  const double tl2 = static_cast<double>(
+      run_genome(quick_config(Backend::kTl2, 1)).makespan);
+  EXPECT_LT(tsx / sgl, 1.4);
+  EXPECT_GT(tl2 / sgl, 1.5);
+}
+
+TEST(Stamp, Figure2TsxScalesOnGenome) {
+  const Result t1 = run_genome(quick_config(Backend::kTsx, 1));
+  const Result t4 = run_genome(quick_config(Backend::kTsx, 4));
+  const double speedup = static_cast<double>(t1.makespan) /
+                         static_cast<double>(t4.makespan);
+  EXPECT_GT(speedup, 1.8);
+}
+
+}  // namespace
+}  // namespace tsxhpc::stamp

@@ -1,0 +1,334 @@
+// Unit tests for RTM lock elision, lockset elision, and coarsening helpers.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "sync/coarsen.h"
+#include "sync/elision.h"
+
+namespace tsxhpc::sync {
+namespace {
+
+using sim::Context;
+using sim::Machine;
+using sim::MachineConfig;
+using sim::RunStats;
+using sim::Shared;
+using sim::SharedArray;
+
+TEST(ElidedLock, UncontendedSectionsCommitElided) {
+  Machine m;
+  ElidedLock lock(m);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run(1, [&](Context& c) {
+    for (int i = 0; i < 100; ++i) {
+      lock.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
+    }
+  });
+  EXPECT_EQ(cell.peek(m), 100u);
+  EXPECT_EQ(lock.stats().elided_commits, 100u);
+  EXPECT_EQ(lock.stats().fallback_acquires, 0u);
+  EXPECT_EQ(rs.threads[0].tx_committed, 100u);
+}
+
+TEST(ElidedLock, DisjointSectionsRunConcurrently) {
+  // Threads updating different lines under the SAME lock must not serialize:
+  // this is the core TSX value proposition.
+  auto makespan = [](bool elide) {
+    Machine m;
+    ElidedLock el(m);
+    auto cells = SharedArray<std::uint64_t>::alloc(m, 8 * 8, 0);  // 1/line
+    RunStats rs = m.run(4, [&](Context& c) {
+      const std::size_t idx = static_cast<std::size_t>(c.tid()) * 8;
+      for (int i = 0; i < 500; ++i) {
+        if (elide) {
+          el.critical(c, [&] {
+            cells.at(idx).store(c, cells.at(idx).load(c) + 1);
+            c.compute(100);
+          });
+        } else {
+          el.underlying().acquire(c);
+          cells.at(idx).store(c, cells.at(idx).load(c) + 1);
+          c.compute(100);
+          el.underlying().release(c);
+        }
+      }
+    });
+    return rs.makespan;
+  };
+  const auto elided = makespan(true);
+  const auto locked = makespan(false);
+  EXPECT_LT(elided * 2, locked)
+      << "elision should expose at least 2x concurrency here";
+}
+
+TEST(ElidedLock, ConflictingSectionsStaySequentiallyConsistent) {
+  Machine m;
+  ElidedLock lock(m);
+  auto counter = Shared<std::uint64_t>::alloc(m, 0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  RunStats rs = m.run(kThreads, [&](Context& c) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.critical(c, [&] { counter.store(c, counter.load(c) + 1); });
+    }
+  });
+  EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(rs.total().tx_aborts_total(), 0u) << "contended: some aborts";
+}
+
+TEST(ElidedLock, FallbackAfterMaxRetries) {
+  // A section whose footprint can never fit must fall back to the lock.
+  Machine m;
+  ElidedLock lock(m);
+  const auto& cfg = m.config();
+  const std::size_t lines = cfg.l1_ways + 2;
+  const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
+  sim::Addr base = m.alloc(stride * lines, 64);
+  m.run(1, [&](Context& c) {
+    lock.critical(c, [&] {
+      for (std::size_t i = 0; i < lines; ++i) c.store(base + i * stride, i);
+    });
+  });
+  EXPECT_EQ(lock.stats().fallback_acquires, 1u);
+  // Capacity aborts clear the hardware retry hint: exactly one attempt.
+  EXPECT_EQ(lock.stats().aborts, 1u);
+  for (std::size_t i = 0; i < lines; ++i) {
+    EXPECT_EQ(m.heap().read_word(base + i * stride, 8), i);
+  }
+}
+
+TEST(ElidedLock, RetryCountHonoredForConflicts) {
+  // With honor_retry_hint, conflict aborts retry up to max_retries times.
+  MachineConfig cfg;
+  cfg.sched_quantum = 0;
+  Machine m(cfg);
+  ElisionPolicy pol;
+  pol.max_retries = 3;
+  pol.spin_until_free = false;
+  ElidedLock lock(m, pol);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  // Thread 1 writes the cell non-transactionally in a tight loop, dooming
+  // thread 0's transactional attempts every time.
+  RunStats rs = m.run_each({
+      [&](Context& c) {
+        lock.critical(c, [&] {
+          std::uint64_t v = cell.load(c);
+          for (int i = 0; i < 100; ++i) c.compute(200);
+          cell.store(c, v + 1);
+        });
+      },
+      [&](Context& c) {
+        for (int i = 0; i < 600; ++i) {
+          cell.store(c, 7);
+          c.compute(40);
+        }
+      },
+  });
+  (void)rs;
+  EXPECT_EQ(lock.stats().fallback_acquires, 1u);
+  EXPECT_EQ(lock.stats().aborts, 3u);
+}
+
+TEST(ElidedLock, ExplicitAcquireDoomsEliders) {
+  MachineConfig cfg;
+  cfg.sched_quantum = 0;
+  Machine m(cfg);
+  ElidedLock lock(m);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  bool saw_abort = false;
+  m.run_each({
+      [&](Context& c) {
+        try {
+          c.xbegin();
+          if (lock.underlying().word().load(c) != 0) c.xabort(0xFF);
+          for (int i = 0; i < 400; ++i) c.compute(100);
+          c.xend();
+        } catch (const sim::TxAbort& a) {
+          saw_abort = true;
+          EXPECT_EQ(a.cause, sim::AbortCause::kConflict)
+              << "lock-word subscription conflict";
+        }
+      },
+      [&](Context& c) {
+        c.compute(5000);
+        lock.acquire(c);  // explicit acquisition writes the lock word
+        cell.store(c, 1);
+        lock.release(c);
+      },
+  });
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST(ElidedLock, NestedElisionFlattens) {
+  Machine m;
+  ElidedLock outer(m), inner(m);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run(1, [&](Context& c) {
+    outer.critical(c, [&] {
+      inner.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
+    });
+  });
+  EXPECT_EQ(cell.peek(m), 1u);
+  // One hardware transaction, not two.
+  EXPECT_EQ(rs.threads[0].tx_started, 1u);
+}
+
+TEST(ElidedLock, AdaptiveSkipAfterHopelessAborts) {
+  // A section whose write set can never fit the L1 must stop burning
+  // transactional attempts: after the first capacity-driven fallback the
+  // lock takes an elision holiday (glibc-style adaptive elision).
+  Machine m;
+  ElisionPolicy pol;
+  pol.adaptive_skip = 4;
+  ElidedLock lock(m, pol);
+  const auto& cfg = m.config();
+  const std::size_t lines = cfg.l1_ways + 2;
+  const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
+  sim::Addr base = m.alloc(stride * lines, 64);
+  m.run(1, [&](Context& c) {
+    for (int rep = 0; rep < 10; ++rep) {
+      lock.critical(c, [&] {
+        for (std::size_t i = 0; i < lines; ++i) c.store(base + i * stride, i);
+      });
+    }
+  });
+  EXPECT_EQ(lock.stats().fallback_acquires, 10u);
+  // Far fewer transactional attempts than the 50 a non-adaptive retry-5
+  // policy would burn: the holiday suppresses most of them.
+  EXPECT_LE(lock.stats().aborts, 6u);
+}
+
+TEST(ElidedLock, AdaptiveSkipForgivesAfterSuccess) {
+  // Conflict-driven fallbacks must NOT poison elision for well-behaved
+  // sections: after a successful elided commit the skip base resets.
+  Machine m;
+  ElidedLock lock(m);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run(8, [&](Context& c) {
+    for (int i = 0; i < 200; ++i) {
+      lock.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
+      c.compute(100);
+    }
+  });
+  (void)rs;
+  EXPECT_EQ(cell.peek(m), 1600u);
+  EXPECT_GT(lock.stats().elision_rate(), 0.5)
+      << "most sections should still elide despite occasional conflicts";
+}
+
+TEST(ElidedLockSet, SingleBeginReplacesManyAcquisitions) {
+  Machine m;
+  constexpr int kLocks = 4;
+  std::vector<SpinLock> locks;
+  for (int i = 0; i < kLocks; ++i) locks.emplace_back(m);
+  ElidedLockSet lockset;
+  auto cells = SharedArray<std::uint64_t>::alloc(m, kLocks, 0);
+  RunStats rs = m.run(1, [&](Context& c) {
+    lockset.critical(c, {&locks[0], &locks[1], &locks[2], &locks[3]}, [&] {
+      for (int i = 0; i < kLocks; ++i) {
+        cells.at(i).store(c, cells.at(i).load(c) + 1);
+      }
+    });
+  });
+  EXPECT_EQ(rs.threads[0].tx_started, 1u);
+  EXPECT_EQ(rs.threads[0].atomics, 0u) << "no lock CAS on the elided path";
+  for (int i = 0; i < kLocks; ++i) EXPECT_EQ(cells.at(i).peek(m), 1u);
+}
+
+TEST(ElidedLockSet, FallbackAcquiresInCanonicalOrderWithoutDeadlock) {
+  // Force fallbacks by writing a huge footprint, from two threads locking
+  // the set in opposite orders. Canonical-order fallback must not deadlock.
+  Machine m;
+  std::vector<SpinLock> locks;
+  for (int i = 0; i < 2; ++i) locks.emplace_back(m);
+  ElidedLockSet lockset;
+  const auto& cfg = m.config();
+  const std::size_t lines = cfg.l1_ways + 2;
+  const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
+  sim::Addr big = m.alloc(stride * lines * 2, 64);
+  auto counter = Shared<std::uint64_t>::alloc(m, 0);
+  m.run(2, [&](Context& c) {
+    std::vector<SpinLock*> order = c.tid() == 0
+                                       ? std::vector<SpinLock*>{&locks[0], &locks[1]}
+                                       : std::vector<SpinLock*>{&locks[1], &locks[0]};
+    for (int it = 0; it < 20; ++it) {
+      lockset.critical(c, order, [&] {
+        sim::Addr base = big + (c.tid() ? stride * lines : 0);
+        for (std::size_t i = 0; i < lines; ++i) {
+          c.store(base + i * stride, i);
+        }
+        counter.store(c, counter.load(c) + 1);
+      });
+    }
+  });
+  EXPECT_EQ(counter.peek(m), 40u);
+  EXPECT_GT(lockset.stats().fallback_acquires, 0u);
+}
+
+TEST(ElidedLockSet, DuplicateLocksInSetDoNotSelfDeadlock) {
+  // Dynamic coarsening can batch sections naming the same lock twice; the
+  // fallback must deduplicate before acquiring.
+  Machine m;
+  SpinLock lock(m);
+  ElisionPolicy pol;
+  pol.max_retries = 1;
+  ElidedLockSet lockset(pol);
+  auto cell = Shared<std::uint64_t>::alloc(m, 0);
+  const auto& cfg = m.config();
+  const std::size_t lines = cfg.l1_ways + 2;
+  const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
+  sim::Addr big = m.alloc(stride * lines, 64);
+  m.run(1, [&](Context& c) {
+    // Oversized footprint forces the fallback path.
+    lockset.critical(c, {&lock, &lock, &lock}, [&] {
+      for (std::size_t i = 0; i < lines; ++i) c.store(big + i * stride, 1);
+      cell.store(c, cell.load(c) + 1);
+    });
+  });
+  EXPECT_EQ(cell.peek(m), 1u);
+  EXPECT_EQ(lockset.stats().fallback_acquires, 1u);
+}
+
+TEST(Coarsen, ForEachCoarsenedCoversAllAndBatches) {
+  Machine m;
+  ElidedLock lock(m);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, 37, 0);
+  RunStats rs = m.run(1, [&](Context& c) {
+    for_each_coarsened(c, lock, 37, 4,
+                       [&](std::size_t i) { cells.at(i).store(c, i + 1); });
+  });
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_EQ(cells.at(i).peek(m), i + 1);
+  EXPECT_EQ(rs.threads[0].tx_started, 10u) << "ceil(37/4) regions";
+}
+
+TEST(Coarsen, BatcherFlushesOnDestructionAndGranularity) {
+  Machine m;
+  ElidedLock lock(m);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, 10, 0);
+  RunStats rs = m.run(1, [&](Context& c) {
+    auto fn = [&](std::size_t i) { cells.at(i).store(c, 1); };
+    CoarseningBatcher<decltype(fn)> batcher(c, lock, 3, fn);
+    for (std::size_t i = 0; i < 10; ++i) batcher.add(i);
+  });
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(cells.at(i).peek(m), 1u);
+  EXPECT_EQ(rs.threads[0].tx_started, 4u) << "3+3+3+1";
+}
+
+TEST(Coarsen, CoarserRegionsAmortizeOverhead) {
+  // Single thread: the Figure 1 "Large TM beats Small Atomic" mechanism.
+  auto makespan = [](std::size_t gran) {
+    Machine m;
+    ElidedLock lock(m);
+    auto cells = SharedArray<std::uint64_t>::alloc(m, 1024, 0);
+    RunStats rs = m.run(1, [&](Context& c) {
+      for_each_coarsened(c, lock, 1024, gran, [&](std::size_t i) {
+        cells.at(i).store(c, cells.at(i).load(c) + 1);
+      });
+    });
+    return rs.makespan;
+  };
+  EXPECT_LT(makespan(8), makespan(1));
+}
+
+}  // namespace
+}  // namespace tsxhpc::sync

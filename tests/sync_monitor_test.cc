@@ -1,0 +1,231 @@
+// Tests for the five monitor/condvar schemes (Section 6), exercising the
+// same producer/consumer pattern the TCP/IP stack locking module uses.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sync/monitor.h"
+
+namespace tsxhpc::sync {
+namespace {
+
+using sim::Context;
+using sim::Machine;
+using sim::RunStats;
+using sim::Shared;
+
+struct SchemeCase {
+  MonitorScheme scheme;
+};
+
+class MonitorSchemes : public ::testing::TestWithParam<SchemeCase> {};
+
+// A bounded queue in simulated shared memory, guarded by a TxMonitor —
+// the canonical monitor workload.
+struct BoundedQueue {
+  BoundedQueue(Machine& m, std::size_t cap)
+      : capacity(cap),
+        head(Shared<std::uint64_t>::alloc(m, 0)),
+        tail(Shared<std::uint64_t>::alloc(m, 0)),
+        slots(sim::SharedArray<std::uint64_t>::alloc(m, cap, 0)) {}
+
+  std::size_t capacity;
+  Shared<std::uint64_t> head;  // next to pop
+  Shared<std::uint64_t> tail;  // next to push
+  sim::SharedArray<std::uint64_t> slots;
+};
+
+TEST_P(MonitorSchemes, ProducerConsumerDeliversEverythingInOrder) {
+  const MonitorScheme scheme = GetParam().scheme;
+  Machine m;
+  TxMonitor mon(m, scheme);
+  CondVar not_empty(m), not_full(m);
+  BoundedQueue q(m, 8);
+  constexpr std::uint64_t kItems = 400;
+  std::vector<std::uint64_t> received;
+
+  m.run_each({
+      // Producer.
+      [&](Context& c) {
+        for (std::uint64_t i = 1; i <= kItems; ++i) {
+          mon.enter(c, [&](MonitorOps& ops) {
+            const auto t = q.tail.load(c);
+            if (t - q.head.load(c) == q.capacity) ops.wait(not_full);
+            q.slots.at(t % q.capacity).store(c, i);
+            q.tail.store(c, t + 1);
+            ops.signal(not_empty);
+          });
+        }
+      },
+      // Consumer.
+      [&](Context& c) {
+        for (std::uint64_t n = 0; n < kItems; ++n) {
+          std::uint64_t item = 0;
+          mon.enter(c, [&](MonitorOps& ops) {
+            const auto h = q.head.load(c);
+            if (h == q.tail.load(c)) ops.wait(not_empty);
+            item = q.slots.at(h % q.capacity).load(c);
+            q.head.store(c, h + 1);
+            ops.signal(not_full);
+          });
+          received.push_back(item);
+          c.compute(120);
+        }
+      },
+  });
+
+  ASSERT_EQ(received.size(), kItems);
+  for (std::uint64_t i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i + 1);
+}
+
+TEST_P(MonitorSchemes, ManyProducersManyConsumers) {
+  const MonitorScheme scheme = GetParam().scheme;
+  Machine m;
+  TxMonitor mon(m, scheme);
+  CondVar not_empty(m), not_full(m);
+  BoundedQueue q(m, 4);
+  constexpr std::uint64_t kPerProducer = 60;
+  auto sum = Shared<std::uint64_t>::alloc(m, 0);
+
+  std::vector<std::function<void(Context&)>> bodies;
+  for (int p = 0; p < 4; ++p) {
+    bodies.emplace_back([&, p](Context& c) {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t item = p * 1000 + i + 1;
+        mon.enter(c, [&](MonitorOps& ops) {
+          const auto t = q.tail.load(c);
+          if (t - q.head.load(c) == q.capacity) ops.wait(not_full);
+          q.slots.at(t % q.capacity).store(c, item);
+          q.tail.store(c, t + 1);
+          ops.broadcast(not_empty);
+        });
+      }
+    });
+  }
+  for (int cns = 0; cns < 4; ++cns) {
+    bodies.emplace_back([&](Context& c) {
+      for (std::uint64_t n = 0; n < kPerProducer; ++n) {
+        mon.enter(c, [&](MonitorOps& ops) {
+          const auto h = q.head.load(c);
+          if (h == q.tail.load(c)) ops.wait(not_empty);
+          const auto item = q.slots.at(h % q.capacity).load(c);
+          q.head.store(c, h + 1);
+          sum.store(c, sum.load(c) + item);
+          ops.broadcast(not_full);
+        });
+      }
+    });
+  }
+  m.run_each(bodies);
+
+  std::uint64_t expect = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) expect += p * 1000 + i + 1;
+  }
+  EXPECT_EQ(sum.peek(m), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, MonitorSchemes,
+    ::testing::Values(SchemeCase{MonitorScheme::kMutex},
+                      SchemeCase{MonitorScheme::kTsxAbort},
+                      SchemeCase{MonitorScheme::kTsxCond},
+                      SchemeCase{MonitorScheme::kMutexBusyWait},
+                      SchemeCase{MonitorScheme::kTsxBusyWait}),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      std::string s = to_string(info.param.scheme);
+      for (auto& ch : s) {
+        if (ch == '.') ch = '_';
+      }
+      return s;
+    });
+
+TEST(TxMonitor, TsxCondWaitDoesNotAbort) {
+  // The whole point of the §6.1 condvar: finding the predicate false and
+  // waiting must NOT count as a transactional abort.
+  Machine m;
+  TxMonitor mon(m, MonitorScheme::kTsxCond);
+  CondVar cv(m);
+  auto flag = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run_each({
+      [&](Context& c) {
+        mon.enter(c, [&](MonitorOps& ops) {
+          if (flag.load(c) == 0) ops.wait(cv);
+        });
+      },
+      [&](Context& c) {
+        c.compute(30000);
+        mon.enter(c, [&](MonitorOps& ops) {
+          flag.store(c, 1);
+          ops.signal(cv);
+        });
+      },
+  });
+  EXPECT_EQ(rs.total().tx_aborts_total(), 0u);
+  EXPECT_EQ(mon.stats().fallback_acquires, 0u);
+}
+
+TEST(TxMonitor, TsxAbortSchemeAcquiresLockOnWait) {
+  Machine m;
+  TxMonitor mon(m, MonitorScheme::kTsxAbort);
+  CondVar cv(m);
+  auto flag = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run_each({
+      [&](Context& c) {
+        mon.enter(c, [&](MonitorOps& ops) {
+          if (flag.load(c) == 0) ops.wait(cv);
+        });
+      },
+      [&](Context& c) {
+        c.compute(30000);
+        mon.enter(c, [&](MonitorOps& ops) {
+          flag.store(c, 1);
+          ops.signal(cv);
+        });
+      },
+  });
+  EXPECT_GT(rs.total().tx_aborted[size_t(sim::AbortCause::kExplicit)], 0u);
+  EXPECT_GT(mon.stats().fallback_acquires, 0u);
+}
+
+TEST(TxMonitor, BusyWaitSchemesNeverTouchFutex) {
+  for (MonitorScheme s :
+       {MonitorScheme::kMutexBusyWait, MonitorScheme::kTsxBusyWait}) {
+    Machine m;
+    TxMonitor mon(m, s);
+    CondVar cv(m);
+    auto flag = Shared<std::uint64_t>::alloc(m, 0);
+    RunStats rs = m.run_each({
+        [&](Context& c) {
+          mon.enter(c, [&](MonitorOps& ops) {
+            if (flag.load(c) == 0) ops.wait(cv);
+          });
+        },
+        [&](Context& c) {
+          c.compute(30000);
+          mon.enter(c, [&](MonitorOps& ops) {
+            flag.store(c, 1);
+            ops.signal(cv);
+          });
+        },
+    });
+    EXPECT_EQ(rs.total().futex_waits, 0u) << to_string(s);
+    EXPECT_EQ(rs.total().futex_wakes, 0u) << to_string(s);
+  }
+}
+
+TEST(TxMonitor, MutexSchemeNeverStartsTransactions) {
+  Machine m;
+  TxMonitor mon(m, MonitorScheme::kMutex);
+  auto x = Shared<std::uint64_t>::alloc(m, 0);
+  RunStats rs = m.run(4, [&](Context& c) {
+    for (int i = 0; i < 50; ++i) {
+      mon.enter(c, [&](MonitorOps&) { x.store(c, x.load(c) + 1); });
+    }
+  });
+  EXPECT_EQ(rs.total().tx_started, 0u);
+  EXPECT_EQ(x.peek(m), 200u);
+}
+
+}  // namespace
+}  // namespace tsxhpc::sync
