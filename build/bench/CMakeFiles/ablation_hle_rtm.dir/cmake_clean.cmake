@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hle_rtm.dir/ablation_hle_rtm.cc.o"
+  "CMakeFiles/ablation_hle_rtm.dir/ablation_hle_rtm.cc.o.d"
+  "ablation_hle_rtm"
+  "ablation_hle_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hle_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

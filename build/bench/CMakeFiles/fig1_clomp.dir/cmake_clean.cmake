@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_clomp.dir/fig1_clomp.cc.o"
+  "CMakeFiles/fig1_clomp.dir/fig1_clomp.cc.o.d"
+  "fig1_clomp"
+  "fig1_clomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_clomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stamp.dir/fig2_stamp.cc.o"
+  "CMakeFiles/fig2_stamp.dir/fig2_stamp.cc.o.d"
+  "fig2_stamp"
+  "fig2_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

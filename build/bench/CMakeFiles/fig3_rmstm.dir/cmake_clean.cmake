@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rmstm.dir/fig3_rmstm.cc.o"
+  "CMakeFiles/fig3_rmstm.dir/fig3_rmstm.cc.o.d"
+  "fig3_rmstm"
+  "fig3_rmstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rmstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

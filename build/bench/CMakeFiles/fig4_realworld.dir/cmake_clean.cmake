@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_realworld.dir/fig4_realworld.cc.o"
+  "CMakeFiles/fig4_realworld.dir/fig4_realworld.cc.o.d"
+  "fig4_realworld"
+  "fig4_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_netstack.dir/fig6_netstack.cc.o"
+  "CMakeFiles/fig6_netstack.dir/fig6_netstack.cc.o.d"
+  "fig6_netstack"
+  "fig6_netstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_netstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_netstack.
+# This may be replaced when dependencies are built.

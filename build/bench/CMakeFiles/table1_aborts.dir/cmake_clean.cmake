@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_aborts.dir/table1_aborts.cc.o"
+  "CMakeFiles/table1_aborts.dir/table1_aborts.cc.o.d"
+  "table1_aborts"
+  "table1_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsening_tuning.dir/coarsening_tuning.cpp.o"
+  "CMakeFiles/coarsening_tuning.dir/coarsening_tuning.cpp.o.d"
+  "coarsening_tuning"
+  "coarsening_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsening_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openmp_port.dir/openmp_port.cpp.o"
+  "CMakeFiles/openmp_port.dir/openmp_port.cpp.o.d"
+  "openmp_port"
+  "openmp_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openmp_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_runner.dir/stamp_runner.cpp.o"
+  "CMakeFiles/stamp_runner.dir/stamp_runner.cpp.o.d"
+  "stamp_runner"
+  "stamp_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

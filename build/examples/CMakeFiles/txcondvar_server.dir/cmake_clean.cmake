@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txcondvar_server.dir/txcondvar_server.cpp.o"
+  "CMakeFiles/txcondvar_server.dir/txcondvar_server.cpp.o.d"
+  "txcondvar_server"
+  "txcondvar_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txcondvar_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("sync")
+subdirs("stm")
+subdirs("tmlib")
+subdirs("containers")
+subdirs("clomp")
+subdirs("stamp")
+subdirs("rmstm")
+subdirs("apps")
+subdirs("netstack")
+subdirs("netapps")

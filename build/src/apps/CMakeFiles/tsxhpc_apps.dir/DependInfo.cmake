@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/canneal.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/canneal.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/canneal.cc.o.d"
+  "/root/repo/src/apps/graphcluster.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/graphcluster.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/graphcluster.cc.o.d"
+  "/root/repo/src/apps/histogram.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/histogram.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/histogram.cc.o.d"
+  "/root/repo/src/apps/nufft.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/nufft.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/nufft.cc.o.d"
+  "/root/repo/src/apps/physics.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/physics.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/physics.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/ua.cc" "src/apps/CMakeFiles/tsxhpc_apps.dir/ua.cc.o" "gcc" "src/apps/CMakeFiles/tsxhpc_apps.dir/ua.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsxhpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsxhpc_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

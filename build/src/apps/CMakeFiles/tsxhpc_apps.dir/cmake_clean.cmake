@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_apps.dir/canneal.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/canneal.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/graphcluster.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/graphcluster.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/histogram.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/histogram.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/nufft.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/nufft.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/physics.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/physics.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/registry.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/registry.cc.o.d"
+  "CMakeFiles/tsxhpc_apps.dir/ua.cc.o"
+  "CMakeFiles/tsxhpc_apps.dir/ua.cc.o.d"
+  "libtsxhpc_apps.a"
+  "libtsxhpc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

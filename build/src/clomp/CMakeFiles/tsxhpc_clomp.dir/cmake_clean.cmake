@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_clomp.dir/clomp.cc.o"
+  "CMakeFiles/tsxhpc_clomp.dir/clomp.cc.o.d"
+  "libtsxhpc_clomp.a"
+  "libtsxhpc_clomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_clomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

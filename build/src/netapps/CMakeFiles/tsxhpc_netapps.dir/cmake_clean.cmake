@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_netapps.dir/netapps.cc.o"
+  "CMakeFiles/tsxhpc_netapps.dir/netapps.cc.o.d"
+  "libtsxhpc_netapps.a"
+  "libtsxhpc_netapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_netapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsxhpc_netapps.a"
+)

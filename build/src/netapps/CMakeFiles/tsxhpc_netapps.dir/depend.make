@@ -1,0 +1,2 @@
+# Empty dependencies file for tsxhpc_netapps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_netstack.dir/stack.cc.o"
+  "CMakeFiles/tsxhpc_netstack.dir/stack.cc.o.d"
+  "libtsxhpc_netstack.a"
+  "libtsxhpc_netstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_netstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmstm/apriori.cc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/apriori.cc.o" "gcc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/apriori.cc.o.d"
+  "/root/repo/src/rmstm/fluidanimate.cc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/fluidanimate.cc.o" "gcc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/fluidanimate.cc.o.d"
+  "/root/repo/src/rmstm/registry.cc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/registry.cc.o" "gcc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/registry.cc.o.d"
+  "/root/repo/src/rmstm/scalparc.cc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/scalparc.cc.o" "gcc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/scalparc.cc.o.d"
+  "/root/repo/src/rmstm/utilitymine.cc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/utilitymine.cc.o" "gcc" "src/rmstm/CMakeFiles/tsxhpc_rmstm.dir/utilitymine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsxhpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsxhpc_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_rmstm.dir/apriori.cc.o"
+  "CMakeFiles/tsxhpc_rmstm.dir/apriori.cc.o.d"
+  "CMakeFiles/tsxhpc_rmstm.dir/fluidanimate.cc.o"
+  "CMakeFiles/tsxhpc_rmstm.dir/fluidanimate.cc.o.d"
+  "CMakeFiles/tsxhpc_rmstm.dir/registry.cc.o"
+  "CMakeFiles/tsxhpc_rmstm.dir/registry.cc.o.d"
+  "CMakeFiles/tsxhpc_rmstm.dir/scalparc.cc.o"
+  "CMakeFiles/tsxhpc_rmstm.dir/scalparc.cc.o.d"
+  "CMakeFiles/tsxhpc_rmstm.dir/utilitymine.cc.o"
+  "CMakeFiles/tsxhpc_rmstm.dir/utilitymine.cc.o.d"
+  "libtsxhpc_rmstm.a"
+  "libtsxhpc_rmstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_rmstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

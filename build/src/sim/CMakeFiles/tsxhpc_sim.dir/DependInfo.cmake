@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/context.cc" "src/sim/CMakeFiles/tsxhpc_sim.dir/context.cc.o" "gcc" "src/sim/CMakeFiles/tsxhpc_sim.dir/context.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/tsxhpc_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/tsxhpc_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/tsxhpc_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/tsxhpc_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/tsxhpc_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/tsxhpc_sim.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

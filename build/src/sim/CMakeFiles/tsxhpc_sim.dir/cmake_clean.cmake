@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_sim.dir/context.cc.o"
+  "CMakeFiles/tsxhpc_sim.dir/context.cc.o.d"
+  "CMakeFiles/tsxhpc_sim.dir/engine.cc.o"
+  "CMakeFiles/tsxhpc_sim.dir/engine.cc.o.d"
+  "CMakeFiles/tsxhpc_sim.dir/machine.cc.o"
+  "CMakeFiles/tsxhpc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/tsxhpc_sim.dir/memory.cc.o"
+  "CMakeFiles/tsxhpc_sim.dir/memory.cc.o.d"
+  "libtsxhpc_sim.a"
+  "libtsxhpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsxhpc_sim.a"
+)

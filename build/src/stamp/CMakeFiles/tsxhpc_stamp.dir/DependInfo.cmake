@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stamp/bayes.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/bayes.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/bayes.cc.o.d"
+  "/root/repo/src/stamp/genome.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/genome.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/genome.cc.o.d"
+  "/root/repo/src/stamp/intruder.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/intruder.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/intruder.cc.o.d"
+  "/root/repo/src/stamp/kmeans.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/kmeans.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/kmeans.cc.o.d"
+  "/root/repo/src/stamp/labyrinth.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/labyrinth.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/labyrinth.cc.o.d"
+  "/root/repo/src/stamp/registry.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/registry.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/registry.cc.o.d"
+  "/root/repo/src/stamp/ssca2.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/ssca2.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/ssca2.cc.o.d"
+  "/root/repo/src/stamp/vacation.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/vacation.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/vacation.cc.o.d"
+  "/root/repo/src/stamp/yada.cc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/yada.cc.o" "gcc" "src/stamp/CMakeFiles/tsxhpc_stamp.dir/yada.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tmlib/CMakeFiles/tsxhpc_tmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsxhpc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsxhpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

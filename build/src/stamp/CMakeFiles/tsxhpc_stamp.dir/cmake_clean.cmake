@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_stamp.dir/bayes.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/bayes.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/genome.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/genome.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/intruder.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/intruder.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/kmeans.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/kmeans.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/labyrinth.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/labyrinth.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/registry.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/registry.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/ssca2.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/ssca2.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/vacation.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/vacation.cc.o.d"
+  "CMakeFiles/tsxhpc_stamp.dir/yada.cc.o"
+  "CMakeFiles/tsxhpc_stamp.dir/yada.cc.o.d"
+  "libtsxhpc_stamp.a"
+  "libtsxhpc_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

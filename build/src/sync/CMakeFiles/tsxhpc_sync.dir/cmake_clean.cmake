@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_sync.dir/sync.cc.o"
+  "CMakeFiles/tsxhpc_sync.dir/sync.cc.o.d"
+  "libtsxhpc_sync.a"
+  "libtsxhpc_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsxhpc_tmlib.dir/tm.cc.o"
+  "CMakeFiles/tsxhpc_tmlib.dir/tm.cc.o.d"
+  "libtsxhpc_tmlib.a"
+  "libtsxhpc_tmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsxhpc_tmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

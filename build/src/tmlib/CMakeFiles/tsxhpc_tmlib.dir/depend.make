@@ -1,0 +1,2 @@
+# Empty dependencies file for tsxhpc_tmlib.
+# This may be replaced when dependencies are built.

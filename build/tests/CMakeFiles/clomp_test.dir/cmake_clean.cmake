@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clomp_test.dir/clomp_test.cc.o"
+  "CMakeFiles/clomp_test.dir/clomp_test.cc.o.d"
+  "clomp_test"
+  "clomp_test.pdb"
+  "clomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netstack_test.cc" "tests/CMakeFiles/netstack_test.dir/netstack_test.cc.o" "gcc" "tests/CMakeFiles/netstack_test.dir/netstack_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netstack/CMakeFiles/tsxhpc_netstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netapps/CMakeFiles/tsxhpc_netapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/tsxhpc_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsxhpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

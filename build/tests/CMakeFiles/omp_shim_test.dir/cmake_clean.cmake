@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_shim_test.dir/omp_shim_test.cc.o"
+  "CMakeFiles/omp_shim_test.dir/omp_shim_test.cc.o.d"
+  "omp_shim_test"
+  "omp_shim_test.pdb"
+  "omp_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmstm_test.dir/rmstm_test.cc.o"
+  "CMakeFiles/rmstm_test.dir/rmstm_test.cc.o.d"
+  "rmstm_test"
+  "rmstm_test.pdb"
+  "rmstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_readevict_test.dir/sim_readevict_test.cc.o"
+  "CMakeFiles/sim_readevict_test.dir/sim_readevict_test.cc.o.d"
+  "sim_readevict_test"
+  "sim_readevict_test.pdb"
+  "sim_readevict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_readevict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

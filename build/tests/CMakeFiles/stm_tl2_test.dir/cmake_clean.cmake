@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_tl2_test.dir/stm_tl2_test.cc.o"
+  "CMakeFiles/stm_tl2_test.dir/stm_tl2_test.cc.o.d"
+  "stm_tl2_test"
+  "stm_tl2_test.pdb"
+  "stm_tl2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_tl2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_elision_test.dir/sync_elision_test.cc.o"
+  "CMakeFiles/sync_elision_test.dir/sync_elision_test.cc.o.d"
+  "sync_elision_test"
+  "sync_elision_test.pdb"
+  "sync_elision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_elision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_hle_test.dir/sync_hle_test.cc.o"
+  "CMakeFiles/sync_hle_test.dir/sync_hle_test.cc.o.d"
+  "sync_hle_test"
+  "sync_hle_test.pdb"
+  "sync_hle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_hle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_locks_test.dir/sync_locks_test.cc.o"
+  "CMakeFiles/sync_locks_test.dir/sync_locks_test.cc.o.d"
+  "sync_locks_test"
+  "sync_locks_test.pdb"
+  "sync_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_monitor_test.dir/sync_monitor_test.cc.o"
+  "CMakeFiles/sync_monitor_test.dir/sync_monitor_test.cc.o.d"
+  "sync_monitor_test"
+  "sync_monitor_test.pdb"
+  "sync_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

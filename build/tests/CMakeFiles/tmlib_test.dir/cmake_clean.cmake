@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmlib_test.dir/tmlib_test.cc.o"
+  "CMakeFiles/tmlib_test.dir/tmlib_test.cc.o.d"
+  "tmlib_test"
+  "tmlib_test.pdb"
+  "tmlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_locks_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_elision_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/stm_tl2_test[1]_include.cmake")
+include("/root/repo/build/tests/tmlib_test[1]_include.cmake")
+include("/root/repo/build/tests/containers_test[1]_include.cmake")
+include("/root/repo/build/tests/clomp_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_readevict_test[1]_include.cmake")
+include("/root/repo/build/tests/stamp_test[1]_include.cmake")
+include("/root/repo/build/tests/rmstm_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/netstack_test[1]_include.cmake")
+include("/root/repo/build/tests/rbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_hle_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/omp_shim_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_test[1]_include.cmake")
