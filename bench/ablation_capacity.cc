@@ -22,9 +22,12 @@ using sim::Machine;
 namespace {
 
 // Commit rate (%) of transactions touching `lines` random cache lines.
-double commit_rate(bool writes, std::size_t lines, bool smt_sibling,
-                   int txns = 40) {
+double commit_rate(bench::BenchIo& io, bool writes, std::size_t lines,
+                   bool smt_sibling, int txns = 40) {
   sim::MachineConfig cfg;
+  cfg.telemetry = io.telemetry();
+  io.label(std::string(writes ? "write" : "read") + "-set/" +
+           std::to_string(lines) + "-lines" + (smt_sibling ? "/smt" : ""));
   Machine m(cfg);
   const std::size_t span_lines = 4096;
   sim::Addr base = m.alloc(span_lines * cfg.line_bytes, 64);
@@ -75,7 +78,8 @@ double commit_rate(bool writes, std::size_t lines, bool smt_sibling,
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bench::BenchIo io(argc, argv, "ablation_capacity");
   bench::banner("Ablation: transactional footprint vs. commit rate (1 thread)");
 
   bench::Table table({"lines touched", "KB", "write-set commit %",
@@ -83,9 +87,9 @@ int main(int, char**) {
   for (std::size_t lines : {16, 64, 128, 256, 384, 448, 512, 768, 1024}) {
     table.add_row({std::to_string(lines),
                    bench::fmt(lines * 64.0 / 1024.0, 0),
-                   bench::fmt(commit_rate(true, lines, false), 0),
-                   bench::fmt(commit_rate(false, lines, false), 0),
-                   bench::fmt(commit_rate(true, lines, true), 0)});
+                   bench::fmt(commit_rate(io, true, lines, false), 0),
+                   bench::fmt(commit_rate(io, false, lines, false), 0),
+                   bench::fmt(commit_rate(io, true, lines, true), 0)});
   }
   table.print();
 
@@ -94,5 +98,5 @@ int main(int, char**) {
       "(set-conflict evictions bite earlier); read sets degrade gradually\n"
       "(secondary tracking); an active HyperThread sibling roughly halves\n"
       "the usable write capacity (Section 4.2).\n");
-  return 0;
+  return io.finish();
 }

@@ -20,8 +20,12 @@ namespace {
 // A critical-section microbenchmark with tunable conflict probability:
 // each section updates one of `span` cells; smaller span = more conflicts.
 template <typename RunSection>
-sim::Cycles run_contention(std::size_t span, RunSection&& section_factory) {
-  Machine m;
+sim::Cycles run_contention(bench::BenchIo& io, const char* scheme,
+                           std::size_t span, RunSection&& section_factory) {
+  sim::MachineConfig cfg;
+  cfg.telemetry = io.telemetry();
+  io.label(std::string(scheme) + "/span" + std::to_string(span));
+  Machine m(cfg);
   auto cells = sim::SharedArray<std::uint64_t>::alloc(m, span * 8, 0);
   auto section = section_factory(m);
   sim::RunStats rs = m.run(8, [&](Context& c) {
@@ -40,7 +44,8 @@ sim::Cycles run_contention(std::size_t span, RunSection&& section_factory) {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bench::BenchIo io(argc, argv, "ablation_hle_rtm");
   bench::banner(
       "Ablation: HLE (fixed 1-retry policy) vs RTM elision (retry 5) vs "
       "plain lock, 8 threads");
@@ -48,7 +53,7 @@ int main(int, char**) {
   bench::Table table({"distinct cells", "plain lock Mcyc", "hle Mcyc",
                       "rtm Mcyc", "rtm/hle"});
   for (std::size_t span : {1, 4, 16, 64, 256}) {
-    const auto lock_cycles = run_contention(span, [](Machine& m) {
+    const auto lock_cycles = run_contention(io, "lock", span, [](Machine& m) {
       auto lock = std::make_shared<sync::SpinLock>(m);
       return [lock](Context& c, auto&& f) {
         lock->acquire(c);
@@ -56,11 +61,11 @@ int main(int, char**) {
         lock->release(c);
       };
     });
-    const auto hle_cycles = run_contention(span, [](Machine& m) {
+    const auto hle_cycles = run_contention(io, "hle", span, [](Machine& m) {
       auto lock = std::make_shared<sync::HleLock>(m);
       return [lock](Context& c, auto&& f) { lock->critical(c, f); };
     });
-    const auto rtm_cycles = run_contention(span, [](Machine& m) {
+    const auto rtm_cycles = run_contention(io, "rtm", span, [](Machine& m) {
       auto lock = std::make_shared<sync::ElidedLock>(m);
       return [lock](Context& c, auto&& f) { lock->critical(c, f); };
     });
@@ -78,5 +83,5 @@ int main(int, char**) {
       "retries and adaptive recovery, HLE stays pinned near plain-lock\n"
       "performance even when conflicts are rare. This is why the paper's\n"
       "library uses the RTM interface (Section 3).\n");
-  return 0;
+  return io.finish();
 }

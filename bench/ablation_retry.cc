@@ -15,7 +15,8 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::BenchIo io(argc, argv, "ablation_retry");
+  const bool quick = io.quick();
 
   bench::banner("Ablation: elision retry budget (Section 3; paper best: 5)");
 
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
       cfg.repetitions = quick ? 4 : 10;
       cfg.cross_partition_fraction = 0.35;  // real conflicts
       cfg.policy.max_retries = r;
+      cfg.machine.telemetry = io.telemetry();
+      io.label("clomp/retry" + std::to_string(r));
       spans.push_back(
           static_cast<double>(clomp::run(cfg, clomp::Scheme::kLargeTM).makespan));
     }
@@ -46,6 +49,8 @@ int main(int argc, char** argv) {
         cfg.threads = 4;
         cfg.scale = quick ? 0.25 : 0.5;
         cfg.policy.max_retries = r;
+        cfg.machine.telemetry = io.telemetry();
+        io.label(std::string(name) + "/retry" + std::to_string(r));
         spans.push_back(static_cast<double>(w.fn(cfg).makespan));
       }
     }
@@ -73,5 +78,5 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\nBest retry budget here: %d (paper: 5).\n", retries[best_idx]);
-  return 0;
+  return io.finish();
 }

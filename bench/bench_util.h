@@ -1,11 +1,15 @@
 // Shared helpers for the figure/table reproduction harnesses: fixed-width
-// table printing in the style of the paper's figures, plus simple argv
-// parsing (--quick for CI-speed runs).
+// table printing in the style of the paper's figures, simple argv parsing
+// (--quick for CI-speed runs), and the BenchIo telemetry plumbing behind
+// the shared --json=<path> / --trace=<path> flags.
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/telemetry.h"
 
 namespace tsxhpc::bench {
 
@@ -15,6 +19,95 @@ inline bool has_flag(int argc, char** argv, const std::string& flag) {
   }
   return false;
 }
+
+/// Value of a `--name=value` flag, or "" if absent.
+inline std::string flag_value(int argc, char** argv,
+                              const std::string& name) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, prefix.size(), prefix) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+/// Shared bench I/O: parses --quick / --json=<path> / --trace=<path>, owns
+/// the Telemetry collector, and writes the artifacts at exit.
+///
+///   int main(int argc, char** argv) {
+///     bench::BenchIo io(argc, argv, "fig2_stamp");
+///     Config cfg;
+///     cfg.machine.telemetry = io.telemetry();
+///     ...
+///     io.label("vacation/t4");   // names the next Machine run
+///     run_vacation(cfg);
+///     return io.finish();
+///   }
+///
+/// telemetry() is null when neither flag was given, so the detached path
+/// stays zero-cost. --trace additionally enables per-attempt collection
+/// (rings bounded by TelemetryOptions defaults).
+class BenchIo {
+ public:
+  BenchIo(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        quick_(has_flag(argc, argv, "--quick")),
+        json_path_(flag_value(argc, argv, "--json")),
+        trace_path_(flag_value(argc, argv, "--trace")) {
+    if (!json_path_.empty() || !trace_path_.empty()) {
+      sim::TelemetryOptions opt;
+      opt.collect_attempts = !trace_path_.empty();
+      telemetry_ = std::make_unique<sim::Telemetry>(opt);
+    }
+  }
+
+  bool quick() const { return quick_; }
+  const std::string& bench_name() const { return bench_name_; }
+
+  /// Null unless --json or --trace was given. Assign to
+  /// MachineConfig::telemetry (or pass to Machine::set_telemetry).
+  sim::Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Label the next recorded run (passthrough to set_next_run_label).
+  void label(std::string l) {
+    if (telemetry_) telemetry_->set_next_run_label(std::move(l));
+  }
+
+  /// Write the requested artifacts; returns a process exit code (non-zero
+  /// if a file could not be written).
+  int finish() {
+    int rc = 0;
+    if (telemetry_ && !json_path_.empty()) {
+      if (telemetry_->write_json(json_path_, bench_name_)) {
+        std::printf("telemetry: wrote %s\n", json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: cannot write %s\n",
+                     json_path_.c_str());
+        rc = 1;
+      }
+    }
+    if (telemetry_ && !trace_path_.empty()) {
+      if (telemetry_->write_chrome_trace(trace_path_)) {
+        std::printf("telemetry: wrote %s (open in Perfetto / chrome://tracing)\n",
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "telemetry: cannot write %s\n",
+                     trace_path_.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string bench_name_;
+  bool quick_ = false;
+  std::string json_path_;
+  std::string trace_path_;
+  std::unique_ptr<sim::Telemetry> telemetry_;
+};
 
 /// Column-aligned table writer.
 class Table {

@@ -12,7 +12,8 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
+  bench::BenchIo io(argc, argv, "fig1_clomp");
+  const bool quick = io.quick();
 
   bench::banner(
       "Figure 1: CLOMP-TM, 4 threads (no HT), speedup vs serial by "
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   base.threads = 4;
   base.zones_per_thread = quick ? 24 : 64;
   base.repetitions = quick ? 4 : 12;
+  base.machine.telemetry = io.telemetry();
 
   const int scatter_counts[] = {1, 2, 3, 4, 6, 8, 12, 16};
   const clomp::Scheme schemes[] = {
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(s)};
     double small_atomic = 0, large_tm = 0;
     for (clomp::Scheme scheme : schemes) {
+      io.label(std::string(clomp::to_string(scheme)) + "/scatters" +
+               std::to_string(s));
       const double sp = clomp::speedup_vs_serial(cfg, scheme);
       row.push_back(bench::fmt(sp));
       if (scheme == clomp::Scheme::kSmallAtomic) small_atomic = sp;
@@ -63,5 +67,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nWARNING: no crossover observed (paper: 3-4 updates).\n");
   }
-  return 0;
+  return io.finish();
 }

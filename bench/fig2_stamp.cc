@@ -14,8 +14,8 @@ using namespace tsxhpc;
 using tmlib::Backend;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "fig2_stamp");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner(
       "Figure 2: STAMP, speedup over 1-thread sgl (higher is better)");
@@ -24,10 +24,12 @@ int main(int argc, char** argv) {
   for (const auto& w : stamp::all_workloads()) {
     stamp::Config base;
     base.scale = scale;
+    base.machine.telemetry = io.telemetry();
 
     stamp::Config sgl1 = base;
     sgl1.backend = Backend::kSgl;
     sgl1.threads = 1;
+    io.label(std::string(w.name) + "/sgl/ref");
     const double ref = static_cast<double>(w.fn(sgl1).makespan);
 
     bench::Table table({w.name, "sgl", "tl2", "tsx"});
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
         stamp::Config cfg = base;
         cfg.backend = b;
         cfg.threads = threads;
+        io.label(std::string(w.name) + "/" + tmlib::to_string(b) + "/t" +
+                 std::to_string(threads));
         const stamp::Result r = w.fn(cfg);
         if (r.checksum == 0) {
           row.push_back("INVALID");
@@ -55,5 +59,5 @@ int main(int argc, char** argv) {
       "Expected shapes: sgl flat at ~1x; tl2 starts well below 1x and "
       "climbs;\ntsx starts near 1x and climbs (except labyrinth, where the "
       "unannotated\ngrid copy forces tsx back to sgl behaviour).\n");
-  return 0;
+  return io.finish();
 }

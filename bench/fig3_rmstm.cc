@@ -14,8 +14,8 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "fig3_rmstm");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner("Figure 3: RMS-TM, speedup over 1-thread fgl");
 
@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
     ref_cfg.scheme = rmstm::Scheme::kFgl;
     ref_cfg.threads = 1;
     ref_cfg.scale = scale;
+    ref_cfg.machine.telemetry = io.telemetry();
+    io.label(std::string(w.name) + "/fgl/ref");
     const double ref = static_cast<double>(w.fn(ref_cfg).makespan);
 
     bench::Table table({w.name, "fgl", "sgl", "tsx"});
@@ -34,6 +36,8 @@ int main(int argc, char** argv) {
         rmstm::Config cfg = ref_cfg;
         cfg.scheme = s;
         cfg.threads = threads;
+        io.label(std::string(w.name) + "/" + rmstm::to_string(s) + "/t" +
+                 std::to_string(threads));
         const rmstm::Result r = w.fn(cfg);
         row.push_back(r.checksum == 0
                           ? "INVALID"
@@ -47,5 +51,5 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected: tsx tracks fgl on every row; sgl collapses only on\n"
       "fluidanimate and utilitymine.\n");
-  return 0;
+  return io.finish();
 }

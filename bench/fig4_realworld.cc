@@ -16,8 +16,8 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "fig4_realworld");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner("Figure 4: real-world workloads, speedup over 1-thread baseline");
 
@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
     ref_cfg.variant = apps::Variant::kBaseline;
     ref_cfg.threads = 1;
     ref_cfg.scale = scale;
+    ref_cfg.machine.telemetry = io.telemetry();
+    io.label(std::string(w.name) + "/baseline/ref");
     const double ref = static_cast<double>(w.fn(ref_cfg).makespan);
 
     bench::Table table({w.name, "baseline", "tsx.init", "tsx.coarsen"});
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
         apps::Config cfg = ref_cfg;
         cfg.variant = v;
         cfg.threads = threads;
+        io.label(std::string(w.name) + "/" + apps::to_string(v) + "/t" +
+                 std::to_string(threads));
         const apps::Result r = w.fn(cfg);
         const double sp = ref / static_cast<double>(r.makespan);
         row.push_back(r.checksum == 0 ? "INVALID" : bench::fmt(sp));
@@ -57,5 +61,5 @@ int main(int argc, char** argv) {
   std::printf("Geomean tsx.coarsen speedup over baseline at 8 threads: %.2fx "
               "(paper: 1.41x average)\n",
               std::pow(product, 1.0 / n));
-  return 0;
+  return io.finish();
 }

@@ -17,12 +17,14 @@ using namespace tsxhpc;
 
 namespace {
 
-void sweep(const char* title, const apps::Workload& w, const char* alt_name,
-           const std::size_t grans[3], double scale) {
+void sweep(bench::BenchIo& io, const char* title, const apps::Workload& w,
+           const char* alt_name, const std::size_t grans[3], double scale) {
   apps::Config ref;
   ref.variant = apps::Variant::kBaseline;
   ref.threads = 1;
   ref.scale = scale;
+  ref.machine.telemetry = io.telemetry();
+  io.label(std::string(w.name) + "/baseline/ref");
   const double base1 = static_cast<double>(w.fn(ref).makespan);
 
   bench::banner(title);
@@ -37,6 +39,8 @@ void sweep(const char* title, const apps::Workload& w, const char* alt_name,
       cfg.variant = v;
       cfg.threads = threads;
       cfg.gran = gran;
+      io.label(std::string(w.name) + "/" + apps::to_string(v) + "/gran" +
+               std::to_string(gran) + "/t" + std::to_string(threads));
       const apps::Result r = w.fn(cfg);
       const double sp = base1 / static_cast<double>(r.makespan);
       row.push_back(r.checksum == 0 ? "INVALID" : bench::fmt(sp));
@@ -61,8 +65,8 @@ void sweep(const char* title, const apps::Workload& w, const char* alt_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "fig5_granularity");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   const apps::Workload* histogram = nullptr;
   const apps::Workload* physics = nullptr;
@@ -72,11 +76,11 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t hist_grans[3] = {2, 8, 32};
-  sweep("Figure 5a: histogram — atomic / privatize / tsx.gran*", *histogram,
-        "privatize", hist_grans, scale);
+  sweep(io, "Figure 5a: histogram — atomic / privatize / tsx.gran*",
+        *histogram, "privatize", hist_grans, scale);
 
   const std::size_t phys_grans[3] = {1, 2, 4};
-  sweep("Figure 5b: physicsSolver — mutex / barrier / tsx.gran*", *physics,
-        "barrier", phys_grans, scale);
-  return 0;
+  sweep(io, "Figure 5b: physicsSolver — mutex / barrier / tsx.gran*",
+        *physics, "barrier", phys_grans, scale);
+  return io.finish();
 }

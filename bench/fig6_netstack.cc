@@ -18,8 +18,8 @@ using namespace tsxhpc;
 using sync::MonitorScheme;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "fig6_netstack");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner(
       "Figure 6: user-level TCP/IP stack, server read bandwidth "
@@ -37,12 +37,15 @@ int main(int argc, char** argv) {
     netapps::Config cfg;
     cfg.scale = scale;
     cfg.scheme = MonitorScheme::kMutex;
+    cfg.machine.telemetry = io.telemetry();
+    io.label(std::string(w.name) + "/mutex/ref");
     const netapps::Result ref = w.fn(cfg);
 
     std::vector<std::string> row{w.name};
     double tsx_busywait = 0;
     for (MonitorScheme s : schemes) {
       cfg.scheme = s;
+      io.label(std::string(w.name) + "/" + sync::to_string(s));
       const netapps::Result r = w.fn(cfg);
       const double rel = r.bandwidth_mbps / ref.bandwidth_mbps;
       row.push_back(r.checksum == 0 ? "INVALID" : bench::fmt(rel));
@@ -57,5 +60,5 @@ int main(int argc, char** argv) {
       "\nGeomean tsx.busywait bandwidth vs mutex: %.2fx (paper: 1.31x "
       "average).\n",
       std::pow(product, 1.0 / 3.0));
-  return 0;
+  return io.finish();
 }

@@ -5,6 +5,10 @@
 // crossover) can be read directly.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "sim/machine.h"
 #include "sim/shared.h"
 #include "sync/elision.h"
@@ -16,10 +20,23 @@ using sim::Machine;
 
 namespace {
 
+// Shared --json/--trace plumbing; set up in main before benchmarks run.
+bench::BenchIo* g_io = nullptr;
+
+sim::MachineConfig machine_config(const std::string& label) {
+  sim::MachineConfig cfg;
+  if (g_io) {
+    cfg.telemetry = g_io->telemetry();
+    g_io->label(label);
+  }
+  return cfg;
+}
+
 /// Run `op` `iters` times on one simulated thread; returns cycles/op.
 template <typename SetupFn>
-double cycles_per_op(benchmark::State& state, SetupFn&& setup) {
-  Machine m;
+double cycles_per_op(benchmark::State& state, const char* label,
+                     SetupFn&& setup) {
+  Machine m(machine_config(label));
   auto op = setup(m);
   constexpr int kIters = 512;
   sim::RunStats rs = m.run(1, [&](Context& c) {
@@ -36,27 +53,27 @@ double cycles_per_op(benchmark::State& state, SetupFn&& setup) {
 
 void BM_PlainStore(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_PlainStore", [](Machine& m) {
       auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
       return [cell](Context& c) { cell.store(c, 1); };
     });
   }
 }
-BENCHMARK(BM_PlainStore);
+BENCHMARK(BM_PlainStore)->Iterations(1);
 
 void BM_AtomicFetchAdd(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_AtomicFetchAdd", [](Machine& m) {
       auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
       return [cell](Context& c) { cell.fetch_add(c, 1); };
     });
   }
 }
-BENCHMARK(BM_AtomicFetchAdd);
+BENCHMARK(BM_AtomicFetchAdd)->Iterations(1);
 
 void BM_SpinLockRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_SpinLockRoundTrip", [](Machine& m) {
       auto lock = std::make_shared<sync::SpinLock>(m);
       return [lock](Context& c) {
         lock->acquire(c);
@@ -65,11 +82,11 @@ void BM_SpinLockRoundTrip(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_SpinLockRoundTrip);
+BENCHMARK(BM_SpinLockRoundTrip)->Iterations(1);
 
 void BM_FutexMutexRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_FutexMutexRoundTrip", [](Machine& m) {
       auto lock = std::make_shared<sync::FutexMutex>(m);
       return [lock](Context& c) {
         lock->acquire(c);
@@ -78,21 +95,21 @@ void BM_FutexMutexRoundTrip(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_FutexMutexRoundTrip);
+BENCHMARK(BM_FutexMutexRoundTrip)->Iterations(1);
 
 void BM_EmptyElidedSection(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_EmptyElidedSection", [](Machine& m) {
       auto lock = std::make_shared<sync::ElidedLock>(m);
       return [lock](Context& c) { lock->critical(c, [] {}); };
     });
   }
 }
-BENCHMARK(BM_EmptyElidedSection);
+BENCHMARK(BM_EmptyElidedSection)->Iterations(1);
 
 void BM_ElidedSectionWithStore(benchmark::State& state) {
   for (auto _ : state) {
-    cycles_per_op(state, [](Machine& m) {
+    cycles_per_op(state, "BM_ElidedSectionWithStore", [](Machine& m) {
       auto lock = std::make_shared<sync::ElidedLock>(m);
       auto cell = sim::Shared<std::uint64_t>::alloc(m, 0);
       return [lock, cell](Context& c) {
@@ -101,13 +118,13 @@ void BM_ElidedSectionWithStore(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_ElidedSectionWithStore);
+BENCHMARK(BM_ElidedSectionWithStore)->Iterations(1);
 
 // The Figure 1 relationship in miniature: batching k updates in one region.
 void BM_ElidedBatchedUpdates(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Machine m;
+    Machine m(machine_config("BM_ElidedBatchedUpdates/" + std::to_string(k)));
     sync::ElidedLock lock(m);
     auto cells = sim::SharedArray<std::uint64_t>::alloc(m, 64, 0);
     constexpr int kIters = 256;
@@ -127,8 +144,31 @@ void BM_ElidedBatchedUpdates(benchmark::State& state) {
     });
   }
 }
-BENCHMARK(BM_ElidedBatchedUpdates)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ElidedBatchedUpdates)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchIo io(argc, argv, "micro_sync");
+  g_io = &io;
+  // Strip our flags before handing argv to google-benchmark, which rejects
+  // anything it does not recognize.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (i > 0 && (std::strcmp(a, "--quick") == 0 ||
+                  std::strncmp(a, "--json=", 7) == 0 ||
+                  std::strncmp(a, "--trace=", 8) == 0)) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return io.finish();
+}

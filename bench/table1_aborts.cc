@@ -15,8 +15,8 @@ using namespace tsxhpc;
 using tmlib::Backend;
 
 int main(int argc, char** argv) {
-  const bool quick = bench::has_flag(argc, argv, "--quick");
-  const double scale = quick ? 0.25 : 1.0;
+  bench::BenchIo io(argc, argv, "table1_aborts");
+  const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner("Table 1: STAMP transactional abort rates (%)");
 
@@ -30,6 +30,9 @@ int main(int argc, char** argv) {
         cfg.backend = b;
         cfg.threads = threads;
         cfg.scale = scale;
+        cfg.machine.telemetry = io.telemetry();
+        io.label(std::string(w.name) + "/" + tmlib::to_string(b) + "/t" +
+                 std::to_string(threads));
         const stamp::Result r = w.fn(cfg);
         row.push_back(bench::fmt(r.abort_rate_pct(b), 0));
       }
@@ -43,5 +46,5 @@ int main(int argc, char** argv) {
       "genome 6/11/19/88,\nintruder 6/11/31/74, kmeans 0/26/71/96, "
       "labyrinth 87/95/100/97, ssca2 0/1/1/1,\nvacation 38/51/52/99, yada "
       "46/68/84/92.\n");
-  return 0;
+  return io.finish();
 }

@@ -7,6 +7,8 @@
 
 namespace tsxhpc::sim {
 
+class Telemetry;
+
 /// Geometry and latency model of the simulated machine. Defaults model the
 /// paper's part: an Intel 4th Generation Core (Haswell) with 4 cores x 2
 /// HyperThreads and a 32 KB, 8-way, 64 B-line L1 data cache per core.
@@ -82,6 +84,13 @@ struct MachineConfig {
   /// Simulated core frequency, used only to convert cycles to seconds when
   /// reporting bandwidth numbers (Figure 6).
   double ghz = 3.4;
+
+  // --- Observability --------------------------------------------------------
+  /// Optional telemetry sink. Riding on the config means every Machine a
+  /// workload builds from this config reports to the same collector without
+  /// threading an extra parameter through each workload entry point. Not
+  /// owned; null (the default) disables all recording.
+  Telemetry* telemetry = nullptr;
 
   int num_hw_threads() const { return num_cores * smt_per_core; }
 

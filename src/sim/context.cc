@@ -48,6 +48,10 @@ void Context::tx_account_end(bool committed, AbortCause cause,
                          : TraceEvent::Kind::kAbort,
                tid_, now(), cause, read_lines, write_lines});
   }
+  if (Telemetry* tel = m_.telemetry()) {
+    tel->on_txn(tid_, tx_start_clock_, now(), committed, cause, read_lines,
+                write_lines);
+  }
 }
 
 void Context::check_doom() {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/telemetry.h"
+
 namespace tsxhpc::sim {
 
 Engine::Engine(const MachineConfig& cfg, int num_threads)
@@ -86,6 +88,7 @@ void Engine::yield_point(ThreadId t) {
 void Engine::block(ThreadId t) {
   std::unique_lock<std::mutex> lk(mu_);
   if (stopping_) throw EngineStop{};
+  const Cycles blocked_at = clocks_[t];
   states_[t] = State::kBlocked;
   ThreadId next = pick_next(-1);
   if (next < 0) {
@@ -101,6 +104,9 @@ void Engine::block(ThreadId t) {
   current_ = next;
   cvs_[next].notify_one();
   wait_for_token(lk, t);
+  // Report after resuming: wake() has already advanced our clock to the
+  // waker's, so [blocked_at, now] is the full descheduled interval.
+  if (tel_) tel_->on_blocked(t, blocked_at, clocks_[t]);
 }
 
 void Engine::wake(ThreadId t, Cycles waker_clock) {

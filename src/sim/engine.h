@@ -19,6 +19,8 @@
 
 namespace tsxhpc::sim {
 
+class Telemetry;
+
 class Engine {
  public:
   Engine(const MachineConfig& cfg, int num_threads);
@@ -53,6 +55,9 @@ class Engine {
   Cycles makespan() const { return makespan_; }
   Cycles end_clock(ThreadId t) const { return end_clocks_[t]; }
 
+  /// Telemetry sink for scheduler events (blocked intervals). Not owned.
+  void set_telemetry(Telemetry* tel) { tel_ = tel; }
+
  private:
   enum class State { kNotStarted, kReady, kRunning, kBlocked, kDone };
 
@@ -83,6 +88,7 @@ class Engine {
   bool stopping_ = false;
   std::exception_ptr first_error_;
   Cycles makespan_ = 0;
+  Telemetry* tel_ = nullptr;
 };
 
 }  // namespace tsxhpc::sim

@@ -6,6 +6,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "sim/telemetry.h"
 #include "sim/types.h"
 
 namespace tsxhpc::sim {
@@ -16,7 +17,10 @@ namespace tsxhpc::sim {
 /// futex ops atomic).
 class FutexTable {
  public:
-  void enqueue(Addr addr, ThreadId t) { waiters_[addr].push_back(t); }
+  void enqueue(Addr addr, ThreadId t) {
+    waiters_[addr].push_back(t);
+    if (tel_) tel_->on_futex_wait(addr);
+  }
 
   /// Pop up to `count` waiters, in FIFO order.
   template <typename WakeFn>
@@ -27,12 +31,16 @@ class FutexTable {
     while (n < count && !it->second.empty()) {
       ThreadId t = it->second.front();
       it->second.pop_front();
+      if (tel_) tel_->on_futex_wake(addr);
       fn(t);
       ++n;
     }
     if (it->second.empty()) waiters_.erase(it);
     return n;
   }
+
+  /// Telemetry sink for wait-queue events (null = off). Not owned.
+  void set_telemetry(Telemetry* tel) { tel_ = tel; }
 
   /// Drop all waiters (run teardown after an error).
   void clear() { waiters_.clear(); }
@@ -44,6 +52,7 @@ class FutexTable {
 
  private:
   std::unordered_map<Addr, std::deque<ThreadId>> waiters_;
+  Telemetry* tel_ = nullptr;
 };
 
 }  // namespace tsxhpc::sim

@@ -5,6 +5,13 @@ namespace tsxhpc::sim {
 Machine::Machine(MachineConfig cfg) : cfg_(cfg) {
   stats_.resize(cfg_.num_hw_threads());
   mem_ = std::make_unique<MemorySystem>(cfg_, stats_);
+  set_telemetry(cfg_.telemetry);
+}
+
+void Machine::set_telemetry(Telemetry* tel) {
+  telemetry_ = tel;
+  mem_->set_telemetry(tel);
+  futex_.set_telemetry(tel);
 }
 
 RunStats Machine::run(int num_threads,
@@ -21,6 +28,8 @@ RunStats Machine::run_each(
   futex_.clear();
 
   engine_ = std::make_unique<Engine>(cfg_, n);
+  engine_->set_telemetry(telemetry_);
+  if (telemetry_) telemetry_->begin_run(n, &stats_);
   std::vector<std::function<void()>> wrapped;
   wrapped.reserve(n);
   for (ThreadId t = 0; t < n; ++t) {
@@ -35,6 +44,7 @@ RunStats Machine::run_each(
   try {
     engine_->run(wrapped);
   } catch (...) {
+    if (telemetry_) telemetry_->abandon_run();
     engine_.reset();
     throw;
   }
@@ -44,6 +54,7 @@ RunStats Machine::run_each(
   for (ThreadId t = 0; t < n; ++t) rs.threads[t].end_cycle = engine_->end_clock(t);
   rs.makespan = engine_->makespan();
   engine_.reset();
+  if (telemetry_) telemetry_->end_run(rs);
   return rs;
 }
 

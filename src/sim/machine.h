@@ -13,6 +13,7 @@
 #include "sim/futex.h"
 #include "sim/memory.h"
 #include "sim/stats.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 
 namespace tsxhpc::sim {
@@ -45,6 +46,12 @@ class Machine {
   /// Attach/detach an event trace (null = tracing off; default).
   void set_trace(TraceLog* trace) { trace_ = trace; }
   TraceLog* trace() { return trace_; }
+
+  /// Attach/detach a telemetry collector (null = off; default). Also set
+  /// automatically from MachineConfig::telemetry at construction.
+  void set_telemetry(Telemetry* tel);
+  Telemetry* telemetry() { return telemetry_; }
+
   std::vector<ThreadStats>& stats() { return stats_; }
 
   /// Convert cycles to seconds using the configured frequency (bandwidth
@@ -58,6 +65,7 @@ class Machine {
   FutexTable futex_;
   std::unique_ptr<Engine> engine_;
   TraceLog* trace_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace tsxhpc::sim

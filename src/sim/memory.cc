@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "sim/telemetry.h"
+
 namespace tsxhpc::sim {
 
 const char* to_string(AbortCause cause) {
@@ -37,12 +39,13 @@ void MemorySystem::check_alignment(Addr a, unsigned size) const {
   }
 }
 
-void MemorySystem::doom(ThreadId victim, AbortCause cause) {
+bool MemorySystem::doom(ThreadId victim, AbortCause cause) {
   TxState& v = tx_[victim];
-  if (!v.active || v.doomed) return;
+  if (!v.active || v.doomed) return false;
   v.doomed = true;
   v.doom_cause = cause;
   stats_[victim].tx_doomed_by_remote++;
+  return true;
 }
 
 void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
@@ -61,7 +64,7 @@ void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
   while (victims != 0) {
     int v = __builtin_ctz(victims);
     victims &= static_cast<std::uint16_t>(victims - 1);
-    doom(v, AbortCause::kConflict);
+    if (doom(v, AbortCause::kConflict) && tel_) tel_->on_conflict(t, v);
   }
 }
 

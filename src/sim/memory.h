@@ -21,6 +21,8 @@
 
 namespace tsxhpc::sim {
 
+class Telemetry;
+
 /// Transactional state of one hardware thread.
 struct TxState {
   bool active = false;
@@ -110,6 +112,9 @@ class MemorySystem {
   /// Abandon any in-flight transactions (run teardown after an error).
   void reset_all_tx();
 
+  /// Telemetry sink for conflict events (null = off). Not owned.
+  void set_telemetry(Telemetry* tel) { tel_ = tel; }
+
   // Testing hooks.
   const L1Cache& l1_of_core(int core) const { return l1_[core]; }
   std::uint16_t readers_of_line(Addr line) const;
@@ -129,7 +134,9 @@ class MemorySystem {
   /// whose transactional sets overlap this access.
   void detect_conflicts(ThreadId t, Addr line, bool is_write);
 
-  void doom(ThreadId victim, AbortCause cause);
+  /// Returns true if the victim was actually doomed by this call (it had an
+  /// active, not-yet-doomed transaction).
+  bool doom(ThreadId victim, AbortCause cause);
 
   /// Track line membership in t's transactional read or write set.
   void tx_track(ThreadId t, Addr line, bool is_write);
@@ -154,6 +161,7 @@ class MemorySystem {
   std::unordered_map<Addr, std::uint16_t> line_writers_;
   // Monotone counter feeding the deterministic read-evict abort hash.
   std::uint64_t evict_events_ = 0;
+  Telemetry* tel_ = nullptr;
 };
 
 }  // namespace tsxhpc::sim

@@ -11,10 +11,31 @@
 
 namespace tsxhpc::sim {
 
-/// Render a perf-stat-like counter block for a finished run.
+namespace perf_detail {
+
+/// One "  <count>      <label>" line, optionally with a "# ..." annotation.
+inline void line(std::string& out, std::uint64_t count, const char* rest) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %12llu      %s\n",
+                static_cast<unsigned long long>(count), rest);
+  out += buf;
+}
+
+inline void line_pct(std::string& out, std::uint64_t count, const char* label,
+                     double pct, const char* suffix) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %12llu      %s# %5.1f%% of %s\n",
+                static_cast<unsigned long long>(count), label, pct, suffix);
+  out += buf;
+}
+
+}  // namespace perf_detail
+
+/// Render a perf-stat-like counter block for a finished run. Built line by
+/// line so the report can grow with the counter set — no fixed buffer to
+/// silently truncate.
 inline std::string perf_report(const RunStats& rs) {
   const ThreadStats t = rs.total();
-  char buf[1536];
   const double abort_pct = t.abort_rate_pct();
   const double tx_cycles =
       static_cast<double>(t.tx_cycles_committed + t.tx_cycles_wasted);
@@ -22,49 +43,38 @@ inline std::string perf_report(const RunStats& rs) {
       tx_cycles == 0 ? 0.0
                      : 100.0 * static_cast<double>(t.tx_cycles_wasted) /
                            tx_cycles;
-  std::snprintf(
-      buf, sizeof(buf),
-      "  %12llu      tx-start\n"
-      "  %12llu      tx-commit\n"
-      "  %12llu      tx-abort                  # %5.1f%% of starts\n"
-      "  %12llu      tx-abort.conflict\n"
-      "  %12llu      tx-abort.capacity\n"
-      "  %12llu      tx-abort.explicit\n"
-      "  %12llu      tx-abort.syscall\n"
-      "  %12llu      tx-abort.capacity-read    # secondary-tracker losses\n"
-      "  %12llu      cycles-t                  # cycles in transactions\n"
-      "  %12llu      cycles-ct                 # committed-transaction cycles\n"
-      "  %12llu      cycles-wasted             # %5.1f%% of transactional cycles\n"
-      "  %12llu      tx-read-lines-evicted     # secondary tracking\n"
-      "  %12llu      l1-hits\n"
-      "  %12llu      l1-misses\n"
-      "  %12llu      atomics\n"
-      "  %12llu      syscalls\n"
-      "  %12llu      makespan-cycles\n",
-      static_cast<unsigned long long>(t.tx_started),
-      static_cast<unsigned long long>(t.tx_committed),
-      static_cast<unsigned long long>(t.tx_aborts_total()), abort_pct,
-      static_cast<unsigned long long>(
-          t.tx_aborted[static_cast<size_t>(AbortCause::kConflict)]),
-      static_cast<unsigned long long>(
-          t.tx_aborted[static_cast<size_t>(AbortCause::kCapacity)]),
-      static_cast<unsigned long long>(
-          t.tx_aborted[static_cast<size_t>(AbortCause::kExplicit)]),
-      static_cast<unsigned long long>(
-          t.tx_aborted[static_cast<size_t>(AbortCause::kSyscall)]),
-      static_cast<unsigned long long>(
-          t.tx_aborted[static_cast<size_t>(AbortCause::kCapacityRead)]),
-      static_cast<unsigned long long>(t.tx_cycles_committed +
-                                      t.tx_cycles_wasted),
-      static_cast<unsigned long long>(t.tx_cycles_committed),
-      static_cast<unsigned long long>(t.tx_cycles_wasted), wasted_pct,
-      static_cast<unsigned long long>(t.tx_read_lines_evicted),
-      static_cast<unsigned long long>(t.l1_hits),
-      static_cast<unsigned long long>(t.l1_misses),
-      static_cast<unsigned long long>(t.atomics),
-      static_cast<unsigned long long>(t.syscalls),
-      static_cast<unsigned long long>(rs.makespan));
-  return buf;
+  const auto aborted = [&](AbortCause c) {
+    return t.tx_aborted[static_cast<size_t>(c)];
+  };
+
+  std::string out;
+  out.reserve(1536);
+  using perf_detail::line;
+  using perf_detail::line_pct;
+  line(out, t.tx_started, "tx-start");
+  line(out, t.tx_committed, "tx-commit");
+  line_pct(out, t.tx_aborts_total(), "tx-abort                  ", abort_pct,
+           "starts");
+  line(out, aborted(AbortCause::kConflict), "tx-abort.conflict");
+  line(out, aborted(AbortCause::kCapacity), "tx-abort.capacity");
+  line(out, aborted(AbortCause::kExplicit), "tx-abort.explicit");
+  line(out, aborted(AbortCause::kSyscall), "tx-abort.syscall");
+  line(out, aborted(AbortCause::kCapacityRead),
+       "tx-abort.capacity-read    # secondary-tracker losses");
+  line(out, t.tx_cycles_committed + t.tx_cycles_wasted,
+       "cycles-t                  # cycles in transactions");
+  line(out, t.tx_cycles_committed,
+       "cycles-ct                 # committed-transaction cycles");
+  line_pct(out, t.tx_cycles_wasted, "cycles-wasted             ", wasted_pct,
+           "transactional cycles");
+  line(out, t.tx_read_lines_evicted,
+       "tx-read-lines-evicted     # secondary tracking");
+  line(out, t.l1_hits, "l1-hits");
+  line(out, t.l1_misses, "l1-misses");
+  line(out, t.atomics, "atomics");
+  line(out, t.syscalls, "syscalls");
+  line(out, rs.makespan, "makespan-cycles");
+  return out;
 }
 
 }  // namespace tsxhpc::sim

@@ -1,0 +1,299 @@
+// Structured telemetry — the machine-readable counterpart of perf_report().
+//
+// The paper's entire methodology is observability: Table 1 and Figures 1-6
+// are built from Linux `perf` TSX event counters. This layer is the
+// reproduction's analogue of that tooling, but with the per-site and
+// per-attempt visibility `perf stat` aggregates away:
+//
+//   * per-transaction ATTEMPT CHAINS: every hardware transaction is recorded
+//     with its attempt number inside an elided section, its abort cause and
+//     footprint, and the retry -> fallback lineage of the section it served;
+//   * per-LOCK-SITE elision stats: elision success rate, lock-hold cycles and
+//     acquire-path wait (handoff) cycles per lock word — the per-workload
+//     analogue of Table 1;
+//   * VIRTUAL-TIME INTERVAL SAMPLES: abort-rate / L1-miss time series, so
+//     abort storms and phase behaviour are visible instead of averaged away;
+//   * exports: JSON (aggregates + histograms + samples, stable key order) and
+//     Chrome trace-event format viewable in Perfetto (one track per hardware
+//     thread, transaction slices named by outcome).
+//
+// Lifecycle: construct a Telemetry, point MachineConfig::telemetry at it (or
+// call Machine::set_telemetry), and every run of every Machine built from
+// that config appends a RunRecord. Detached (the default) every hook site is
+// a single null-check, exactly like TraceLog. All timestamps are virtual
+// cycles — no wall-clock time ever enters the output, so two identical runs
+// export byte-identical artifacts.
+//
+// Thread-safety: hooks are only called by simulated threads holding the
+// scheduler token (or by the engine under its own mutex), so all state here
+// is written race-free, the same argument ThreadStats relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+/// What kind of synchronization object a lock site is. Recorded on the first
+/// event a site produces in a run; purely descriptive.
+enum class LockKind : std::uint8_t {
+  kSpin,
+  kTicket,
+  kFutex,
+  kElided,
+  kHle,
+  kLockset,
+};
+
+const char* to_string(LockKind k);
+
+struct TelemetryOptions {
+  /// Initial virtual-time sampling interval. When a run outgrows
+  /// `max_samples` buckets, adjacent buckets are merged and the interval
+  /// doubles — long runs keep a bounded, coarser series instead of OOMing.
+  Cycles sample_interval = 1 << 15;
+  std::size_t max_samples = 256;
+
+  /// Collect per-attempt records (required for the Chrome trace export).
+  /// Off by default: aggregate stats, lock sites and samples are always on.
+  bool collect_attempts = false;
+  /// Ring-buffer capacity for attempt records per run (0 = unbounded). When
+  /// full, the oldest records are dropped — the tail of an abort storm is
+  /// more diagnostic than its head.
+  std::size_t max_attempts = 8192;
+  /// Ring-buffer capacity for scheduler blocked-slices per run.
+  std::size_t max_blocked = 4096;
+};
+
+/// One hardware-transaction attempt (or a fallback lock-hold slice).
+struct AttemptRec {
+  ThreadId tid = 0;
+  std::uint32_t section = 0;  // retry chains share a section id
+  std::uint16_t attempt = 0;  // 0-based attempt number within the section
+  bool fallback = false;      // lock-held fallback slice, not a transaction
+  bool committed = false;
+  AbortCause cause = AbortCause::kNone;
+  Cycles start = 0;
+  Cycles end = 0;
+  std::uint32_t read_lines = 0;
+  std::uint32_t write_lines = 0;
+  Addr site = 0;  // lock word subscribed by the section; 0 = raw transaction
+};
+
+/// A futex-blocked interval of one simulated thread.
+struct BlockedSlice {
+  ThreadId tid = 0;
+  Cycles start = 0;
+  Cycles end = 0;
+};
+
+/// Per-lock-site statistics (keyed by the lock word's heap address, which
+/// the deterministic allocator makes stable across runs).
+struct LockSiteStats {
+  LockKind kind = LockKind::kSpin;
+  // Real (non-elided) lock-word traffic.
+  std::uint64_t acquires = 0;
+  std::uint64_t contended_acquires = 0;
+  Cycles wait_cycles = 0;  // acquire-path spin/block time (handoff latency)
+  Cycles hold_cycles = 0;  // time the lock word was actually held
+  // Elision outcomes for sections subscribed to this word.
+  std::uint64_t elided_commits = 0;
+  std::uint64_t fallback_acquires = 0;
+  std::uint64_t tx_aborts = 0;
+  std::array<std::uint64_t, static_cast<size_t>(AbortCause::kNumCauses)>
+      aborts_by_cause{};
+
+  double elision_rate() const {
+    const double total =
+        static_cast<double>(elided_commits + fallback_acquires);
+    return total == 0 ? 0.0 : static_cast<double>(elided_commits) / total;
+  }
+};
+
+struct FutexStats {
+  std::uint64_t waits = 0;
+  std::uint64_t wakes = 0;
+};
+
+/// One virtual-time bucket of the per-run time series.
+struct IntervalSample {
+  std::uint64_t tx_started = 0;
+  std::uint64_t tx_committed = 0;
+  std::uint64_t tx_aborted = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+
+  void merge(const IntervalSample& o) {
+    tx_started += o.tx_started;
+    tx_committed += o.tx_committed;
+    tx_aborted += o.tx_aborted;
+    fallbacks += o.fallbacks;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+  }
+};
+
+/// Power-of-two-bucket histogram: bucket 0 holds value 0, bucket i holds
+/// [2^(i-1), 2^i).
+struct Histogram {
+  std::array<std::uint64_t, 34> buckets{};
+
+  void add(std::uint64_t v) {
+    const int b = v == 0 ? 0 : 64 - __builtin_clzll(v);
+    buckets[b < 33 ? b : 33]++;
+  }
+  static std::uint64_t lower_bound_of(std::size_t bucket) {
+    return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+  }
+  bool empty() const {
+    for (auto b : buckets)
+      if (b != 0) return false;
+    return true;
+  }
+};
+
+/// Everything recorded about one Machine::run region.
+struct RunRecord {
+  std::string label;
+  int num_threads = 0;
+  bool complete = false;  // end_run seen (false = engine teardown)
+  RunStats stats;
+
+  // Attempt chains (ring; only populated when collect_attempts is set).
+  std::vector<AttemptRec> attempts;
+  std::size_t attempts_head = 0;  // ring start index
+  std::uint64_t attempts_dropped = 0;
+  std::vector<BlockedSlice> blocked;
+  std::size_t blocked_head = 0;
+  std::uint64_t blocked_dropped = 0;
+  Cycles blocked_cycles = 0;
+  std::uint64_t blocked_slices = 0;
+
+  // Retry -> fallback lineage, aggregated: how many sections committed on
+  // their k-th transactional attempt / fell back after k aborted attempts.
+  std::vector<std::uint64_t> committed_by_attempt;
+  std::vector<std::uint64_t> fallback_after_attempts;
+
+  Histogram commit_footprint_lines;
+  Histogram abort_footprint_lines;
+  Histogram commit_cycles;
+  Histogram abort_cycles;
+
+  std::map<Addr, LockSiteStats> locks;
+  std::map<Addr, FutexStats> futexes;
+
+  /// aggressor-major num_threads x num_threads conflict-doom counts.
+  std::vector<std::uint64_t> conflicts;
+  std::uint64_t conflict_dooms = 0;
+
+  std::vector<IntervalSample> samples;
+  Cycles sample_interval = 0;
+
+  /// Attempts in chronological (ring-unrolled) order.
+  std::vector<AttemptRec> attempts_in_order() const;
+  std::vector<BlockedSlice> blocked_in_order() const;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions opt = {});
+
+  const TelemetryOptions& options() const { return opt_; }
+
+  // --- Run lifecycle (called by Machine) ----------------------------------
+
+  /// Label adopted by the next begin_run. Further runs before the next
+  /// set_next_run_label reuse it with a "#2", "#3", ... suffix; runs with no
+  /// label ever set are named "run_<seq>".
+  void set_next_run_label(std::string label);
+  void begin_run(int num_threads, const std::vector<ThreadStats>* live_stats);
+  void end_run(const RunStats& rs);
+  /// Discard the open run record (engine teardown path).
+  void abandon_run();
+
+  // --- Hooks (called with the scheduler token held) -----------------------
+
+  /// One outermost hardware transaction finished (committed or aborted).
+  void on_txn(ThreadId tid, Cycles start, Cycles end, bool committed,
+              AbortCause cause, std::uint32_t read_lines,
+              std::uint32_t write_lines);
+
+  /// An elided section opens on `tid`, subscribed to lock word `site`.
+  void section_enter(ThreadId tid, Addr site, LockKind kind);
+  /// The open section committed transactionally.
+  void section_commit(ThreadId tid);
+  /// The open section fell back to a real acquisition held over
+  /// [acquired_at, released_at].
+  void section_fallback(ThreadId tid, Cycles acquired_at, Cycles released_at);
+
+  /// A real lock acquisition completed (wait began at `wait_start`).
+  void on_lock_acquired(Addr site, LockKind kind, ThreadId tid,
+                        Cycles wait_start, Cycles now, bool contended);
+  void on_lock_released(Addr site, ThreadId tid, Cycles now);
+
+  /// Engine: thread `tid` was futex-blocked over [start, end].
+  void on_blocked(ThreadId tid, Cycles start, Cycles end);
+
+  /// Memory system: `aggressor`'s access doomed `victim`'s transaction.
+  void on_conflict(ThreadId aggressor, ThreadId victim);
+
+  /// Futex table events.
+  void on_futex_wait(Addr addr);
+  void on_futex_wake(Addr addr);
+
+  // --- Export -------------------------------------------------------------
+
+  const std::vector<RunRecord>& runs() const { return runs_; }
+
+  /// Full JSON artifact (schema tsxhpc-telemetry-v1), stable key order.
+  std::string json(const std::string& bench_name) const;
+  /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
+  /// process per run, one track per hardware thread, transaction slices
+  /// named by outcome. Timestamps are virtual cycles presented as µs.
+  std::string chrome_trace() const;
+
+  bool write_json(const std::string& path,
+                  const std::string& bench_name) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct OpenSection {
+    bool open = false;
+    Addr site = 0;
+    LockKind kind = LockKind::kSpin;
+    std::uint32_t id = 0;
+    std::uint16_t attempts = 0;  // transactional attempts so far
+  };
+
+  RunRecord* cur() { return open_run_ ? &runs_.back() : nullptr; }
+  LockSiteStats& site_stats(RunRecord& r, Addr site, LockKind kind);
+  IntervalSample& bucket(RunRecord& r, Cycles at);
+  void sample_l1(RunRecord& r, Cycles at);
+  void push_attempt(RunRecord& r, const AttemptRec& rec);
+  static void bump(std::vector<std::uint64_t>& v, std::size_t idx);
+
+  TelemetryOptions opt_;
+  std::vector<RunRecord> runs_;
+  bool open_run_ = false;
+  std::uint64_t run_seq_ = 0;
+  std::string next_label_;
+  std::string last_label_;
+  std::uint64_t label_reuse_ = 0;
+
+  // Per-run scratch state.
+  const std::vector<ThreadStats>* live_stats_ = nullptr;
+  std::vector<OpenSection> open_sections_;
+  std::uint32_t next_section_id_ = 0;
+  std::uint64_t last_l1_hits_ = 0;
+  std::uint64_t last_l1_misses_ = 0;
+  std::map<std::pair<Addr, ThreadId>, Cycles> hold_since_;
+};
+
+}  // namespace tsxhpc::sim

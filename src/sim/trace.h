@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "sim/types.h"
@@ -48,13 +49,25 @@ class TraceLog {
       const char* kind = e.kind == TraceEvent::Kind::kBegin    ? "BEGIN "
                          : e.kind == TraceEvent::Kind::kCommit ? "COMMIT"
                                                                : "ABORT ";
-      std::fprintf(out, "%12llu  t%-2d %s  r=%u w=%u%s%s\n",
-                   static_cast<unsigned long long>(e.at), e.tid, kind,
-                   e.read_lines, e.write_lines,
+      // ThreadId is a typedef that may widen; print through a fixed-width
+      // cast instead of assuming it stays int-sized.
+      std::fprintf(out, "%12llu  t%-2lld %s  r=%u w=%u%s%s\n",
+                   static_cast<unsigned long long>(e.at),
+                   static_cast<long long>(e.tid), kind, e.read_lines,
+                   e.write_lines,
                    e.kind == TraceEvent::Kind::kAbort ? "  cause=" : "",
                    e.kind == TraceEvent::Kind::kAbort ? to_string(e.cause)
                                                       : "");
     }
+  }
+
+  /// File overload (used by bench --trace plumbing); returns false if the
+  /// path cannot be opened or written.
+  bool dump(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    dump(f);
+    return std::fclose(f) == 0;
   }
 
  private:

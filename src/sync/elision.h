@@ -106,13 +106,21 @@ class ElidedLock {
       c.xend();
       return;
     }
+    sim::Telemetry* tel = c.machine().telemetry();
+    if (tel) {
+      tel->section_enter(c.tid(), lock_.word().addr(),
+                         sim::LockKind::kElided);
+    }
     if (skip_elision_ > 0) {
       // Adaptive phase: this lock recently failed to elide; take it.
       skip_elision_--;
       stats_.fallback_acquires++;
       lock_.acquire(c);
+      const Cycles t_acq = tel ? c.now() : 0;
       f();
+      const Cycles t_rel = tel ? c.now() : 0;
       lock_.release(c);
+      if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
       return;
     }
     bool saw_hard_abort = false;   // capacity/syscall: elision is hopeless
@@ -126,6 +134,7 @@ class ElidedLock {
         stats_.elided_commits++;
         skip_base_ = policy_.adaptive_skip;  // elision works again: forgive
         consecutive_hard_fallbacks_ = 0;
+        if (tel) tel->section_commit(c.tid());
         return;
       } catch (const sim::TxAbort& a) {
         stats_.aborts++;
@@ -148,8 +157,11 @@ class ElidedLock {
       if (skip_base_ < 128) skip_base_ *= 2;
     }
     lock_.acquire(c);
+    const Cycles t_acq = tel ? c.now() : 0;
     f();
+    const Cycles t_rel = tel ? c.now() : 0;
     lock_.release(c);
+    if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
   }
 
   /// Explicit (non-transactional) acquisition, for code that needs the lock
@@ -215,6 +227,13 @@ class ElidedLockSet {
  private:
   template <typename F>
   void critical_impl(Context& c, std::vector<SpinLock*> locks, F&& f) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    if (tel && !locks.empty()) {
+      // The set is identified by its first named lock (pre-sort, so the
+      // caller's primary lock names the site).
+      tel->section_enter(c.tid(), (*locks.begin())->word().addr(),
+                         sim::LockKind::kLockset);
+    }
     for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
       try {
         c.xbegin();
@@ -227,6 +246,7 @@ class ElidedLockSet {
         f();
         c.xend();
         stats_.elided_commits++;
+        if (tel && !locks.empty()) tel->section_commit(c.tid());
         return;
       } catch (const sim::TxAbort& a) {
         stats_.aborts++;
@@ -254,10 +274,13 @@ class ElidedLockSet {
               });
     locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
     for (SpinLock* l : locks) l->acquire(c);
+    const Cycles t_acq = tel ? c.now() : 0;
     f();
+    const Cycles t_rel = tel ? c.now() : 0;
     for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
       (*it)->release(c);
     }
+    if (tel && !locks.empty()) tel->section_fallback(c.tid(), t_acq, t_rel);
   }
 
   ElisionPolicy policy_;

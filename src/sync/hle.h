@@ -34,6 +34,10 @@ class HleLock {
       c.xend();
       return;
     }
+    sim::Telemetry* tel = c.machine().telemetry();
+    if (tel) {
+      tel->section_enter(c.tid(), lock_.word().addr(), sim::LockKind::kHle);
+    }
     // Hardware policy: one elision attempt, one retry, then the real lock.
     for (int attempt = 0; attempt < 2; ++attempt) {
       try {
@@ -45,6 +49,7 @@ class HleLock {
         f();
         c.xend();  // XRELEASE: the restoring write commits the elision
         elided_++;
+        if (tel) tel->section_commit(c.tid());
         return;
       } catch (const sim::TxAbort& a) {
         aborts_++;
@@ -58,8 +63,11 @@ class HleLock {
     }
     acquired_++;
     lock_.acquire(c);
+    const Cycles t_acq = tel ? c.now() : 0;
     f();
+    const Cycles t_rel = tel ? c.now() : 0;
     lock_.release(c);
+    if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
   }
 
   SpinLock& underlying() { return lock_; }

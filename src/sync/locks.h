@@ -8,6 +8,7 @@
 #include "sim/context.h"
 #include "sim/machine.h"
 #include "sim/shared.h"
+#include "sim/telemetry.h"
 
 namespace tsxhpc::sync {
 
@@ -24,20 +25,38 @@ class SpinLock {
       : word_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
 
   void acquire(Context& c) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
+    bool contended = false;
     Cycles backoff = 40;
     for (;;) {
-      if (word_.load(c) == 0 && word_.cas(c, 0, 1)) return;
+      if (word_.load(c) == 0 && word_.cas(c, 0, 1)) break;
+      contended = true;
       c.compute(backoff);
       if (backoff < 2000) backoff *= 2;
+    }
+    if (tel) {
+      tel->on_lock_acquired(word_.addr(), sim::LockKind::kSpin, c.tid(), t0,
+                            c.now(), contended);
     }
   }
 
   /// Non-blocking acquisition attempt (omp_test_lock analogue).
   bool try_acquire(Context& c) {
-    return word_.load(c) == 0 && word_.cas(c, 0, 1);
+    if (word_.load(c) != 0 || !word_.cas(c, 0, 1)) return false;
+    if (sim::Telemetry* tel = c.machine().telemetry()) {
+      tel->on_lock_acquired(word_.addr(), sim::LockKind::kSpin, c.tid(),
+                            c.now(), c.now(), false);
+    }
+    return true;
   }
 
-  void release(Context& c) { word_.store(c, 0); }
+  void release(Context& c) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
+    word_.store(c, 0);
+    if (tel) tel->on_lock_released(word_.addr(), c.tid(), t0);
+  }
 
   /// Lock-word handle, used by elision to subscribe to the lock.
   sim::Shared<std::uint32_t> word() const { return word_; }
@@ -56,11 +75,26 @@ class TicketLock {
         serving_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
 
   void acquire(Context& c) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
     const std::uint32_t my = next_.fetch_add(c, 1);
-    while (serving_.load(c) != my) c.compute(60);
+    bool contended = false;
+    while (serving_.load(c) != my) {
+      contended = true;
+      c.compute(60);
+    }
+    if (tel) {
+      tel->on_lock_acquired(next_.addr(), sim::LockKind::kTicket, c.tid(), t0,
+                            c.now(), contended);
+    }
   }
 
-  void release(Context& c) { serving_.fetch_add(c, 1); }
+  void release(Context& c) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
+    serving_.fetch_add(c, 1);
+    if (tel) tel->on_lock_released(next_.addr(), c.tid(), t0);
+  }
 
  private:
   sim::Shared<std::uint32_t> next_;
@@ -76,29 +110,53 @@ class FutexMutex {
       : word_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
 
   void acquire(Context& c) {
-    if (word_.cas(c, 0, 1)) return;  // uncontended fast path
-    // Adaptive phase (PTHREAD_MUTEX_ADAPTIVE_NP-style): spin briefly before
-    // committing to a kernel sleep — short critical sections usually free
-    // the lock within a few hundred cycles.
-    for (int spin = 0; spin < 10; ++spin) {
-      c.compute(90);
-      if (word_.load(c) == 0 && word_.cas(c, 0, 1)) return;
-    }
-    do {
-      // Mark contended (even if we raced with release) and sleep.
-      std::uint32_t v = word_.load(c);
-      if (v == 2 || (v == 1 && word_.cas(c, 1, 2))) {
-        c.futex_wait(word_.addr(), 2);
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
+    bool contended = false;
+    bool got = false;
+    if (word_.cas(c, 0, 1)) {  // uncontended fast path
+      got = true;
+    } else {
+      contended = true;
+      // Adaptive phase (PTHREAD_MUTEX_ADAPTIVE_NP-style): spin briefly before
+      // committing to a kernel sleep — short critical sections usually free
+      // the lock within a few hundred cycles.
+      for (int spin = 0; spin < 10 && !got; ++spin) {
+        c.compute(90);
+        if (word_.load(c) == 0 && word_.cas(c, 0, 1)) got = true;
       }
-    } while (word_.exchange(c, 2) != 0);
+    }
+    if (!got) {
+      do {
+        // Mark contended (even if we raced with release) and sleep.
+        std::uint32_t v = word_.load(c);
+        if (v == 2 || (v == 1 && word_.cas(c, 1, 2))) {
+          c.futex_wait(word_.addr(), 2);
+        }
+      } while (word_.exchange(c, 2) != 0);
+    }
+    if (tel) {
+      tel->on_lock_acquired(word_.addr(), sim::LockKind::kFutex, c.tid(), t0,
+                            c.now(), contended);
+    }
   }
 
-  bool try_acquire(Context& c) { return word_.cas(c, 0, 1); }
+  bool try_acquire(Context& c) {
+    if (!word_.cas(c, 0, 1)) return false;
+    if (sim::Telemetry* tel = c.machine().telemetry()) {
+      tel->on_lock_acquired(word_.addr(), sim::LockKind::kFutex, c.tid(),
+                            c.now(), c.now(), false);
+    }
+    return true;
+  }
 
   void release(Context& c) {
+    sim::Telemetry* tel = c.machine().telemetry();
+    const Cycles t0 = tel ? c.now() : 0;
     if (word_.exchange(c, 0) == 2) {
       c.futex_wake(word_.addr(), 1);
     }
+    if (tel) tel->on_lock_released(word_.addr(), c.tid(), t0);
   }
 
   sim::Shared<std::uint32_t> word() const { return word_; }
