@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/json_parse.h"
+#include "sim/report.h"
 #include "sim/telemetry.h"
 
 namespace tsxhpc::bench {
@@ -46,17 +48,20 @@ inline std::string flag_value(int argc, char** argv,
 ///     return io.finish();
 ///   }
 ///
-/// telemetry() is null when neither flag was given, so the detached path
-/// stays zero-cost. --trace additionally enables per-attempt collection
-/// (rings bounded by TelemetryOptions defaults).
+/// telemetry() is null when none of the flags was given, so the detached
+/// path stays zero-cost. --trace additionally enables per-attempt
+/// collection (rings bounded by TelemetryOptions defaults). --report prints
+/// the tsx_report summary inline after the run — same renderer, same
+/// numbers as `tsx_report <artifact>`.
 class BenchIo {
  public:
   BenchIo(int argc, char** argv, std::string bench_name)
       : bench_name_(std::move(bench_name)),
         quick_(has_flag(argc, argv, "--quick")),
+        report_(has_flag(argc, argv, "--report")),
         json_path_(flag_value(argc, argv, "--json")),
         trace_path_(flag_value(argc, argv, "--trace")) {
-    if (!json_path_.empty() || !trace_path_.empty()) {
+    if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
       telemetry_ = std::make_unique<sim::Telemetry>(opt);
@@ -79,6 +84,20 @@ class BenchIo {
   /// if a file could not be written).
   int finish() {
     int rc = 0;
+    if (telemetry_ && report_) {
+      // Serialize and re-parse so the inline summary goes through the exact
+      // code path tsx_report uses on the artifact file.
+      std::string err;
+      const sim::JsonValue doc =
+          sim::JsonParser::parse(telemetry_->json(bench_name_), &err);
+      if (err.empty()) {
+        std::fputs(sim::render_report(doc).c_str(), stdout);
+      } else {
+        std::fprintf(stderr, "telemetry: --report parse error: %s\n",
+                     err.c_str());
+        rc = 1;
+      }
+    }
     if (telemetry_ && !json_path_.empty()) {
       if (telemetry_->write_json(json_path_, bench_name_)) {
         std::printf("telemetry: wrote %s\n", json_path_.c_str());
@@ -104,6 +123,7 @@ class BenchIo {
  private:
   std::string bench_name_;
   bool quick_ = false;
+  bool report_ = false;
   std::string json_path_;
   std::string trace_path_;
   std::unique_ptr<sim::Telemetry> telemetry_;

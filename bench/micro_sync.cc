@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
     if (i > 0 && (std::strcmp(a, "--quick") == 0 ||
+                  std::strcmp(a, "--report") == 0 ||
                   std::strncmp(a, "--json=", 7) == 0 ||
                   std::strncmp(a, "--trace=", 8) == 0)) {
       continue;

@@ -20,8 +20,10 @@ Result run_canneal(const Config& cfg) {
   const std::size_t gran = cfg.gran != 0 ? cfg.gran : 4;
 
   // Element locations, each with a version counter: [loc, version] pairs.
-  auto loc = SharedArray<std::uint64_t>::alloc(m, n_elements, 0);
-  auto ver = SharedArray<std::uint64_t>::alloc(m, n_elements, 0);
+  auto loc =
+      SharedArray<std::uint64_t>::alloc_named(m, "canneal/loc", n_elements, 0);
+  auto ver =
+      SharedArray<std::uint64_t>::alloc_named(m, "canneal/ver", n_elements, 0);
   for (std::size_t i = 0; i < n_elements; ++i) loc.at(i).init(m, i);
   sync::ElidedLock elided(m, cfg.policy);
 

@@ -16,9 +16,39 @@ Cycles Context::now() const { return m_.engine()->clock(tid_); }
 
 ThreadStats& Context::stats() { return m_.stats()[tid_]; }
 
+void Context::charge(Cycles c, CycleBucket dflt) {
+  if (c == 0) return;
+  if (m_.mem().in_tx(tid_)) {
+    // Outcome unknown until commit/abort; flushed by tx_account_end.
+    tx_pending_ += c;
+    return;
+  }
+  CycleBucket b = dflt;
+  if (b == CycleBucket::kWork || b == CycleBucket::kMemStall) {
+    if (lock_wait_depth_ > 0) {
+      b = CycleBucket::kLockWait;
+    } else if (fallback_depth_ > 0) {
+      b = CycleBucket::kFallback;
+    }
+  }
+  stats().cycles_by_bucket[static_cast<std::size_t>(b)] += c;
+}
+
+void Context::charge_mem(Cycles lat) {
+  if (m_.mem().in_tx(tid_)) {
+    tx_pending_ += lat;
+    return;
+  }
+  const Cycles hit = m_.config().lat_l1_hit;
+  const Cycles work = lat < hit ? lat : hit;
+  charge(work, CycleBucket::kWork);
+  charge(lat - work, CycleBucket::kMemStall);
+}
+
 void Context::compute(Cycles cycles) {
   check_doom();
   m_.engine()->advance(tid_, cycles);
+  charge(cycles, CycleBucket::kWork);
 }
 
 void Context::yield() {
@@ -43,6 +73,13 @@ void Context::tx_account_end(bool committed, AbortCause cause,
   } else {
     stats().tx_cycles_wasted += spent;
   }
+  // Flush cycles accumulated while the outcome was unknown into the bucket
+  // the outcome selects. tx_pending_ equals `spent` because nothing but this
+  // thread's own charged advances can move its clock inside a transaction.
+  stats().cycles_by_bucket[static_cast<std::size_t>(
+      committed ? CycleBucket::kTxCommitted : CycleBucket::kTxWasted)] +=
+      tx_pending_;
+  tx_pending_ = 0;
   if (TraceLog* t = m_.trace()) {
     t->record({committed ? TraceEvent::Kind::kCommit
                          : TraceEvent::Kind::kAbort,
@@ -64,6 +101,7 @@ void Context::check_doom() {
   mem.tx_rollback(tid_, cause);
   tx_account_end(false, cause, r, w);
   m_.engine()->advance(tid_, m_.config().lat_abort);
+  charge(m_.config().lat_abort, CycleBucket::kTxWasted);
   throw TxAbort{cause, 0};
 }
 
@@ -71,6 +109,7 @@ std::uint64_t Context::load(Addr a, unsigned size) {
   check_doom();
   AccessResult r = m_.mem().load(tid_, a, size);
   m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency);
   return r.value;
 }
 
@@ -78,6 +117,7 @@ void Context::store(Addr a, std::uint64_t v, unsigned size) {
   check_doom();
   Cycles lat = m_.mem().store(tid_, a, v, size);
   m_.engine()->advance(tid_, lat);
+  charge_mem(lat);
 }
 
 std::uint64_t Context::fetch_add(Addr a, std::int64_t delta, unsigned size) {
@@ -87,6 +127,7 @@ std::uint64_t Context::fetch_add(Addr a, std::int64_t delta, unsigned size) {
         return old + static_cast<std::uint64_t>(delta);
       });
   m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency);
   return r.value;
 }
 
@@ -100,6 +141,7 @@ bool Context::cas(Addr a, std::uint64_t expected, std::uint64_t desired,
         return ok ? desired : old;
       });
   m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency);
   return ok;
 }
 
@@ -108,6 +150,7 @@ std::uint64_t Context::exchange(Addr a, std::uint64_t v, unsigned size) {
   AccessResult r =
       m_.mem().atomic_rmw(tid_, a, size, [v](std::uint64_t) { return v; });
   m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency);
   return r.value;
 }
 
@@ -116,6 +159,7 @@ std::uint64_t Context::fetch_or(Addr a, std::uint64_t bits, unsigned size) {
   AccessResult r = m_.mem().atomic_rmw(
       tid_, a, size, [bits](std::uint64_t old) { return old | bits; });
   m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency);
   return r.value;
 }
 
@@ -130,6 +174,7 @@ void Context::load_bytes(Addr a, void* dst, std::size_t n) {
     for (std::size_t off = 0; off < n; off += 8) {
       AccessResult r = m_.mem().load(tid_, a + off, 8);
       m_.engine()->advance(tid_, r.latency);
+      charge_mem(r.latency);
       std::memcpy(out + off, &r.value, 8);
     }
     return;
@@ -139,6 +184,7 @@ void Context::load_bytes(Addr a, void* dst, std::size_t n) {
   for (Addr p = a & ~static_cast<Addr>(line - 1); p < a + n; p += line) {
     AccessResult r = m_.mem().load(tid_, p >= a ? p : a, 8);
     m_.engine()->advance(tid_, r.latency);
+    charge_mem(r.latency);
   }
   m_.heap().read_bytes(a, out, n);
 }
@@ -155,6 +201,7 @@ void Context::store_bytes(Addr a, const void* src, std::size_t n) {
       std::memcpy(&v, in + off, 8);
       Cycles lat = m_.mem().store(tid_, a + off, v, 8);
       m_.engine()->advance(tid_, lat);
+      charge_mem(lat);
     }
     return;
   }
@@ -165,6 +212,7 @@ void Context::store_bytes(Addr a, const void* src, std::size_t n) {
     std::memcpy(&v, in + (at - a), 8);
     Cycles lat = m_.mem().store(tid_, at, v, 8);
     m_.engine()->advance(tid_, lat);
+    charge_mem(lat);
   }
   m_.heap().write_bytes(a, in, n);
 }
@@ -183,9 +231,11 @@ void Context::xbegin() {
     m_.mem().tx_rollback(tid_, cause);
     tx_account_end(false, cause, r, w);
     m_.engine()->advance(tid_, m_.config().lat_abort);
+    charge(m_.config().lat_abort, CycleBucket::kTxWasted);
     throw TxAbort{cause, 0};
   }
   m_.engine()->advance(tid_, m_.config().lat_xbegin);
+  charge(m_.config().lat_xbegin, CycleBucket::kWork);  // in-tx: pends
 }
 
 void Context::xend() {
@@ -198,6 +248,9 @@ void Context::xend() {
     tx_account_end(true, AbortCause::kNone, r, w);
   }
   m_.engine()->advance(tid_, m_.config().lat_xend);
+  // Outer commit lands in kTxCommitted; a nested XEND is still in-tx and
+  // pends with the rest of the transaction.
+  charge(m_.config().lat_xend, CycleBucket::kTxCommitted);
 }
 
 void Context::xabort(std::uint8_t code) {
@@ -212,6 +265,7 @@ void Context::xabort(std::uint8_t code) {
   m_.mem().tx_rollback(tid_, AbortCause::kExplicit);
   tx_account_end(false, AbortCause::kExplicit, r, w);
   m_.engine()->advance(tid_, m_.config().lat_abort);
+  charge(m_.config().lat_abort, CycleBucket::kTxWasted);
   throw TxAbort{AbortCause::kExplicit, code};
 }
 
@@ -230,10 +284,12 @@ void Context::syscall(Cycles extra_cost) {
     m_.mem().tx_rollback(tid_, AbortCause::kSyscall);
     tx_account_end(false, AbortCause::kSyscall, r, w);
     m_.engine()->advance(tid_, m_.config().lat_abort);
+    charge(m_.config().lat_abort, CycleBucket::kTxWasted);
     throw TxAbort{AbortCause::kSyscall, 0};
   }
   stats().syscalls++;
   m_.engine()->advance(tid_, m_.config().lat_syscall + extra_cost);
+  charge(m_.config().lat_syscall + extra_cost, CycleBucket::kWork);
 }
 
 void Context::futex_wait(Addr addr, std::uint32_t expected) {
@@ -244,6 +300,7 @@ void Context::futex_wait(Addr addr, std::uint32_t expected) {
   stats().syscalls++;
   stats().futex_waits++;
   m_.engine()->advance(tid_, m_.config().lat_syscall);
+  charge(m_.config().lat_syscall, CycleBucket::kLockWait);
   // Atomic check-and-enqueue: we hold the scheduler token throughout.
   const std::uint32_t v =
       static_cast<std::uint32_t>(m_.heap().read_word(addr, 4));
@@ -252,8 +309,13 @@ void Context::futex_wait(Addr addr, std::uint32_t expected) {
   // hence no token handoff) may occur between them, or a concurrent wake
   // could be lost. Descheduling costs are charged after we are woken.
   m_.futex().enqueue(addr, tid_);
+  const Cycles blocked_at = now();
   m_.engine()->block(tid_);
+  // wake() jumped our clock to the waker's; that interval is lock-wait too.
+  charge(now() - blocked_at, CycleBucket::kLockWait);
   m_.engine()->advance(tid_, m_.config().lat_block + m_.config().lat_wake);
+  charge(m_.config().lat_block + m_.config().lat_wake,
+         CycleBucket::kLockWait);
 }
 
 int Context::futex_wake(Addr addr, int count) {
@@ -265,11 +327,13 @@ int Context::futex_wake(Addr addr, int count) {
     m_.mem().tx_rollback(tid_, AbortCause::kSyscall);
     tx_account_end(false, AbortCause::kSyscall, r, w);
     m_.engine()->advance(tid_, m_.config().lat_abort);
+    charge(m_.config().lat_abort, CycleBucket::kTxWasted);
     throw TxAbort{AbortCause::kSyscall, 0};
   }
   stats().syscalls++;
   stats().futex_wakes++;
   m_.engine()->advance(tid_, m_.config().lat_syscall);
+  charge(m_.config().lat_syscall, CycleBucket::kWork);
   Engine* e = m_.engine();
   const Cycles now = e->clock(tid_);
   return m_.futex().wake(addr, count,

@@ -74,6 +74,33 @@ class Context {
 
   ThreadStats& stats();
 
+  // --- Cycle-accounting scopes ---------------------------------------------
+  // While a scope is active, cycles the thread spends outside transactions
+  // are classified as lock-wait (spinning for a lock) or serialized-fallback
+  // (running a critical section under the fallback lock) instead of work.
+  // Scopes nest; the sync layer opens them around spin loops and fallback
+  // critical sections.
+  class LockWaitScope {
+   public:
+    explicit LockWaitScope(Context& c) : c_(c) { c_.lock_wait_depth_++; }
+    ~LockWaitScope() { c_.lock_wait_depth_--; }
+    LockWaitScope(const LockWaitScope&) = delete;
+    LockWaitScope& operator=(const LockWaitScope&) = delete;
+
+   private:
+    Context& c_;
+  };
+  class FallbackScope {
+   public:
+    explicit FallbackScope(Context& c) : c_(c) { c_.fallback_depth_++; }
+    ~FallbackScope() { c_.fallback_depth_--; }
+    FallbackScope(const FallbackScope&) = delete;
+    FallbackScope& operator=(const FallbackScope&) = delete;
+
+   private:
+    Context& c_;
+  };
+
  private:
   /// If a remote conflict doomed our transaction, roll back and throw.
   void check_doom();
@@ -82,9 +109,22 @@ class Context {
   void tx_account_end(bool committed, AbortCause cause,
                       std::uint32_t read_lines, std::uint32_t write_lines);
 
+  /// Classify `c` cycles that were just charged to the clock. Inside a
+  /// transaction the cycles accumulate in tx_pending_ and are flushed to
+  /// kTxCommitted / kTxWasted when the outcome is known; outside, kWork and
+  /// kMemStall defaults are overridden by an active lock-wait or fallback
+  /// scope. Every Engine::advance in this class is paired with exactly one
+  /// charge so the buckets sum to end_cycle.
+  void charge(Cycles c, CycleBucket dflt);
+  /// Memory-access latency: the L1-hit portion is work, the excess is stall.
+  void charge_mem(Cycles lat);
+
   Machine& m_;
   ThreadId tid_;
   Cycles tx_start_clock_ = 0;
+  Cycles tx_pending_ = 0;
+  int lock_wait_depth_ = 0;
+  int fallback_depth_ = 0;
 };
 
 }  // namespace tsxhpc::sim

@@ -1,10 +1,18 @@
 // The simulated shared heap: a flat virtual address space whose contents are
 // the *values* of shared memory. All inter-thread-visible data in a workload
 // lives here so that the cache / conflict models see every access.
+//
+// Allocations can be *named* (allocate_named): the heap keeps a sorted
+// region registry mapping address ranges back to workload data structures,
+// which is what lets conflict and capacity telemetry say "this abort came
+// from `vacation.relations`" instead of printing a bare line address.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/types.h"
@@ -36,6 +44,42 @@ class SharedHeap {
   Addr allocate_lines(std::size_t bytes) {
     return allocate(bytes, line_bytes_);
   }
+
+  /// Allocate and register the range under `name` so conflict/capacity
+  /// telemetry can attribute line addresses back to this object.
+  Addr allocate_named(std::string_view name, std::size_t bytes,
+                      std::size_t align = 8) {
+    const Addr a = allocate(bytes, align);
+    // The bump allocator is monotone, so regions_ stays sorted by base.
+    regions_.push_back(Region{a, a + (bytes == 0 ? 1 : bytes),
+                              std::string(name)});
+    return a;
+  }
+
+  /// A named allocation registered via allocate_named.
+  struct Region {
+    Addr base = 0;
+    Addr end = 0;  // one past the last byte
+    std::string name;
+  };
+
+  /// The named region containing `a`, or null if `a` was never named.
+  const Region* region_of(Addr a) const {
+    auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), a,
+        [](Addr x, const Region& r) { return x < r.base; });
+    if (it == regions_.begin()) return nullptr;
+    --it;
+    return a < it->end ? &*it : nullptr;
+  }
+
+  /// Name of the allocation containing `a` ("" if unnamed).
+  std::string_view name_of(Addr a) const {
+    const Region* r = region_of(a);
+    return r ? std::string_view(r->name) : std::string_view();
+  }
+
+  const std::vector<Region>& regions() const { return regions_; }
 
   // Raw, *untimed* value access. The Context routes all timed accesses here
   // after running the coherence/transaction machinery. Tests and workload
@@ -87,6 +131,7 @@ class SharedHeap {
   std::uint32_t line_bytes_;
   Addr brk_;
   std::vector<std::uint8_t> mem_;
+  std::vector<Region> regions_;  // sorted by base (bump alloc is monotone)
 };
 
 }  // namespace tsxhpc::sim

@@ -1,0 +1,287 @@
+// Minimal recursive-descent JSON parser — the read side of json.h's
+// writer, used by the report layer (tools/tsx_report and the in-process
+// --report path both consume telemetry artifacts through it, so they
+// compute identical numbers). Deliberately small: no streaming, no
+// surrogate-pair decoding, numbers kept as raw text so 64-bit cycle
+// counters survive the round trip without a double conversion.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool as_bool() const { return type_ == Type::kBool && bool_; }
+  /// Unsigned integer view of a number (0 for non-numbers).
+  std::uint64_t as_u64() const {
+    if (type_ != Type::kNumber) return 0;
+    return std::strtoull(text_.c_str(), nullptr, 10);
+  }
+  double as_double() const {
+    if (type_ != Type::kNumber) return 0.0;
+    return std::strtod(text_.c_str(), nullptr);
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return type_ == Type::kString ? text_ : kEmpty;
+  }
+  /// Addresses are serialized as "0x..." strings; parse one back (0 if not).
+  Addr as_addr() const {
+    if (type_ != Type::kString) return 0;
+    return std::strtoull(text_.c_str(), nullptr, 16);
+  }
+
+  const std::vector<JsonValue>& items() const { return arr_; }
+  std::size_t size() const { return arr_.size(); }
+  const JsonValue& at(std::size_t i) const {
+    static const JsonValue kNull;
+    return i < arr_.size() ? arr_[i] : kNull;
+  }
+
+  /// Object member lookup; returns a null value for missing keys so report
+  /// code can read older/newer schema revisions without branching.
+  const JsonValue& operator[](std::string_view key) const {
+    static const JsonValue kNull;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return v;
+    }
+    return kNull;
+  }
+  bool has(std::string_view key) const { return !(*this)[key].is_null(); }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string text_;  // number (raw) or string (unescaped)
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+class JsonParser {
+ public:
+  /// Parse `text`; on malformed input sets *error and returns a null value.
+  static JsonValue parse(std::string_view text, std::string* error = nullptr) {
+    JsonParser p(text);
+    JsonValue v;
+    try {
+      v = p.value();
+      p.skip_ws();
+      if (p.pos_ != text.size()) p.fail("trailing characters");
+    } catch (const ParseError& e) {
+      if (error) *error = e.what;
+      return JsonValue{};
+    }
+    return v;
+  }
+
+ private:
+  struct ParseError {
+    std::string what;
+  };
+
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const char* msg) {
+    throw ParseError{std::string(msg) + " at offset " +
+                     std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      pos_++;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    pos_++;
+  }
+
+  bool consume_lit(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!consume_lit("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_lit("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_lit("null")) fail("bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      pos_++;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj_.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        pos_++;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      pos_++;
+      return v;
+    }
+    for (;;) {
+      v.arr_.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        pos_++;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kString;
+    v.text_ = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      pos_++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      pos_++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00XX control escapes; anything wider is
+          // replaced rather than UTF-8 encoded.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_++;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      pos_++;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        pos_++;
+      }
+      digits();
+    }
+    if (!any) fail("bad number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.text_.assign(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tsxhpc::sim

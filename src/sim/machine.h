@@ -33,6 +33,13 @@ class Machine {
     return heap().allocate(bytes, align);
   }
 
+  /// Named allocation: telemetry attributes conflict/capacity aborts on
+  /// these lines back to `name` (see SharedHeap::allocate_named).
+  Addr alloc_named(std::string_view name, std::size_t bytes,
+                   std::size_t align = 64) {
+    return heap().allocate_named(name, bytes, align);
+  }
+
   /// Run `body` on `num_threads` simulated threads (SPMD style). Statistics
   /// are reset at region entry; returns per-thread stats and the makespan.
   RunStats run(int num_threads, const std::function<void(Context&)>& body);

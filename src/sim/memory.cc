@@ -39,11 +39,15 @@ void MemorySystem::check_alignment(Addr a, unsigned size) const {
   }
 }
 
-bool MemorySystem::doom(ThreadId victim, AbortCause cause) {
+bool MemorySystem::doom(ThreadId victim, AbortCause cause, Addr line,
+                        ThreadId aggressor, bool is_write) {
   TxState& v = tx_[victim];
   if (!v.active || v.doomed) return false;
   v.doomed = true;
   v.doom_cause = cause;
+  v.doom_line = line;
+  v.doom_aggressor = aggressor;
+  v.doom_was_write = is_write;
   stats_[victim].tx_doomed_by_remote++;
   return true;
 }
@@ -61,10 +65,13 @@ void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
       victims |= static_cast<std::uint16_t>(it->second & ~self);
     }
   }
+  const Addr line_addr = line * cfg_.line_bytes;
   while (victims != 0) {
     int v = __builtin_ctz(victims);
     victims &= static_cast<std::uint16_t>(victims - 1);
-    if (doom(v, AbortCause::kConflict) && tel_) tel_->on_conflict(t, v);
+    if (doom(v, AbortCause::kConflict, line_addr, t, is_write) && tel_) {
+      tel_->on_conflict(t, v, line_addr, is_write, heap_.name_of(line_addr));
+    }
   }
 }
 
@@ -97,8 +104,14 @@ Cycles MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
   // (or our own) transaction has *written* aborts that transaction; evicted
   // *read* lines move to the secondary tracking structure (Section 2).
   if (touch.evicted) {
+    const Addr evicted_addr = touch.evicted_line * cfg_.line_bytes;
     if (touch.evicted_tx_writer >= 0) {
-      doom(touch.evicted_tx_writer, AbortCause::kCapacity);
+      if (doom(touch.evicted_tx_writer, AbortCause::kCapacity, evicted_addr,
+               /*aggressor=*/-1, /*is_write=*/true) &&
+          tel_) {
+        tel_->on_capacity(touch.evicted_tx_writer, evicted_addr,
+                          /*read_line=*/false, heap_.name_of(evicted_addr));
+      }
     }
     std::uint16_t readers = touch.evicted_tx_readers;
     while (readers != 0) {
@@ -115,7 +128,12 @@ Cycles MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
         const double u =
             static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
         if (u < cfg_.read_evict_abort_prob) {
-          doom(r, AbortCause::kCapacityRead);
+          if (doom(r, AbortCause::kCapacityRead, evicted_addr,
+                   /*aggressor=*/-1, /*is_write=*/false) &&
+              tel_) {
+            tel_->on_capacity(r, evicted_addr, /*read_line=*/true,
+                              heap_.name_of(evicted_addr));
+          }
         }
       }
     }

@@ -33,6 +33,13 @@ struct TxState {
   bool doomed = false;
   AbortCause doom_cause = AbortCause::kNone;
 
+  // Provenance of the doom, captured at detection time: the cache line
+  // (byte address) whose access killed us, who issued it (-1 when the doom
+  // was a capacity event rather than a remote access), and the access kind.
+  Addr doom_line = kNullAddr;
+  ThreadId doom_aggressor = -1;
+  bool doom_was_write = false;
+
   // Line-granularity read/write sets (global registry holds reverse maps).
   std::vector<Addr> read_lines;
   std::vector<Addr> write_lines;
@@ -49,6 +56,9 @@ struct TxState {
     nest_depth = 0;
     doomed = false;
     doom_cause = AbortCause::kNone;
+    doom_line = kNullAddr;
+    doom_aggressor = -1;
+    doom_was_write = false;
     read_lines.clear();
     write_lines.clear();
     write_buffer.clear();
@@ -135,8 +145,11 @@ class MemorySystem {
   void detect_conflicts(ThreadId t, Addr line, bool is_write);
 
   /// Returns true if the victim was actually doomed by this call (it had an
-  /// active, not-yet-doomed transaction).
-  bool doom(ThreadId victim, AbortCause cause);
+  /// active, not-yet-doomed transaction). `line` is the byte address of the
+  /// cache line responsible; `aggressor` is the thread whose access doomed
+  /// the victim (-1 for capacity evictions).
+  bool doom(ThreadId victim, AbortCause cause, Addr line, ThreadId aggressor,
+            bool is_write);
 
   /// Track line membership in t's transactional read or write set.
   void tx_track(ThreadId t, Addr line, bool is_write);

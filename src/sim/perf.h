@@ -74,6 +74,16 @@ inline std::string perf_report(const RunStats& rs) {
   line(out, t.atomics, "atomics");
   line(out, t.syscalls, "syscalls");
   line(out, rs.makespan, "makespan-cycles");
+  // Derived summary lines, formatted identically to tools/tsx_report so the
+  // inline report and the artifact analysis agree to the printed digit.
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  abort rate: %.2f%% of started transactions\n", abort_pct);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  wasted cycles: %.2f%% of transactional cycles\n",
+                wasted_pct);
+  out += buf;
   return out;
 }
 

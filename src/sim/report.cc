@@ -1,0 +1,255 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace tsxhpc::sim {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Index of the largest element (ties to the lowest index); -1 if empty.
+int argmax(const JsonValue& arr) {
+  int best = -1;
+  std::uint64_t best_v = 0;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const std::uint64_t v = arr.at(i).as_u64();
+    if (best < 0 || v > best_v) {
+      best = static_cast<int>(i);
+      best_v = v;
+    }
+  }
+  return best;
+}
+
+void render_abort_tree(std::string& out, const JsonValue& totals) {
+  const std::uint64_t started = totals["tx_started"].as_u64();
+  const std::uint64_t committed = totals["tx_committed"].as_u64();
+  const std::uint64_t aborted = totals["tx_aborted"].as_u64();
+  appendf(out, "  transactions: started=%llu\n",
+          static_cast<unsigned long long>(started));
+  const double of_started = started == 0 ? 0.0 : 100.0 / static_cast<double>(started);
+  appendf(out, "  |- committed  %12llu  (%5.1f%%)\n",
+          static_cast<unsigned long long>(committed),
+          static_cast<double>(committed) * of_started);
+  appendf(out, "  `- aborted    %12llu  (%5.1f%%)\n",
+          static_cast<unsigned long long>(aborted),
+          static_cast<double>(aborted) * of_started);
+  const JsonValue& causes = totals["aborts_by_cause"];
+  const auto& members = causes.members();
+  std::size_t shown = 0, nonzero = 0;
+  for (const auto& [k, v] : members) {
+    if (v.as_u64() != 0) nonzero++;
+  }
+  for (const auto& [k, v] : members) {
+    const std::uint64_t n = v.as_u64();
+    if (n == 0) continue;
+    shown++;
+    const double pct =
+        aborted == 0 ? 0.0
+                     : 100.0 * static_cast<double>(n) / static_cast<double>(aborted);
+    appendf(out, "     %s %-14s %12llu  (%5.1f%% of aborts)\n",
+            shown == nonzero ? "`-" : "|-", k.c_str(),
+            static_cast<unsigned long long>(n), pct);
+  }
+}
+
+void render_conflict_lines(std::string& out, const JsonValue& run,
+                           std::size_t top) {
+  const JsonValue& lines = run["conflict_lines"];
+  const std::uint64_t total = run["conflict_lines_total"].as_u64();
+  if (lines.size() == 0) {
+    out += "  top conflicting lines: none\n";
+    return;
+  }
+  appendf(out, "  top conflicting lines (%zu of %llu):\n",
+          std::min<std::size_t>(lines.size(), top),
+          static_cast<unsigned long long>(total));
+  for (std::size_t i = 0; i < lines.size() && i < top; ++i) {
+    const JsonValue& l = lines.at(i);
+    const std::string& object = l["object"].as_string();
+    const int agg = argmax(l["by_aggressor"]);
+    const int vic = argmax(l["by_victim"]);
+    char agg_s[16] = "-", vic_s[16] = "-";
+    if (agg >= 0) std::snprintf(agg_s, sizeof(agg_s), "t%d", agg);
+    if (vic >= 0) std::snprintf(vic_s, sizeof(vic_s), "t%d", vic);
+    appendf(out,
+            "    %-18s %-20s dooms=%-6llu (w=%llu r=%llu) "
+            "top-aggressor=%s top-victim=%s\n",
+            l["line"].as_string().c_str(),
+            object.empty() ? "(unnamed)" : object.c_str(),
+            static_cast<unsigned long long>(l["dooms"].as_u64()),
+            static_cast<unsigned long long>(l["write_dooms"].as_u64()),
+            static_cast<unsigned long long>(l["read_dooms"].as_u64()),
+            agg_s, vic_s);
+  }
+}
+
+void render_capacity_lines(std::string& out, const JsonValue& run,
+                           std::size_t top) {
+  const JsonValue& lines = run["capacity_lines"];
+  if (lines.size() == 0) return;
+  appendf(out, "  capacity-doomed lines (%zu of %llu):\n",
+          std::min<std::size_t>(lines.size(), top),
+          static_cast<unsigned long long>(run["capacity_lines_total"].as_u64()));
+  for (std::size_t i = 0; i < lines.size() && i < top; ++i) {
+    const JsonValue& l = lines.at(i);
+    const std::string& object = l["object"].as_string();
+    appendf(out, "    %-18s %-20s write-evict=%llu read-evict=%llu\n",
+            l["line"].as_string().c_str(),
+            object.empty() ? "(unnamed)" : object.c_str(),
+            static_cast<unsigned long long>(l["write_evict_dooms"].as_u64()),
+            static_cast<unsigned long long>(l["read_evict_dooms"].as_u64()));
+  }
+}
+
+constexpr const char* kBucketKeys[] = {"work",      "tx_committed", "tx_wasted",
+                                       "lock_wait", "fallback",     "mem_stall"};
+
+void render_cycle_table(std::string& out, const JsonValue& run) {
+  const JsonValue& threads = run["threads"];
+  if (threads.size() == 0 || !threads.at(0).has("cycles")) return;
+  out +=
+      "  cycle accounting (cycles per thread):\n"
+      "    tid          work  tx_committed     tx_wasted     lock_wait"
+      "      fallback     mem_stall         total\n";
+  for (std::size_t t = 0; t < threads.size(); ++t) {
+    const JsonValue& th = threads.at(t);
+    const JsonValue& cy = th["cycles"];
+    appendf(out, "    %3llu",
+            static_cast<unsigned long long>(th["tid"].as_u64()));
+    for (const char* k : kBucketKeys) {
+      appendf(out, "  %12llu", static_cast<unsigned long long>(cy[k].as_u64()));
+    }
+    const std::uint64_t total = cy["total"].as_u64();
+    const std::uint64_t end = th["end_cycle"].as_u64();
+    appendf(out, "  %12llu", static_cast<unsigned long long>(total));
+    // The accounting invariant: buckets sum to the thread's final clock.
+    if (total != end) {
+      appendf(out, "  !! end_cycle=%llu",
+              static_cast<unsigned long long>(end));
+    }
+    out += '\n';
+  }
+  const JsonValue& cy = run["totals"]["cycles"];
+  out += "    sum";
+  for (const char* k : kBucketKeys) {
+    appendf(out, "  %12llu", static_cast<unsigned long long>(cy[k].as_u64()));
+  }
+  appendf(out, "  %12llu\n",
+          static_cast<unsigned long long>(cy["total"].as_u64()));
+}
+
+void render_locks(std::string& out, const JsonValue& run) {
+  const JsonValue& locks = run["locks"];
+  if (locks.size() == 0) return;
+  out += "  lock sites:\n";
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    const JsonValue& l = locks.at(i);
+    appendf(out,
+            "    %-14s %-8s acquires=%-6llu elision=%5.1f%% "
+            "tx-cycles(committed=%llu wasted=%llu) fallback-hold=%llu "
+            "wait=%llu\n",
+            l["site"].as_string().c_str(), l["kind"].as_string().c_str(),
+            static_cast<unsigned long long>(l["acquires"].as_u64()),
+            l["elision_rate_pct"].as_double(),
+            static_cast<unsigned long long>(l["tx_cycles_committed"].as_u64()),
+            static_cast<unsigned long long>(l["tx_cycles_wasted"].as_u64()),
+            static_cast<unsigned long long>(l["fallback_hold_cycles"].as_u64()),
+            static_cast<unsigned long long>(l["wait_cycles"].as_u64()));
+  }
+}
+
+}  // namespace
+
+bool is_telemetry_doc(const JsonValue& doc) {
+  return doc.is_object() && doc["runs"].is_array() &&
+         doc["schema"].as_string().rfind("tsxhpc-telemetry-", 0) == 0;
+}
+
+std::string render_report(const JsonValue& doc, const ReportOptions& opt) {
+  std::string out;
+  appendf(out, "tsx_report: bench=%s schema=%s runs=%zu\n",
+          doc["bench"].as_string().c_str(), doc["schema"].as_string().c_str(),
+          doc["runs"].size());
+  const JsonValue& runs = doc["runs"];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const JsonValue& run = runs.at(i);
+    const JsonValue& totals = run["totals"];
+    appendf(out, "\nrun %s: threads=%llu makespan=%llu%s\n",
+            run["label"].as_string().c_str(),
+            static_cast<unsigned long long>(run["num_threads"].as_u64()),
+            static_cast<unsigned long long>(run["makespan"].as_u64()),
+            run["complete"].as_bool() ? "" : " (incomplete)");
+    render_abort_tree(out, totals);
+    appendf(out, "  abort rate: %.2f%% of started transactions\n",
+            totals["abort_rate_pct"].as_double());
+    appendf(out, "  wasted cycles: %.2f%% of transactional cycles\n",
+            totals["wasted_cycle_pct"].as_double());
+    render_conflict_lines(out, run, opt.top_lines);
+    render_capacity_lines(out, run, opt.top_lines);
+    render_cycle_table(out, run);
+    render_locks(out, run);
+  }
+  return out;
+}
+
+int render_diff(const JsonValue& base, const JsonValue& cur,
+                const DiffThresholds& thr, std::string& out) {
+  int regressions = 0;
+  appendf(out, "tsx_report diff: base bench=%s, current bench=%s\n",
+          base["bench"].as_string().c_str(),
+          cur["bench"].as_string().c_str());
+  appendf(out,
+          "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
+          thr.abort_rate_pp, thr.wasted_cycle_pp);
+  const JsonValue& cur_runs = cur["runs"];
+  const JsonValue& base_runs = base["runs"];
+  for (std::size_t i = 0; i < cur_runs.size(); ++i) {
+    const JsonValue& c = cur_runs.at(i);
+    const std::string& label = c["label"].as_string();
+    const JsonValue* b = nullptr;
+    for (std::size_t j = 0; j < base_runs.size(); ++j) {
+      if (base_runs.at(j)["label"].as_string() == label) {
+        b = &base_runs.at(j);
+        break;
+      }
+    }
+    if (!b) {
+      appendf(out, "run %s: no baseline run with this label (skipped)\n",
+              label.c_str());
+      continue;
+    }
+    const double abort_b = (*b)["totals"]["abort_rate_pct"].as_double();
+    const double abort_c = c["totals"]["abort_rate_pct"].as_double();
+    const double waste_b = (*b)["totals"]["wasted_cycle_pct"].as_double();
+    const double waste_c = c["totals"]["wasted_cycle_pct"].as_double();
+    const std::uint64_t mk_b = (*b)["makespan"].as_u64();
+    const std::uint64_t mk_c = c["makespan"].as_u64();
+    const bool abort_reg = abort_c - abort_b > thr.abort_rate_pp;
+    const bool waste_reg = waste_c - waste_b > thr.wasted_cycle_pp;
+    appendf(out,
+            "run %s: abort-rate %.2f%% -> %.2f%% (%+.2fpp)%s  "
+            "wasted-cycles %.2f%% -> %.2f%% (%+.2fpp)%s  "
+            "makespan %llu -> %llu\n",
+            label.c_str(), abort_b, abort_c, abort_c - abort_b,
+            abort_reg ? " REGRESSION" : "", waste_b, waste_c,
+            waste_c - waste_b, waste_reg ? " REGRESSION" : "",
+            static_cast<unsigned long long>(mk_b),
+            static_cast<unsigned long long>(mk_c));
+    regressions += (abort_reg ? 1 : 0) + (waste_reg ? 1 : 0);
+  }
+  appendf(out, "%d regression(s)\n", regressions);
+  return regressions;
+}
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,38 @@
+// Human-readable analysis of a tsxhpc-telemetry-v2 artifact: the abort-cause
+// tree, top conflicting lines with object attribution, per-thread cycle
+// accounting, and per-lock-site elision economics. Both consumers — the
+// tools/tsx_report CLI (from a JSON file) and bench --report (from the
+// in-process Telemetry, serialized and re-parsed) — go through this one
+// code path, so the numbers they print are identical by construction.
+#pragma once
+
+#include <string>
+
+#include "sim/json_parse.h"
+
+namespace tsxhpc::sim {
+
+struct ReportOptions {
+  std::size_t top_lines = 10;  // conflict/capacity lines to show per run
+};
+
+/// Regression thresholds for diff mode, in percentage points.
+struct DiffThresholds {
+  double abort_rate_pp = 1.0;
+  double wasted_cycle_pp = 1.0;
+};
+
+/// True if `doc` looks like a telemetry artifact this report understands.
+bool is_telemetry_doc(const JsonValue& doc);
+
+/// Render the report for one parsed artifact.
+std::string render_report(const JsonValue& doc, const ReportOptions& opt = {});
+
+/// Compare `cur` against `base` run-by-run (matched by label). Appends the
+/// comparison to `out` and returns the number of regressions: runs where
+/// the abort rate or the wasted-cycle fraction grew by more than the
+/// threshold.
+int render_diff(const JsonValue& base, const JsonValue& cur,
+                const DiffThresholds& thr, std::string& out);
+
+}  // namespace tsxhpc::sim

@@ -52,6 +52,14 @@ class Shared {
     return s;
   }
 
+  /// Like alloc, but registers the cell under `name` for telemetry
+  /// conflict/capacity attribution.
+  static Shared alloc_named(Machine& m, std::string_view name, T init = T{}) {
+    Shared s(m.alloc_named(name, sizeof(T), 64));
+    s.init(m, init);
+    return s;
+  }
+
   Addr addr() const { return a_; }
   bool valid() const { return a_ != kNullAddr; }
 
@@ -110,6 +118,15 @@ class SharedArray {
 
   static SharedArray alloc(Machine& m, std::size_t n, T init = T{}) {
     SharedArray arr(m.alloc(n * sizeof(T), 64), n);
+    for (std::size_t i = 0; i < n; ++i) arr.at(i).init(m, init);
+    return arr;
+  }
+
+  /// Like alloc, but registers the array under `name` for telemetry
+  /// conflict/capacity attribution.
+  static SharedArray alloc_named(Machine& m, std::string_view name,
+                                 std::size_t n, T init = T{}) {
+    SharedArray arr(m.alloc_named(name, n * sizeof(T), 64), n);
     for (std::size_t i = 0; i < n; ++i) arr.at(i).init(m, init);
     return arr;
   }

@@ -11,6 +11,32 @@
 
 namespace tsxhpc::sim {
 
+/// Where a simulated cycle went. Every cycle a thread's virtual clock
+/// advances is attributed to exactly one bucket, so per-thread buckets sum
+/// to the thread's end_cycle — the invariant tsx_report's cycle-accounting
+/// table relies on (and tests assert).
+enum class CycleBucket : std::uint8_t {
+  kWork = 0,      // useful non-transactional execution (compute, L1 hits)
+  kTxCommitted,   // inside transactions that eventually committed
+  kTxWasted,      // inside transactions that aborted, plus rollback cost
+  kLockWait,      // lock-acquire spinning, elision backoff, futex blocking
+  kFallback,      // serialized execution under an elision fallback lock
+  kMemStall,      // beyond-L1 portion of non-transactional memory accesses
+  kNumBuckets,
+};
+
+inline const char* to_string(CycleBucket b) {
+  switch (b) {
+    case CycleBucket::kWork: return "work";
+    case CycleBucket::kTxCommitted: return "tx_committed";
+    case CycleBucket::kTxWasted: return "tx_wasted";
+    case CycleBucket::kLockWait: return "lock_wait";
+    case CycleBucket::kFallback: return "fallback";
+    case CycleBucket::kMemStall: return "mem_stall";
+    default: return "?";
+  }
+}
+
 /// Counters for one hardware thread. All counters are cumulative over a run.
 struct ThreadStats {
   // Transactional execution (RTM).
@@ -24,6 +50,11 @@ struct ThreadStats {
   // cycles spent inside regions that eventually committed vs. aborted.
   Cycles tx_cycles_committed = 0;
   Cycles tx_cycles_wasted = 0;
+
+  // Full cycle accounting: every clock advance lands in exactly one bucket,
+  // so the buckets sum to end_cycle (see CycleBucket).
+  std::array<Cycles, static_cast<size_t>(CycleBucket::kNumBuckets)>
+      cycles_by_bucket{};
 
   // Memory system.
   std::uint64_t l1_hits = 0;
@@ -43,6 +74,24 @@ struct ThreadStats {
     std::uint64_t n = 0;
     for (auto a : tx_aborted) n += a;
     return n;
+  }
+
+  Cycles bucket(CycleBucket b) const {
+    return cycles_by_bucket[static_cast<size_t>(b)];
+  }
+  Cycles cycles_total() const {
+    Cycles n = 0;
+    for (auto c : cycles_by_bucket) n += c;
+    return n;
+  }
+
+  /// Wasted-cycle fraction in percent: aborted-transaction cycles over all
+  /// transactional cycles (the quantity tsx_report regresses on).
+  double wasted_cycle_pct() const {
+    const double tx = static_cast<double>(tx_cycles_committed +
+                                          tx_cycles_wasted);
+    return tx == 0 ? 0.0
+                   : 100.0 * static_cast<double>(tx_cycles_wasted) / tx;
   }
 
   /// Abort rate in percent, as reported in the paper's Table 1:
@@ -74,6 +123,8 @@ struct RunStats {
       t.tx_doomed_by_remote += s.tx_doomed_by_remote;
       t.tx_cycles_committed += s.tx_cycles_committed;
       t.tx_cycles_wasted += s.tx_cycles_wasted;
+      for (size_t i = 0; i < t.cycles_by_bucket.size(); ++i)
+        t.cycles_by_bucket[i] += s.cycles_by_bucket[i];
       t.l1_hits += s.l1_hits;
       t.l1_misses += s.l1_misses;
       t.xfers_in += s.xfers_in;

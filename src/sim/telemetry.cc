@@ -170,8 +170,11 @@ void Telemetry::on_txn(ThreadId tid, Cycles start, Cycles end, bool committed,
     rec.section = sec.id;
     rec.attempt = sec.attempts++;
     rec.site = sec.site;
-    if (!committed) {
-      LockSiteStats& ls = site_stats(*r, sec.site, sec.kind);
+    LockSiteStats& ls = site_stats(*r, sec.site, sec.kind);
+    if (committed) {
+      ls.tx_cycles_committed += end - start;
+    } else {
+      ls.tx_cycles_wasted += end - start;
       ls.tx_aborts++;
       ls.aborts_by_cause[static_cast<std::size_t>(cause)]++;
     }
@@ -228,7 +231,9 @@ void Telemetry::section_fallback(ThreadId tid, Cycles acquired_at,
   OpenSection& sec = open_sections_[static_cast<std::size_t>(tid)];
   if (!sec.open) return;
   sec.open = false;
-  site_stats(*r, sec.site, sec.kind).fallback_acquires++;
+  LockSiteStats& ls = site_stats(*r, sec.site, sec.kind);
+  ls.fallback_acquires++;
+  ls.fallback_hold_cycles += released_at - acquired_at;
   bump(r->fallback_after_attempts, sec.attempts);
   bucket(*r, released_at).fallbacks++;
 
@@ -283,7 +288,8 @@ void Telemetry::on_blocked(ThreadId tid, Cycles start, Cycles end) {
   r->blocked_dropped++;
 }
 
-void Telemetry::on_conflict(ThreadId aggressor, ThreadId victim) {
+void Telemetry::on_conflict(ThreadId aggressor, ThreadId victim, Addr line,
+                            bool is_write, std::string_view object) {
   RunRecord* r = cur();
   if (!r) return;
   r->conflict_dooms++;
@@ -291,6 +297,41 @@ void Telemetry::on_conflict(ThreadId aggressor, ThreadId victim) {
   const auto a = static_cast<std::size_t>(aggressor);
   const auto v = static_cast<std::size_t>(victim);
   if (a < n && v < n) r->conflicts[a * n + v]++;
+
+  auto [it, inserted] = r->conflict_lines.try_emplace(line);
+  ConflictLineStats& cl = it->second;
+  if (inserted) {
+    cl.object = std::string(object);
+    cl.by_aggressor.assign(n, 0);
+    cl.by_victim.assign(n, 0);
+  }
+  cl.dooms++;
+  (is_write ? cl.write_dooms : cl.read_dooms)++;
+  if (a < n) cl.by_aggressor[a]++;
+  if (v < n) cl.by_victim[v]++;
+}
+
+void Telemetry::on_capacity(ThreadId /*victim*/, Addr line, bool read_line,
+                            std::string_view object) {
+  RunRecord* r = cur();
+  if (!r) return;
+  auto [it, inserted] = r->capacity_lines.try_emplace(line);
+  if (inserted) it->second.object = std::string(object);
+  (read_line ? it->second.read_evict_dooms
+             : it->second.write_evict_dooms)++;
+}
+
+std::vector<std::pair<Addr, const ConflictLineStats*>>
+RunRecord::conflict_lines_by_heat() const {
+  std::vector<std::pair<Addr, const ConflictLineStats*>> v;
+  v.reserve(conflict_lines.size());
+  for (const auto& [addr, cl] : conflict_lines) v.emplace_back(addr, &cl);
+  std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.second->dooms != b.second->dooms)
+      return a.second->dooms > b.second->dooms;
+    return a.first < b.first;
+  });
+  return v;
 }
 
 void Telemetry::on_futex_wait(Addr addr) {
@@ -323,6 +364,15 @@ void write_counter_block(JsonWriter& w, const ThreadStats& t) {
   w.kv("tx_doomed_by_remote", t.tx_doomed_by_remote);
   w.kv("tx_cycles_committed", t.tx_cycles_committed);
   w.kv("tx_cycles_wasted", t.tx_cycles_wasted);
+  w.kv("wasted_cycle_pct", t.wasted_cycle_pct());
+  w.key("cycles");
+  w.begin_object();
+  for (std::size_t b = 0;
+       b < static_cast<std::size_t>(CycleBucket::kNumBuckets); ++b) {
+    w.kv(to_string(static_cast<CycleBucket>(b)), t.cycles_by_bucket[b]);
+  }
+  w.kv("total", t.cycles_total());
+  w.end_object();
   w.kv("l1_hits", t.l1_hits);
   w.kv("l1_misses", t.l1_misses);
   w.kv("xfers_in", t.xfers_in);
@@ -358,7 +408,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v1");
+  w.kv("schema", "tsxhpc-telemetry-v2");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -399,6 +449,9 @@ std::string Telemetry::json(const std::string& bench_name) const {
       w.kv("elided_commits", ls.elided_commits);
       w.kv("fallback_acquires", ls.fallback_acquires);
       w.kv("elision_rate_pct", 100.0 * ls.elision_rate());
+      w.kv("tx_cycles_committed", ls.tx_cycles_committed);
+      w.kv("tx_cycles_wasted", ls.tx_cycles_wasted);
+      w.kv("fallback_hold_cycles", ls.fallback_hold_cycles);
       w.kv("tx_aborts", ls.tx_aborts);
       w.key("aborts_by_cause");
       w.begin_object();
@@ -460,6 +513,46 @@ std::string Telemetry::json(const std::string& bench_name) const {
       }
     }
     w.end_array();
+
+    w.key("conflict_lines");
+    w.begin_array();
+    {
+      auto hot = r.conflict_lines_by_heat();
+      const std::size_t limit = std::min<std::size_t>(hot.size(), 64);
+      for (std::size_t i = 0; i < limit; ++i) {
+        const auto& [addr, cl] = hot[i];
+        w.begin_object();
+        w.kv_hex("line", addr);
+        w.kv("object", cl->object);
+        w.kv("dooms", cl->dooms);
+        w.kv("write_dooms", cl->write_dooms);
+        w.kv("read_dooms", cl->read_dooms);
+        write_u64_array(w, "by_aggressor", cl->by_aggressor);
+        write_u64_array(w, "by_victim", cl->by_victim);
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.kv("conflict_lines_total",
+         static_cast<std::uint64_t>(r.conflict_lines.size()));
+
+    w.key("capacity_lines");
+    w.begin_array();
+    {
+      std::size_t emitted = 0;
+      for (const auto& [addr, cs] : r.capacity_lines) {
+        if (emitted++ >= 64) break;
+        w.begin_object();
+        w.kv_hex("line", addr);
+        w.kv("object", cs.object);
+        w.kv("write_evict_dooms", cs.write_evict_dooms);
+        w.kv("read_evict_dooms", cs.read_evict_dooms);
+        w.end_object();
+      }
+    }
+    w.end_array();
+    w.kv("capacity_lines_total",
+         static_cast<std::uint64_t>(r.capacity_lines.size()));
 
     w.key("futexes");
     w.begin_array();

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/stats.h"
@@ -93,6 +94,29 @@ struct BlockedSlice {
   Cycles end = 0;
 };
 
+/// Conflict provenance for one cache line (keyed by the line's byte
+/// address): how often accesses to this line doomed a transaction, who the
+/// aggressors and victims were, and which named allocation the line belongs
+/// to. This is the per-run "top conflicting lines" table — the repo's
+/// analogue of Dice et al.'s address-level abort attribution.
+struct ConflictLineStats {
+  std::string object;  // named-allocation owner ("" when unnamed)
+  std::uint64_t dooms = 0;
+  std::uint64_t write_dooms = 0;  // aggressor access was a write
+  std::uint64_t read_dooms = 0;   // aggressor access was a read
+  std::vector<std::uint64_t> by_aggressor;  // indexed by thread id
+  std::vector<std::uint64_t> by_victim;
+};
+
+/// Capacity provenance for one cache line: transactions doomed because this
+/// line was evicted from the L1 (written line) or lost by the secondary
+/// read tracker (read line).
+struct CapacityLineStats {
+  std::string object;
+  std::uint64_t write_evict_dooms = 0;
+  std::uint64_t read_evict_dooms = 0;
+};
+
 /// Per-lock-site statistics (keyed by the lock word's heap address, which
 /// the deterministic allocator makes stable across runs).
 struct LockSiteStats {
@@ -108,6 +132,11 @@ struct LockSiteStats {
   std::uint64_t tx_aborts = 0;
   std::array<std::uint64_t, static_cast<size_t>(AbortCause::kNumCauses)>
       aborts_by_cause{};
+  // Cycle accounting for sections subscribed to this word: transactional
+  // cycles by outcome, plus time spent holding the lock on fallback.
+  Cycles tx_cycles_committed = 0;
+  Cycles tx_cycles_wasted = 0;
+  Cycles fallback_hold_cycles = 0;
 
   double elision_rate() const {
     const double total =
@@ -193,6 +222,16 @@ struct RunRecord {
   std::vector<std::uint64_t> conflicts;
   std::uint64_t conflict_dooms = 0;
 
+  /// Conflict / capacity provenance, keyed by line byte address (stable
+  /// across runs thanks to the deterministic allocator).
+  std::map<Addr, ConflictLineStats> conflict_lines;
+  std::map<Addr, CapacityLineStats> capacity_lines;
+
+  /// conflict_lines sorted hottest-first (dooms desc, address asc) — the
+  /// order the JSON export and reports use.
+  std::vector<std::pair<Addr, const ConflictLineStats*>>
+      conflict_lines_by_heat() const;
+
   std::vector<IntervalSample> samples;
   Cycles sample_interval = 0;
 
@@ -241,8 +280,17 @@ class Telemetry {
   /// Engine: thread `tid` was futex-blocked over [start, end].
   void on_blocked(ThreadId tid, Cycles start, Cycles end);
 
-  /// Memory system: `aggressor`'s access doomed `victim`'s transaction.
-  void on_conflict(ThreadId aggressor, ThreadId victim);
+  /// Memory system: `aggressor`'s access to `line` (byte address) doomed
+  /// `victim`'s transaction. `object` is the named allocation owning the
+  /// line ("" if unnamed), resolved by the caller who owns the heap.
+  void on_conflict(ThreadId aggressor, ThreadId victim, Addr line,
+                   bool is_write, std::string_view object);
+
+  /// Memory system: `victim` was doomed by the eviction of `line` — a
+  /// written line leaving the L1, or a read line lost by the secondary
+  /// tracker (`read_line`).
+  void on_capacity(ThreadId victim, Addr line, bool read_line,
+                   std::string_view object);
 
   /// Futex table events.
   void on_futex_wait(Addr addr);
@@ -252,7 +300,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v1), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v2), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices

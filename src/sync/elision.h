@@ -117,7 +117,10 @@ class ElidedLock {
       stats_.fallback_acquires++;
       lock_.acquire(c);
       const Cycles t_acq = tel ? c.now() : 0;
-      f();
+      {
+        Context::FallbackScope serialized(c);
+        f();
+      }
       const Cycles t_rel = tel ? c.now() : 0;
       lock_.release(c);
       if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
@@ -158,7 +161,10 @@ class ElidedLock {
     }
     lock_.acquire(c);
     const Cycles t_acq = tel ? c.now() : 0;
-    f();
+    {
+      Context::FallbackScope serialized(c);
+      f();
+    }
     const Cycles t_rel = tel ? c.now() : 0;
     lock_.release(c);
     if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
@@ -184,12 +190,16 @@ class ElidedLock {
   bool handle_abort(Context& c, const sim::TxAbort& a) {
     if (a.cause == sim::AbortCause::kExplicit && a.code == kAbortCodeLockBusy) {
       if (policy_.spin_until_free) {
+        Context::LockWaitScope wait(c);
         while (lock_.word().load(c) != 0) c.compute(80);
       }
       return true;
     }
     if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) return false;
-    c.compute(policy_.conflict_backoff);
+    {
+      Context::LockWaitScope wait(c);
+      c.compute(policy_.conflict_backoff);
+    }
     return true;
   }
 
@@ -253,6 +263,7 @@ class ElidedLockSet {
         if (a.cause == sim::AbortCause::kExplicit &&
             a.code == kAbortCodeLockBusy) {
           if (policy_.spin_until_free) {
+            Context::LockWaitScope wait(c);
             for (SpinLock* l : locks) {
               while (l->word().load(c) != 0) c.compute(80);
             }
@@ -260,7 +271,10 @@ class ElidedLockSet {
           continue;
         }
         if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
-        c.compute(policy_.conflict_backoff);
+        {
+          Context::LockWaitScope wait(c);
+          c.compute(policy_.conflict_backoff);
+        }
       }
     }
     // Fallback: acquire all locks in canonical order. Deduplicate first —
@@ -275,7 +289,10 @@ class ElidedLockSet {
     locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
     for (SpinLock* l : locks) l->acquire(c);
     const Cycles t_acq = tel ? c.now() : 0;
-    f();
+    {
+      Context::FallbackScope serialized(c);
+      f();
+    }
     const Cycles t_rel = tel ? c.now() : 0;
     for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
       (*it)->release(c);

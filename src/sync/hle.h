@@ -55,6 +55,7 @@ class HleLock {
         aborts_++;
         if (a.cause == sim::AbortCause::kExplicit &&
             a.code == kAbortCodeLockBusy) {
+          Context::LockWaitScope wait(c);
           while (lock_.word().load(c) != 0) c.compute(80);
           continue;
         }
@@ -64,7 +65,10 @@ class HleLock {
     acquired_++;
     lock_.acquire(c);
     const Cycles t_acq = tel ? c.now() : 0;
-    f();
+    {
+      Context::FallbackScope serialized(c);
+      f();
+    }
     const Cycles t_rel = tel ? c.now() : 0;
     lock_.release(c);
     if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);

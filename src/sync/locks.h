@@ -22,18 +22,21 @@ class SpinLock {
  public:
   SpinLock() = default;
   explicit SpinLock(Machine& m)
-      : word_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+      : word_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/spin", 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
     const Cycles t0 = tel ? c.now() : 0;
     bool contended = false;
     Cycles backoff = 40;
-    for (;;) {
-      if (word_.load(c) == 0 && word_.cas(c, 0, 1)) break;
-      contended = true;
-      c.compute(backoff);
-      if (backoff < 2000) backoff *= 2;
+    {
+      Context::LockWaitScope wait(c);
+      for (;;) {
+        if (word_.load(c) == 0 && word_.cas(c, 0, 1)) break;
+        contended = true;
+        c.compute(backoff);
+        if (backoff < 2000) backoff *= 2;
+      }
     }
     if (tel) {
       tel->on_lock_acquired(word_.addr(), sim::LockKind::kSpin, c.tid(), t0,
@@ -71,17 +74,21 @@ class TicketLock {
  public:
   TicketLock() = default;
   explicit TicketLock(Machine& m)
-      : next_(sim::Shared<std::uint32_t>::alloc(m, 0)),
-        serving_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+      : next_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/ticket", 0)),
+        serving_(
+            sim::Shared<std::uint32_t>::alloc_named(m, "lock/ticket", 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
     const Cycles t0 = tel ? c.now() : 0;
     const std::uint32_t my = next_.fetch_add(c, 1);
     bool contended = false;
-    while (serving_.load(c) != my) {
-      contended = true;
-      c.compute(60);
+    {
+      Context::LockWaitScope wait(c);
+      while (serving_.load(c) != my) {
+        contended = true;
+        c.compute(60);
+      }
     }
     if (tel) {
       tel->on_lock_acquired(next_.addr(), sim::LockKind::kTicket, c.tid(), t0,
@@ -107,7 +114,7 @@ class FutexMutex {
  public:
   FutexMutex() = default;
   explicit FutexMutex(Machine& m)
-      : word_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+      : word_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/futex", 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
@@ -118,6 +125,7 @@ class FutexMutex {
       got = true;
     } else {
       contended = true;
+      Context::LockWaitScope wait(c);
       // Adaptive phase (PTHREAD_MUTEX_ADAPTIVE_NP-style): spin briefly before
       // committing to a kernel sleep — short critical sections usually free
       // the lock within a few hundred cycles.
@@ -125,15 +133,15 @@ class FutexMutex {
         c.compute(90);
         if (word_.load(c) == 0 && word_.cas(c, 0, 1)) got = true;
       }
-    }
-    if (!got) {
-      do {
-        // Mark contended (even if we raced with release) and sleep.
-        std::uint32_t v = word_.load(c);
-        if (v == 2 || (v == 1 && word_.cas(c, 1, 2))) {
-          c.futex_wait(word_.addr(), 2);
-        }
-      } while (word_.exchange(c, 2) != 0);
+      if (!got) {
+        do {
+          // Mark contended (even if we raced with release) and sleep.
+          std::uint32_t v = word_.load(c);
+          if (v == 2 || (v == 1 && word_.cas(c, 1, 2))) {
+            c.futex_wait(word_.addr(), 2);
+          }
+        } while (word_.exchange(c, 2) != 0);
+      }
     }
     if (tel) {
       tel->on_lock_acquired(word_.addr(), sim::LockKind::kFutex, c.tid(), t0,
@@ -172,8 +180,8 @@ class Barrier {
   Barrier(Machine& m, int parties, bool blocking = false)
       : parties_(parties),
         blocking_(blocking),
-        arrived_(sim::Shared<std::uint32_t>::alloc(m, 0)),
-        sense_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+        arrived_(sim::Shared<std::uint32_t>::alloc_named(m, "barrier", 0)),
+        sense_(sim::Shared<std::uint32_t>::alloc_named(m, "barrier", 0)) {}
 
   void wait(Context& c) {
     const std::uint32_t my_sense = sense_.load(c);
@@ -182,10 +190,12 @@ class Barrier {
       sense_.store(c, my_sense + 1);
       if (blocking_) c.futex_wake(sense_.addr(), parties_);
     } else if (blocking_) {
+      Context::LockWaitScope wait(c);
       while (sense_.load(c) == my_sense) {
         c.futex_wait(sense_.addr(), my_sense);
       }
     } else {
+      Context::LockWaitScope wait(c);
       while (sense_.load(c) == my_sense) c.compute(50);
     }
   }

@@ -49,7 +49,7 @@ class CondVar {
  public:
   CondVar() = default;
   explicit CondVar(Machine& m)
-      : seq_(sim::Shared<std::uint32_t>::alloc(m, 0)) {}
+      : seq_(sim::Shared<std::uint32_t>::alloc_named(m, "condvar", 0)) {}
   sim::Shared<std::uint32_t> seq() const { return seq_; }
 
  private:
@@ -135,13 +135,19 @@ class TxMonitor {
   friend class MonitorOps;
 
   /// One attempt under the real lock. Returns true when the body completed
-  /// (false: it waited and must restart).
+  /// (false: it waited and must restart). `fallback` marks attempts that
+  /// serialize after failed elision, for cycle accounting.
   template <typename F>
-  bool run_locked(Context& c, F& body) {
+  bool run_locked(Context& c, F& body, bool fallback = false) {
     mutex_.acquire(c);
     try {
       MonitorOps ops(*this, c, /*transactional=*/false);
-      body(ops);
+      if (fallback) {
+        Context::FallbackScope serialized(c);
+        body(ops);
+      } else {
+        body(ops);
+      }
       mutex_.release(c);
       return true;
     } catch (const detail::WaitToken& w) {
@@ -187,20 +193,25 @@ class TxMonitor {
           }
           if (a.code == kAbortCodeLockBusy) {
             if (policy_.spin_until_free) {
+              Context::LockWaitScope wait(c);
               while (mutex_.word().load(c) != 0) c.compute(80);
             }
             continue;
           }
         }
         if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
-        c.compute(policy_.conflict_backoff);
+        {
+          Context::LockWaitScope wait(c);
+          c.compute(policy_.conflict_backoff);
+        }
       }
     }
     stats_.fallback_acquires++;
-    return run_locked(c, body);
+    return run_locked(c, body, /*fallback=*/true);
   }
 
   void do_wait(Context& c, const detail::WaitToken& w) {
+    Context::LockWaitScope wait(c);
     if (scheme_ == MonitorScheme::kMutexBusyWait ||
         scheme_ == MonitorScheme::kTsxBusyWait) {
       c.compute(busy_wait_spin_);

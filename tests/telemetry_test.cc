@@ -163,7 +163,7 @@ TEST(Telemetry, JsonAndTraceAreStructurallyValid) {
   contended_run(&tel);
   const std::string j = tel.json("telemetry_test");
   expect_balanced_json(j);
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v2\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"validity\""), std::string::npos);
   const std::string t = tel.chrome_trace();
   expect_balanced_json(t);
@@ -208,7 +208,9 @@ TEST(PerfReport, GoldenSmallCounters) {
       "             7      l1-misses\n"
       "             4      atomics\n"
       "             1      syscalls\n"
-      "         12345      makespan-cycles\n";
+      "         12345      makespan-cycles\n"
+      "  abort rate: 20.00% of started transactions\n"
+      "  wasted cycles: 20.00% of transactional cycles\n";
   EXPECT_EQ(perf_report(rs), expected);
 }
 
@@ -230,10 +232,10 @@ TEST(PerfReport, DoesNotTruncateWithLargeCounters) {
   rs.makespan = 18446744073709551615ULL;
 
   const std::string report = perf_report(rs);
-  // All 17 lines survive, none cut mid-way.
+  // All 19 lines survive (17 counters + 2 derived), none cut mid-way.
   std::size_t lines = 0;
   for (char c : report) lines += c == '\n';
-  EXPECT_EQ(lines, 17u);
+  EXPECT_EQ(lines, 19u);
   // Every section survives, down to the final line.
   for (const char* label :
        {"tx-start", "tx-commit", "tx-abort.conflict", "tx-abort.capacity",
