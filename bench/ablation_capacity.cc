@@ -25,10 +25,11 @@ namespace {
 double commit_rate(bench::BenchIo& io, bool writes, std::size_t lines,
                    bool smt_sibling, int txns = 40) {
   sim::MachineConfig cfg;
-  cfg.telemetry = io.telemetry();
-  io.label(std::string(writes ? "write" : "read") + "-set/" +
-           std::to_string(lines) + "-lines" + (smt_sibling ? "/smt" : ""));
+  io.apply(cfg);
   Machine m(cfg);
+  const std::string label = std::string(writes ? "write" : "read") + "-set/" +
+                            std::to_string(lines) + "-lines" +
+                            (smt_sibling ? "/smt" : "");
   const std::size_t span_lines = 4096;
   sim::Addr base = m.alloc(span_lines * cfg.line_bytes, 64);
   int commits = 0;
@@ -56,8 +57,10 @@ double commit_rate(bench::BenchIo& io, bool writes, std::size_t lines,
     }
   };
 
+  sim::RunSpec spec;
+  spec.label = label;
   if (!smt_sibling) {
-    m.run(1, worker);
+    spec.body = worker;
   } else {
     // Thread 4 shares core 0's L1 with thread 0 (4-core topology).
     std::vector<std::function<void(Context&)>> bodies(
@@ -71,15 +74,18 @@ double commit_rate(bench::BenchIo& io, bool writes, std::size_t lines,
         c.compute(40);
       }
     };
-    m.run_each(bodies);
+    spec.bodies = std::move(bodies);
   }
+  m.run(spec);
   return 100.0 * commits / txns;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "ablation_capacity");
+  bench::BenchIo io(argc, argv, "ablation_capacity",
+                    "transactional footprint vs. commit rate (Section 2)");
+  if (!io.parse()) return io.exit_code();
   bench::banner("Ablation: transactional footprint vs. commit rate (1 thread)");
 
   bench::Table table({"lines touched", "KB", "write-set commit %",

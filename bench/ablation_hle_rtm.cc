@@ -20,15 +20,17 @@ namespace {
 // A critical-section microbenchmark with tunable conflict probability:
 // each section updates one of `span` cells; smaller span = more conflicts.
 template <typename RunSection>
-sim::Cycles run_contention(bench::BenchIo& io, const char* scheme,
+sim::Cycles run_contention(bench::BenchIo& io, int threads, const char* scheme,
                            std::size_t span, RunSection&& section_factory) {
   sim::MachineConfig cfg;
-  cfg.telemetry = io.telemetry();
-  io.label(std::string(scheme) + "/span" + std::to_string(span));
+  io.apply(cfg);
   Machine m(cfg);
   auto cells = sim::SharedArray<std::uint64_t>::alloc(m, span * 8, 0);
   auto section = section_factory(m);
-  sim::RunStats rs = m.run(8, [&](Context& c) {
+  sim::RunSpec spec;
+  spec.threads = threads;
+  spec.label = std::string(scheme) + "/span" + std::to_string(span);
+  spec.body = [&](Context& c) {
     sim::Xoshiro256 rng(c.tid() + 3);
     for (int i = 0; i < 400; ++i) {
       const std::size_t idx = rng.next_below(span) * 8;
@@ -38,37 +40,44 @@ sim::Cycles run_contention(bench::BenchIo& io, const char* scheme,
         c.compute(150);
       });
     }
-  });
-  return rs.makespan;
+  };
+  return m.run(spec).makespan;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "ablation_hle_rtm");
+  bench::BenchIo io(argc, argv, "ablation_hle_rtm",
+                    "HLE vs RTM elision under contention (Section 3)");
+  int threads = 8;
+  io.args().add_int("threads", "simulated threads contending", &threads);
+  if (!io.parse()) return io.exit_code();
   bench::banner(
       "Ablation: HLE (fixed 1-retry policy) vs RTM elision (retry 5) vs "
-      "plain lock, 8 threads");
+      "plain lock, " + std::to_string(threads) + " threads");
 
   bench::Table table({"distinct cells", "plain lock Mcyc", "hle Mcyc",
                       "rtm Mcyc", "rtm/hle"});
   for (std::size_t span : {1, 4, 16, 64, 256}) {
-    const auto lock_cycles = run_contention(io, "lock", span, [](Machine& m) {
-      auto lock = std::make_shared<sync::SpinLock>(m);
-      return [lock](Context& c, auto&& f) {
-        lock->acquire(c);
-        f();
-        lock->release(c);
-      };
-    });
-    const auto hle_cycles = run_contention(io, "hle", span, [](Machine& m) {
-      auto lock = std::make_shared<sync::HleLock>(m);
-      return [lock](Context& c, auto&& f) { lock->critical(c, f); };
-    });
-    const auto rtm_cycles = run_contention(io, "rtm", span, [](Machine& m) {
-      auto lock = std::make_shared<sync::ElidedLock>(m);
-      return [lock](Context& c, auto&& f) { lock->critical(c, f); };
-    });
+    const auto lock_cycles =
+        run_contention(io, threads, "lock", span, [](Machine& m) {
+          auto lock = std::make_shared<sync::SpinLock>(m);
+          return [lock](Context& c, auto&& f) {
+            lock->acquire(c);
+            f();
+            lock->release(c);
+          };
+        });
+    const auto hle_cycles =
+        run_contention(io, threads, "hle", span, [](Machine& m) {
+          auto lock = std::make_shared<sync::HleLock>(m);
+          return [lock](Context& c, auto&& f) { lock->critical(c, f); };
+        });
+    const auto rtm_cycles =
+        run_contention(io, threads, "rtm", span, [](Machine& m) {
+          auto lock = std::make_shared<sync::ElidedLock>(m);
+          return [lock](Context& c, auto&& f) { lock->critical(c, f); };
+        });
     table.add_row({std::to_string(span), bench::fmt(lock_cycles / 1e6),
                    bench::fmt(hle_cycles / 1e6),
                    bench::fmt(rtm_cycles / 1e6),

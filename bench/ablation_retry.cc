@@ -15,7 +15,11 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "ablation_retry");
+  bench::BenchIo io(argc, argv, "ablation_retry",
+                    "elision retry-budget sweep (Section 3; paper best: 5)");
+  int threads = 4;
+  io.args().add_int("threads", "STAMP thread count for the sweep", &threads);
+  if (!io.parse()) return io.exit_code();
   const bool quick = io.quick();
 
   bench::banner("Ablation: elision retry budget (Section 3; paper best: 5)");
@@ -36,8 +40,8 @@ int main(int argc, char** argv) {
       cfg.repetitions = quick ? 4 : 10;
       cfg.cross_partition_fraction = 0.35;  // real conflicts
       cfg.policy.max_retries = r;
-      cfg.machine.telemetry = io.telemetry();
-      io.label("clomp/retry" + std::to_string(r));
+      io.apply(cfg.machine);
+      cfg.run_label = "clomp/retry" + std::to_string(r);
       spans.push_back(
           static_cast<double>(clomp::run(cfg, clomp::Scheme::kLargeTM).makespan));
     }
@@ -46,11 +50,11 @@ int main(int argc, char** argv) {
         if (w.name != name) continue;
         stamp::Config cfg;
         cfg.backend = tmlib::Backend::kTsx;
-        cfg.threads = 4;
+        cfg.threads = threads;
         cfg.scale = quick ? 0.25 : 0.5;
         cfg.policy.max_retries = r;
-        cfg.machine.telemetry = io.telemetry();
-        io.label(std::string(name) + "/retry" + std::to_string(r));
+        io.apply(cfg.machine);
+        cfg.run_label = std::string(name) + "/retry" + std::to_string(r);
         spans.push_back(static_cast<double>(w.fn(cfg).makespan));
       }
     }

@@ -1,7 +1,7 @@
 // Shared helpers for the figure/table reproduction harnesses: fixed-width
-// table printing in the style of the paper's figures, simple argv parsing
-// (--quick for CI-speed runs), and the BenchIo telemetry plumbing behind
-// the shared --json=<path> / --trace=<path> flags.
+// table printing in the style of the paper's figures, the declarative
+// bench::Args command line (bench/args.h), and the BenchIo telemetry
+// plumbing behind the shared --json=<path> / --trace=<path> flags.
 #pragma once
 
 #include <cstdio>
@@ -9,73 +9,108 @@
 #include <string>
 #include <vector>
 
+#include "bench/args.h"
+#include "sim/config.h"
 #include "sim/json_parse.h"
 #include "sim/report.h"
 #include "sim/telemetry.h"
 
 namespace tsxhpc::bench {
 
-inline bool has_flag(int argc, char** argv, const std::string& flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i] == flag) return true;
-  }
-  return false;
-}
-
-/// Value of a `--name=value` flag, or "" if absent.
-inline std::string flag_value(int argc, char** argv,
-                              const std::string& name) {
-  const std::string prefix = name + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.compare(0, prefix.size(), prefix) == 0) {
-      return arg.substr(prefix.size());
-    }
-  }
-  return "";
-}
-
-/// Shared bench I/O: parses --quick / --json=<path> / --trace=<path>, owns
-/// the Telemetry collector, and writes the artifacts at exit.
+/// Shared bench I/O: declares the flags every bench supports (--quick,
+/// --report, --json=, --trace=, --backend=), owns the Telemetry collector,
+/// and writes the artifacts at exit. Bench-specific flags are declared on
+/// args() between construction and parse().
 ///
 ///   int main(int argc, char** argv) {
-///     bench::BenchIo io(argc, argv, "fig2_stamp");
+///     bench::BenchIo io(argc, argv, "fig2_stamp", "STAMP scaling (Fig 2)");
+///     int threads = 0;
+///     io.args().add_int("threads", "run only this count (0 = sweep)",
+///                       &threads);
+///     if (!io.parse()) return io.exit_code();
 ///     Config cfg;
-///     cfg.machine.telemetry = io.telemetry();
+///     io.apply(cfg.machine);   // telemetry sink + --backend choice
 ///     ...
-///     io.label("vacation/t4");   // names the next Machine run
-///     run_vacation(cfg);
+///     run_vacation(cfg);       // cfg.run_label names the recorded runs
 ///     return io.finish();
 ///   }
 ///
-/// telemetry() is null when none of the flags was given, so the detached
-/// path stays zero-cost. --trace additionally enables per-attempt
+/// telemetry() is null when none of the artifact flags was given, so the
+/// detached path stays zero-cost. --trace additionally enables per-attempt
 /// collection (rings bounded by TelemetryOptions defaults). --report prints
 /// the tsx_report summary inline after the run — same renderer, same
 /// numbers as `tsx_report <artifact>`.
 class BenchIo {
  public:
-  BenchIo(int argc, char** argv, std::string bench_name)
+  BenchIo(int argc, char** argv, std::string bench_name, std::string summary)
       : bench_name_(std::move(bench_name)),
-        quick_(has_flag(argc, argv, "--quick")),
-        report_(has_flag(argc, argv, "--report")),
-        json_path_(flag_value(argc, argv, "--json")),
-        trace_path_(flag_value(argc, argv, "--trace")) {
+        argc_(argc),
+        argv_(argv),
+        args_(bench_name_, std::move(summary)) {
+    args_.add_bool("quick", "reduced problem sizes (CI smoke runs)", &quick_);
+    args_.add_bool("report", "print the tsx_report summary after the run",
+                   &report_);
+    args_.add_string("json", "write the telemetry artifact to this path",
+                     &json_path_);
+    args_.add_string("trace",
+                     "write a Chrome trace to this path (enables "
+                     "per-attempt collection)",
+                     &trace_path_);
+    args_.add_string("backend",
+                     "execution backend: fiber or thread (default: fiber, or "
+                     "$TSXHPC_BACKEND)",
+                     &backend_name_);
+    args_.add_bool("cli-markdown",
+                   "print the flag table as markdown and exit (the "
+                   "EXPERIMENTS.md CLI reference is generated from this)",
+                   &cli_markdown_);
+  }
+
+  /// The underlying parser, for bench-specific flag declarations.
+  Args& args() { return args_; }
+
+  /// Parse the command line; false means exit with exit_code() (help was
+  /// printed, or a usage error was reported).
+  bool parse() {
+    if (!args_.parse(argc_, argv_)) return false;
+    if (cli_markdown_) {
+      std::printf("### `%s`\n\n%s", bench_name_.c_str(),
+                  args_.markdown().c_str());
+      return false;  // exit_code() == 0
+    }
+    if (!backend_name_.empty() &&
+        !sim::backend_from_string(backend_name_, backend_)) {
+      args_.fail("bad value for '--backend': '" + backend_name_ +
+                 "' (expected fiber or thread)");
+      return false;
+    }
     if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
       telemetry_ = std::make_unique<sim::Telemetry>(opt);
     }
+    return true;
+  }
+
+  int exit_code() const { return args_.exit_code(); }
+
+  /// Wire this bench's choices into a machine config: telemetry sink and
+  /// the --backend selection. Call once per MachineConfig the bench builds.
+  void apply(sim::MachineConfig& mc) {
+    mc.telemetry = telemetry_.get();
+    mc.backend = backend_;
   }
 
   bool quick() const { return quick_; }
+  sim::BackendKind backend() const { return backend_; }
   const std::string& bench_name() const { return bench_name_; }
 
   /// Null unless --json or --trace was given. Assign to
   /// MachineConfig::telemetry (or pass to Machine::set_telemetry).
   sim::Telemetry* telemetry() { return telemetry_.get(); }
 
-  /// Label the next recorded run (passthrough to set_next_run_label).
+  /// Deprecated shim (removal next PR): label the next recorded run.
+  /// Prefer carrying the label in the workload config / RunSpec.
   void label(std::string l) {
     if (telemetry_) telemetry_->set_next_run_label(std::move(l));
   }
@@ -122,10 +157,16 @@ class BenchIo {
 
  private:
   std::string bench_name_;
+  int argc_;
+  char** argv_;
+  Args args_;
   bool quick_ = false;
   bool report_ = false;
+  bool cli_markdown_ = false;
   std::string json_path_;
   std::string trace_path_;
+  std::string backend_name_;
+  sim::BackendKind backend_ = sim::default_backend();
   std::unique_ptr<sim::Telemetry> telemetry_;
 };
 

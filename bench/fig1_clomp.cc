@@ -12,7 +12,17 @@
 using namespace tsxhpc;
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "fig1_clomp");
+  bench::BenchIo io(argc, argv, "fig1_clomp",
+                    "CLOMP-TM speedup vs serial by scatters/zone (Figure 1)");
+  int threads = 4;
+  std::string scheme_filter;
+  io.args().add_int("threads", "simulated threads for every scheme",
+                    &threads);
+  io.args().add_string("scheme",
+                       "run only this scheme (small-atomic, small-critical, "
+                       "small-tm, large-critical, large-tm)",
+                       &scheme_filter);
+  if (!io.parse()) return io.exit_code();
   const bool quick = io.quick();
 
   bench::banner(
@@ -20,10 +30,10 @@ int main(int argc, char** argv) {
       "scatters/zone");
 
   clomp::Config base;
-  base.threads = 4;
+  base.threads = threads;
   base.zones_per_thread = quick ? 24 : 64;
   base.repetitions = quick ? 4 : 12;
-  base.machine.telemetry = io.telemetry();
+  io.apply(base.machine);
 
   const int scatter_counts[] = {1, 2, 3, 4, 6, 8, 12, 16};
   const clomp::Scheme schemes[] = {
@@ -42,8 +52,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{std::to_string(s)};
     double small_atomic = 0, large_tm = 0;
     for (clomp::Scheme scheme : schemes) {
-      io.label(std::string(clomp::to_string(scheme)) + "/scatters" +
-               std::to_string(s));
+      if (!scheme_filter.empty() &&
+          scheme_filter != clomp::to_string(scheme)) {
+        row.push_back("-");
+        continue;
+      }
+      cfg.run_label = std::string(clomp::to_string(scheme)) + "/scatters" +
+                      std::to_string(s);
       const double sp = clomp::speedup_vs_serial(cfg, scheme);
       row.push_back(bench::fmt(sp));
       if (scheme == clomp::Scheme::kSmallAtomic) small_atomic = sp;
@@ -64,7 +79,7 @@ int main(int argc, char** argv) {
         "(%.2fx vs %.2fx).\n",
         crossover_at, cross_large_tm, cross_small_atomic);
     std::printf("Paper: crossover at 3-4 batched updates.\n");
-  } else {
+  } else if (scheme_filter.empty()) {
     std::printf("\nWARNING: no crossover observed (paper: 3-4 updates).\n");
   }
   return io.finish();

@@ -14,33 +14,50 @@ using namespace tsxhpc;
 using tmlib::Backend;
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "fig2_stamp");
+  bench::BenchIo io(argc, argv, "fig2_stamp",
+                    "STAMP speedup over 1-thread sgl (Figure 2)");
+  int threads = 0;
+  std::string workload_filter;
+  std::string scheme_filter;
+  io.args().add_int("threads", "run only this thread count (0 = 1/2/4/8)",
+                    &threads);
+  io.args().add_string("workload", "run only this STAMP workload",
+                       &workload_filter);
+  io.args().add_string("scheme", "run only this TM scheme (sgl, tl2, tsx)",
+                       &scheme_filter);
+  if (!io.parse()) return io.exit_code();
   const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner(
       "Figure 2: STAMP, speedup over 1-thread sgl (higher is better)");
 
-  const int thread_counts[] = {1, 2, 4, 8};
+  const int sweep[] = {1, 2, 4, 8};
   for (const auto& w : stamp::all_workloads()) {
+    if (!workload_filter.empty() && workload_filter != w.name) continue;
     stamp::Config base;
     base.scale = scale;
-    base.machine.telemetry = io.telemetry();
+    io.apply(base.machine);
 
     stamp::Config sgl1 = base;
     sgl1.backend = Backend::kSgl;
     sgl1.threads = 1;
-    io.label(std::string(w.name) + "/sgl/ref");
+    sgl1.run_label = std::string(w.name) + "/sgl/ref";
     const double ref = static_cast<double>(w.fn(sgl1).makespan);
 
     bench::Table table({w.name, "sgl", "tl2", "tsx"});
-    for (int threads : thread_counts) {
-      std::vector<std::string> row{std::to_string(threads) + " thr"};
+    for (int t : sweep) {
+      if (threads != 0 && threads != t) continue;
+      std::vector<std::string> row{std::to_string(t) + " thr"};
       for (Backend b : {Backend::kSgl, Backend::kTl2, Backend::kTsx}) {
+        if (!scheme_filter.empty() && scheme_filter != tmlib::to_string(b)) {
+          row.push_back("-");
+          continue;
+        }
         stamp::Config cfg = base;
         cfg.backend = b;
-        cfg.threads = threads;
-        io.label(std::string(w.name) + "/" + tmlib::to_string(b) + "/t" +
-                 std::to_string(threads));
+        cfg.threads = t;
+        cfg.run_label = std::string(w.name) + "/" + tmlib::to_string(b) +
+                        "/t" + std::to_string(t);
         const stamp::Result r = w.fn(cfg);
         if (r.checksum == 0) {
           row.push_back("INVALID");

@@ -23,8 +23,8 @@ void sweep(bench::BenchIo& io, const char* title, const apps::Workload& w,
   ref.variant = apps::Variant::kBaseline;
   ref.threads = 1;
   ref.scale = scale;
-  ref.machine.telemetry = io.telemetry();
-  io.label(std::string(w.name) + "/baseline/ref");
+  io.apply(ref.machine);
+  ref.run_label = std::string(w.name) + "/baseline/ref";
   const double base1 = static_cast<double>(w.fn(ref).makespan);
 
   bench::banner(title);
@@ -39,8 +39,9 @@ void sweep(bench::BenchIo& io, const char* title, const apps::Workload& w,
       cfg.variant = v;
       cfg.threads = threads;
       cfg.gran = gran;
-      io.label(std::string(w.name) + "/" + apps::to_string(v) + "/gran" +
-               std::to_string(gran) + "/t" + std::to_string(threads));
+      cfg.run_label = std::string(w.name) + "/" + apps::to_string(v) +
+                      "/gran" + std::to_string(gran) + "/t" +
+                      std::to_string(threads);
       const apps::Result r = w.fn(cfg);
       const double sp = base1 / static_cast<double>(r.makespan);
       row.push_back(r.checksum == 0 ? "INVALID" : bench::fmt(sp));
@@ -65,7 +66,13 @@ void sweep(bench::BenchIo& io, const char* title, const apps::Workload& w,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "fig5_granularity");
+  bench::BenchIo io(argc, argv, "fig5_granularity",
+                    "transaction-granularity sweeps (Figure 5)");
+  std::string workload_filter;
+  io.args().add_string("workload",
+                       "run only this sweep (histogram or physics)",
+                       &workload_filter);
+  if (!io.parse()) return io.exit_code();
   const double scale = io.quick() ? 0.25 : 1.0;
 
   const apps::Workload* histogram = nullptr;
@@ -75,12 +82,15 @@ int main(int argc, char** argv) {
     if (w.name == "physics") physics = &w;
   }
 
-  const std::size_t hist_grans[3] = {2, 8, 32};
-  sweep(io, "Figure 5a: histogram — atomic / privatize / tsx.gran*",
-        *histogram, "privatize", hist_grans, scale);
-
-  const std::size_t phys_grans[3] = {1, 2, 4};
-  sweep(io, "Figure 5b: physicsSolver — mutex / barrier / tsx.gran*",
-        *physics, "barrier", phys_grans, scale);
+  if (workload_filter.empty() || workload_filter == "histogram") {
+    const std::size_t hist_grans[3] = {2, 8, 32};
+    sweep(io, "Figure 5a: histogram — atomic / privatize / tsx.gran*",
+          *histogram, "privatize", hist_grans, scale);
+  }
+  if (workload_filter.empty() || workload_filter == "physics") {
+    const std::size_t phys_grans[3] = {1, 2, 4};
+    sweep(io, "Figure 5b: physicsSolver — mutex / barrier / tsx.gran*",
+          *physics, "barrier", phys_grans, scale);
+  }
   return io.finish();
 }

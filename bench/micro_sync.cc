@@ -5,7 +5,7 @@
 // crossover) can be read directly.
 #include <benchmark/benchmark.h>
 
-#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -20,15 +20,13 @@ using sim::Machine;
 
 namespace {
 
-// Shared --json/--trace plumbing; set up in main before benchmarks run.
+// Shared --json/--trace/--backend plumbing; set up in main before
+// benchmarks run.
 bench::BenchIo* g_io = nullptr;
 
-sim::MachineConfig machine_config(const std::string& label) {
+sim::MachineConfig machine_config() {
   sim::MachineConfig cfg;
-  if (g_io) {
-    cfg.telemetry = g_io->telemetry();
-    g_io->label(label);
-  }
+  if (g_io) g_io->apply(cfg);
   return cfg;
 }
 
@@ -36,18 +34,20 @@ sim::MachineConfig machine_config(const std::string& label) {
 template <typename SetupFn>
 double cycles_per_op(benchmark::State& state, const char* label,
                      SetupFn&& setup) {
-  Machine m(machine_config(label));
+  Machine m(machine_config());
   auto op = setup(m);
   constexpr int kIters = 512;
-  sim::RunStats rs = m.run(1, [&](Context& c) {
+  sim::RunSpec spec;
+  spec.label = label;
+  spec.body = [&](Context& c) {
     // Warm up the cache.
     for (int i = 0; i < 32; ++i) op(c);
     const sim::Cycles t0 = c.now();
     for (int i = 0; i < kIters; ++i) op(c);
     state.counters["sim_cycles_per_op"] =
         static_cast<double>(c.now() - t0) / kIters;
-  });
-  (void)rs;
+  };
+  (void)m.run(spec);
   return state.counters["sim_cycles_per_op"];
 }
 
@@ -124,11 +124,13 @@ BENCHMARK(BM_ElidedSectionWithStore)->Iterations(1);
 void BM_ElidedBatchedUpdates(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    Machine m(machine_config("BM_ElidedBatchedUpdates/" + std::to_string(k)));
+    Machine m(machine_config());
     sync::ElidedLock lock(m);
     auto cells = sim::SharedArray<std::uint64_t>::alloc(m, 64, 0);
     constexpr int kIters = 256;
-    m.run(1, [&](Context& c) {
+    sim::RunSpec spec;
+    spec.label = "BM_ElidedBatchedUpdates/" + std::to_string(k);
+    spec.body = [&](Context& c) {
       for (int i = 0; i < 64; ++i) (void)cells.at(i).load(c);  // warm
       const sim::Cycles t0 = c.now();
       for (int i = 0; i < kIters; ++i) {
@@ -141,7 +143,8 @@ void BM_ElidedBatchedUpdates(benchmark::State& state) {
       }
       state.counters["sim_cycles_per_update"] =
           static_cast<double>(c.now() - t0) / (kIters * k);
-    });
+    };
+    m.run(spec);
   }
 }
 BENCHMARK(BM_ElidedBatchedUpdates)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
@@ -149,21 +152,18 @@ BENCHMARK(BM_ElidedBatchedUpdates)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "micro_sync");
+  bench::BenchIo io(argc, argv, "micro_sync",
+                    "simulated cycle costs of the sync primitives");
+  // Anything we don't declare (--benchmark_filter=..., etc.) is forwarded
+  // to google-benchmark's own parser instead of being an error.
+  std::vector<std::string> extra;
+  io.args().set_passthrough(&extra);
+  if (!io.parse()) return io.exit_code();
   g_io = &io;
-  // Strip our flags before handing argv to google-benchmark, which rejects
-  // anything it does not recognize.
+
   std::vector<char*> bench_argv;
-  for (int i = 0; i < argc; ++i) {
-    const char* a = argv[i];
-    if (i > 0 && (std::strcmp(a, "--quick") == 0 ||
-                  std::strcmp(a, "--report") == 0 ||
-                  std::strncmp(a, "--json=", 7) == 0 ||
-                  std::strncmp(a, "--trace=", 8) == 0)) {
-      continue;
-    }
-    bench_argv.push_back(argv[i]);
-  }
+  bench_argv.push_back(argv[0]);
+  for (std::string& a : extra) bench_argv.push_back(a.data());
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {

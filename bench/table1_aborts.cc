@@ -15,7 +15,18 @@ using namespace tsxhpc;
 using tmlib::Backend;
 
 int main(int argc, char** argv) {
-  bench::BenchIo io(argc, argv, "table1_aborts");
+  bench::BenchIo io(argc, argv, "table1_aborts",
+                    "STAMP transactional abort rates (Table 1)");
+  int threads = 0;
+  std::string workload_filter;
+  std::string scheme_filter;
+  io.args().add_int("threads", "run only this thread count (0 = 1/2/4/8)",
+                    &threads);
+  io.args().add_string("workload", "run only this STAMP workload",
+                       &workload_filter);
+  io.args().add_string("scheme", "run only this TM scheme (tl2, tsx)",
+                       &scheme_filter);
+  if (!io.parse()) return io.exit_code();
   const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner("Table 1: STAMP transactional abort rates (%)");
@@ -23,16 +34,22 @@ int main(int argc, char** argv) {
   bench::Table table({"workload", "tl2@1", "tsx@1", "tl2@2", "tsx@2",
                       "tl2@4", "tsx@4", "tl2@8", "tsx@8"});
   for (const auto& w : stamp::all_workloads()) {
+    if (!workload_filter.empty() && workload_filter != w.name) continue;
     std::vector<std::string> row{w.name};
-    for (int threads : {1, 2, 4, 8}) {
+    for (int t : {1, 2, 4, 8}) {
       for (Backend b : {Backend::kTl2, Backend::kTsx}) {
+        if ((threads != 0 && threads != t) ||
+            (!scheme_filter.empty() && scheme_filter != tmlib::to_string(b))) {
+          row.push_back("-");
+          continue;
+        }
         stamp::Config cfg;
         cfg.backend = b;
-        cfg.threads = threads;
+        cfg.threads = t;
         cfg.scale = scale;
-        cfg.machine.telemetry = io.telemetry();
-        io.label(std::string(w.name) + "/" + tmlib::to_string(b) + "/t" +
-                 std::to_string(threads));
+        io.apply(cfg.machine);
+        cfg.run_label = std::string(w.name) + "/" + tmlib::to_string(b) +
+                        "/t" + std::to_string(t);
         const stamp::Result r = w.fn(cfg);
         row.push_back(bench::fmt(r.abort_rate_pct(b), 0));
       }

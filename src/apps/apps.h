@@ -43,6 +43,9 @@ struct Config {
   /// workload's default. Only meaningful for kTsxCoarsen.
   std::size_t gran = 0;
   sync::ElisionPolicy policy{};
+  /// Telemetry label for the runs this invocation records (carried into
+  /// Machine::run via RunSpec; empty = telemetry default naming).
+  std::string run_label;
   sim::MachineConfig machine{};
 };
 

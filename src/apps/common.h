@@ -24,7 +24,11 @@ using sim::Xoshiro256;
 template <typename BodyFn>
 Result run_region(const Config& cfg, Machine& m, BodyFn&& body) {
   Result r;
-  r.stats = m.run(cfg.threads, std::forward<BodyFn>(body));
+  sim::RunSpec spec;
+  spec.threads = cfg.threads;
+  spec.label = cfg.run_label;
+  spec.body = std::forward<BodyFn>(body);
+  r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
   return r;
 }

@@ -146,7 +146,11 @@ Result run(const Config& cfg, Scheme scheme) {
 
   Result r;
   r.scheme = scheme;
-  r.stats = m.run(threads, body);
+  sim::RunSpec spec;
+  spec.threads = threads;
+  spec.label = cfg.run_label;
+  spec.body = body;
+  r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
   for (int z = 0; z < total_zones; ++z) {
     r.checksum += mesh.values.at(z).peek(m);

@@ -50,6 +50,9 @@ struct Config {
   double cross_partition_fraction = 0.0;
   std::uint64_t seed = 42;
   sync::ElisionPolicy policy{};
+  /// Telemetry label for the runs this invocation records (carried into
+  /// Machine::run via RunSpec; empty = telemetry default naming).
+  std::string run_label;
   sim::MachineConfig machine{};
 };
 

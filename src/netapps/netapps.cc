@@ -59,7 +59,10 @@ Result run_app(const Config& cfg, ClientFn&& client, ServerFn&& server) {
   }
 
   Result r;
-  r.stats = m.run_each(bodies);
+  sim::RunSpec spec;
+  spec.bodies = std::move(bodies);
+  spec.label = cfg.run_label;
+  r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
   bool ok = true;
   for (int i = 0; i < cfg.connections; ++i) {

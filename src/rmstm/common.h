@@ -76,7 +76,11 @@ class CsRunner {
 template <typename BodyFn>
 Result run_region(const Config& cfg, Machine& m, BodyFn&& body) {
   Result r;
-  r.stats = m.run(cfg.threads, std::forward<BodyFn>(body));
+  sim::RunSpec spec;
+  spec.threads = cfg.threads;
+  spec.label = cfg.run_label;
+  spec.body = std::forward<BodyFn>(body);
+  r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
   return r;
 }

@@ -33,6 +33,9 @@ struct Config {
   std::uint64_t seed = 7;
   double scale = 1.0;
   sync::ElisionPolicy policy{};
+  /// Telemetry label for the runs this invocation records (carried into
+  /// Machine::run via RunSpec; empty = telemetry default naming).
+  std::string run_label;
   sim::MachineConfig machine{};
 };
 

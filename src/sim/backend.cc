@@ -1,0 +1,57 @@
+#include "sim/backend.h"
+
+#include <cstdlib>
+
+#include "sim/backend_impl.h"
+#include "sim/types.h"
+
+namespace tsxhpc::sim {
+
+const char* to_string(BackendKind k) {
+  switch (k) {
+    case BackendKind::kFiber:
+      return "fiber";
+    case BackendKind::kThread:
+      return "thread";
+  }
+  return "?";
+}
+
+bool backend_from_string(std::string_view s, BackendKind& out) {
+  if (s == "fiber") {
+    out = BackendKind::kFiber;
+    return true;
+  }
+  if (s == "thread") {
+    out = BackendKind::kThread;
+    return true;
+  }
+  return false;
+}
+
+BackendKind default_backend() {
+  static const BackendKind kind = [] {
+    BackendKind k = BackendKind::kFiber;
+    if (const char* env = std::getenv("TSXHPC_BACKEND")) {
+      if (!backend_from_string(env, k)) {
+        throw SimError(std::string("TSXHPC_BACKEND: unknown backend \"") +
+                       env + "\" (expected fiber or thread)");
+      }
+    }
+    return k;
+  }();
+  return kind;
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               std::size_t fiber_stack_bytes) {
+  switch (kind) {
+    case BackendKind::kThread:
+      return detail::make_thread_backend();
+    case BackendKind::kFiber:
+      return detail::make_fiber_backend(fiber_stack_bytes);
+  }
+  return detail::make_fiber_backend(fiber_stack_bytes);
+}
+
+}  // namespace tsxhpc::sim

@@ -1,0 +1,15 @@
+// Internal factory declarations shared by backend.cc and the per-backend
+// translation units. Not part of the public simulator API.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/backend.h"
+
+namespace tsxhpc::sim::detail {
+
+std::unique_ptr<ExecutionBackend> make_thread_backend();
+std::unique_ptr<ExecutionBackend> make_fiber_backend(std::size_t stack_bytes);
+
+}  // namespace tsxhpc::sim::detail

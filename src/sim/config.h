@@ -1,8 +1,10 @@
 // Machine configuration: core/cache geometry and cycle cost model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
+#include "sim/backend.h"
 #include "sim/types.h"
 
 namespace tsxhpc::sim {
@@ -84,6 +86,19 @@ struct MachineConfig {
   /// Simulated core frequency, used only to convert cycles to seconds when
   /// reporting bandwidth numbers (Figure 6).
   double ghz = 3.4;
+
+  // --- Execution backend ----------------------------------------------------
+  /// How simulated threads are multiplexed onto the host: cooperative
+  /// fibers on one host thread (default; a token handoff is a userspace
+  /// context switch) or one OS thread per simulated thread with condvar
+  /// handoff (kept for differential testing). Both produce identical
+  /// interleavings, telemetry and makespans; only host wall-clock differs.
+  /// The process-wide default honours TSXHPC_BACKEND=fiber|thread.
+  BackendKind backend = default_backend();
+  /// Stack bytes per fiber (fiber backend only). Fibers do not grow their
+  /// stacks on demand the way OS threads do; raise this for workloads with
+  /// deep recursion.
+  std::size_t fiber_stack_bytes = 1024 * 1024;
 
   // --- Observability --------------------------------------------------------
   /// Optional telemetry sink. Riding on the config means every Machine a

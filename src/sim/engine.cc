@@ -9,7 +9,7 @@ namespace tsxhpc::sim {
 
 Engine::Engine(const MachineConfig& cfg, int num_threads)
     : cfg_(cfg),
-      cvs_(num_threads),
+      backend_(make_backend(cfg.backend, cfg.fiber_stack_bytes)),
       states_(num_threads, State::kNotStarted),
       clocks_(num_threads, 0),
       end_clocks_(num_threads, 0) {
@@ -20,6 +20,8 @@ Engine::Engine(const MachineConfig& cfg, int num_threads)
   }
 }
 
+Engine::~Engine() = default;
+
 ThreadId Engine::pick_next(ThreadId exclude) const {
   ThreadId best = -1;
   for (ThreadId t = 0; t < num_threads(); ++t) {
@@ -29,7 +31,14 @@ ThreadId Engine::pick_next(ThreadId exclude) const {
   return best;
 }
 
-void Engine::recompute_deadline_locked(ThreadId running) {
+ThreadId Engine::pick_any_live() const {
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    if (states_[t] != State::kDone) return t;
+  }
+  return -1;
+}
+
+void Engine::recompute_deadline(ThreadId running) {
   Cycles min_other = std::numeric_limits<Cycles>::max();
   for (ThreadId t = 0; t < num_threads(); ++t) {
     if (t == running || states_[t] != State::kReady) continue;
@@ -40,54 +49,66 @@ void Engine::recompute_deadline_locked(ThreadId running) {
                   : min_other + cfg_.sched_quantum;
 }
 
-void Engine::wait_for_token(std::unique_lock<std::mutex>& lk, ThreadId t) {
-  cvs_[t].wait(lk, [&] { return stopping_ || current_ == t; });
+void Engine::on_resumed(ThreadId t) {
   if (stopping_) throw EngineStop{};
   states_[t] = State::kRunning;
-  recompute_deadline_locked(t);
+  recompute_deadline(t);
+}
+
+void Engine::switch_from(ThreadId t, ThreadId next) {
+  current_ = next;
+  backend_->transfer(t, next);
+  on_resumed(t);
 }
 
 void Engine::advance(ThreadId t, Cycles cycles) {
   clocks_[t] += cycles;
-  if (cfg_.max_cycles != 0 && clocks_[t] > cfg_.max_cycles) {
+  if (cfg_.max_cycles != 0 && clocks_[t] > cfg_.max_cycles && !stopping_) {
     throw SimError("thread " + std::to_string(t) +
                    " exceeded max_cycles (livelock guard)");
   }
   // Fast path: still within quantum of the earliest runnable peer.
   if (clocks_[t] <= deadline_ && !stopping_) return;
 
-  std::unique_lock<std::mutex> lk(mu_);
-  if (stopping_) throw EngineStop{};
+  if (stopping_) {
+    // Teardown: if this call came from a destructor unwinding an
+    // EngineStop, swallowing it keeps the unwind alive; otherwise join the
+    // teardown. (Throwing out of a destructor would std::terminate.)
+    if (std::uncaught_exceptions() > 0) return;
+    throw EngineStop{};
+  }
   states_[t] = State::kReady;
   ThreadId next = pick_next(-1);
   if (next == t) {
     states_[t] = State::kRunning;
-    recompute_deadline_locked(t);
+    recompute_deadline(t);
     return;
   }
-  current_ = next;
-  cvs_[next].notify_one();
-  wait_for_token(lk, t);
+  switch_from(t, next);
 }
 
 void Engine::yield_point(ThreadId t) {
-  std::unique_lock<std::mutex> lk(mu_);
-  if (stopping_) throw EngineStop{};
+  if (stopping_) {
+    if (std::uncaught_exceptions() > 0) return;
+    throw EngineStop{};
+  }
   states_[t] = State::kReady;
   ThreadId next = pick_next(-1);
   if (next == t) {
     states_[t] = State::kRunning;
-    recompute_deadline_locked(t);
+    recompute_deadline(t);
     return;
   }
-  current_ = next;
-  cvs_[next].notify_one();
-  wait_for_token(lk, t);
+  switch_from(t, next);
 }
 
 void Engine::block(ThreadId t) {
-  std::unique_lock<std::mutex> lk(mu_);
-  if (stopping_) throw EngineStop{};
+  if (stopping_) {
+    // Teardown: nobody is left to wake us; returning immediately (a
+    // spurious wake) lets unwinding destructors pass through safely.
+    if (std::uncaught_exceptions() > 0) return;
+    throw EngineStop{};
+  }
   const Cycles blocked_at = clocks_[t];
   states_[t] = State::kBlocked;
   ThreadId next = pick_next(-1);
@@ -98,99 +119,86 @@ void Engine::block(ThreadId t) {
           SimError("deadlock: all simulated threads are blocked"));
     }
     stopping_ = true;
-    for (auto& cv : cvs_) cv.notify_all();
     throw EngineStop{};
   }
-  current_ = next;
-  cvs_[next].notify_one();
-  wait_for_token(lk, t);
+  switch_from(t, next);
   // Report after resuming: wake() has already advanced our clock to the
   // waker's, so [blocked_at, now] is the full descheduled interval.
   if (tel_) tel_->on_blocked(t, blocked_at, clocks_[t]);
 }
 
 void Engine::wake(ThreadId t, Cycles waker_clock) {
-  std::unique_lock<std::mutex> lk(mu_);
   if (states_[t] != State::kBlocked) return;  // no waiter: wake is lost
   states_[t] = State::kReady;
   clocks_[t] = std::max(clocks_[t], waker_clock);
-  if (current_ >= 0) recompute_deadline_locked(current_);
+  if (current_ >= 0) {
+    recompute_deadline(current_);
+  } else {
+    // No thread holds the token (a wake issued from the driver between
+    // dispatches). The standing deadline predates t becoming runnable, so
+    // the next scheduled thread could overrun its quantum against t; zero
+    // it so the next dispatch recomputes.
+    deadline_ = 0;
+  }
 }
 
-void Engine::thread_main(ThreadId t, const std::function<void()>& body) {
+void Engine::thread_main(ThreadId t) {
   try {
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      wait_for_token(lk, t);
-    }
-    body();
+    on_resumed(t);  // waits for nothing: the backend activated us
+    (*bodies_)[t]();
   } catch (EngineStop&) {
     // Torn down by another thread's failure (or a detected deadlock).
-    std::unique_lock<std::mutex> lk(mu_);
-    states_[t] = State::kDone;
-    end_clocks_[t] = clocks_[t];
-    alive_--;
-    done_cv_.notify_all();
-    return;
   } catch (...) {
-    std::unique_lock<std::mutex> lk(mu_);
     if (!first_error_) first_error_ = std::current_exception();
     stopping_ = true;
-    states_[t] = State::kDone;
-    end_clocks_[t] = clocks_[t];
-    alive_--;
-    for (auto& cv : cvs_) cv.notify_all();
-    done_cv_.notify_all();
-    return;
   }
 
-  // Normal completion: pass the token on.
-  std::unique_lock<std::mutex> lk(mu_);
   states_[t] = State::kDone;
   end_clocks_[t] = clocks_[t];
   alive_--;
-  ThreadId next = pick_next(-1);
-  if (next >= 0) {
-    current_ = next;
-    cvs_[next].notify_one();
-  } else if (alive_ > 0) {
-    // Remaining threads are all blocked and nobody can wake them.
-    if (!first_error_) {
-      first_error_ = std::make_exception_ptr(SimError(
-          "deadlock: remaining simulated threads are all blocked"));
-    }
-    stopping_ = true;
-    for (auto& cv : cvs_) cv.notify_all();
+
+  ThreadId next;
+  if (stopping_) {
+    // Teardown sweep: resume each remaining thread (in thread-id order, so
+    // it is deterministic) to let it unwind its own stack — fibers must run
+    // their destructors on their own stacks before the run can end.
+    next = pick_any_live();
   } else {
-    current_ = -1;
+    next = pick_next(-1);
+    if (next < 0 && alive_ > 0) {
+      // Remaining threads are all blocked and nobody can wake them.
+      if (!first_error_) {
+        first_error_ = std::make_exception_ptr(SimError(
+            "deadlock: remaining simulated threads are all blocked"));
+      }
+      stopping_ = true;
+      next = pick_any_live();
+    }
   }
-  done_cv_.notify_all();
+  current_ = next;
+  backend_->exit_transfer(t, next);
+  // Thread backend: exit_transfer returned; this worker must unwind without
+  // touching engine state again. Fiber backend: never reached.
 }
 
 void Engine::run(const std::vector<std::function<void()>>& bodies) {
   if (static_cast<int>(bodies.size()) != num_threads()) {
     throw SimError("body count does not match engine thread count");
   }
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    stopping_ = false;
-    first_error_ = nullptr;
-    alive_ = num_threads();
-    for (ThreadId t = 0; t < num_threads(); ++t) {
-      states_[t] = State::kReady;
-      clocks_[t] = 0;
-      end_clocks_[t] = 0;
-    }
-    current_ = 0;
-    deadline_ = 0;
-  }
-
-  std::vector<std::thread> threads;
-  threads.reserve(bodies.size());
+  stopping_ = false;
+  first_error_ = nullptr;
+  alive_ = num_threads();
   for (ThreadId t = 0; t < num_threads(); ++t) {
-    threads.emplace_back([this, t, &bodies] { thread_main(t, bodies[t]); });
+    states_[t] = State::kReady;
+    clocks_[t] = 0;
+    end_clocks_[t] = 0;
   }
-  for (auto& th : threads) th.join();
+  bodies_ = &bodies;
+  current_ = 0;
+  deadline_ = 0;
+  backend_->run(num_threads(), [this](ThreadId t) { thread_main(t); }, 0);
+  bodies_ = nullptr;
+  current_ = -1;
 
   makespan_ = *std::max_element(end_clocks_.begin(), end_clocks_.end());
   if (first_error_) std::rethrow_exception(first_error_);

@@ -1,29 +1,36 @@
-// Deterministic virtual-time scheduler. Each simulated hardware thread runs
-// on its own OS thread, but exactly one executes at a time: the engine hands
-// a token to the runnable thread with the minimum (virtual clock, thread id)
-// pair. A thread keeps the token until its clock exceeds the next runnable
-// thread's clock by the scheduling quantum. The interleaving is therefore a
-// pure function of the program and the configuration — no host scheduling or
-// wall-clock time ever leaks into results.
+// Deterministic virtual-time scheduler. Exactly one simulated thread
+// executes at a time: the engine hands a token to the runnable thread with
+// the minimum (virtual clock, thread id) pair. A thread keeps the token
+// until its clock exceeds the next runnable thread's clock by the
+// scheduling quantum. The interleaving is therefore a pure function of the
+// program and the configuration — no host scheduling or wall-clock time
+// ever leaks into results.
+//
+// The engine owns scheduling *policy* only; the mechanism that suspends and
+// resumes simulated threads is a pluggable ExecutionBackend (sim/backend.h):
+// cooperative fibers on one host thread (default) or one OS thread per
+// simulated thread with condvar handoff. Both produce the same interleaving
+// cycle for cycle.
 #pragma once
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
 
+#include "sim/backend.h"
 #include "sim/config.h"
 #include "sim/types.h"
 
 namespace tsxhpc::sim {
 
 class Telemetry;
+class EngineTestPeer;
 
 class Engine {
  public:
   Engine(const MachineConfig& cfg, int num_threads);
+  ~Engine();
 
   /// Run all thread bodies to completion. Body i executes as simulated
   /// thread i. Rethrows the first exception raised by any body.
@@ -43,13 +50,21 @@ class Engine {
   void block(ThreadId t);
 
   /// Make t runnable again; its clock jumps forward to the waker's clock if
-  /// it was behind. Caller must currently hold the token.
+  /// it was behind. Usually called by the token holder; also safe with no
+  /// token holder (current() < 0), where it forces the next dispatch to
+  /// recompute its quantum deadline against the woken thread.
   void wake(ThreadId t, Cycles waker_clock);
 
   Cycles clock(ThreadId t) const { return clocks_[t]; }
   void add_clock(ThreadId t, Cycles c) { clocks_[t] += c; }
   bool is_blocked(ThreadId t) const { return states_[t] == State::kBlocked; }
   int num_threads() const { return static_cast<int>(clocks_.size()); }
+
+  /// Thread currently holding the token, or -1 if none.
+  ThreadId current() const { return current_; }
+
+  /// Execution mechanism in use (fiber or thread).
+  BackendKind backend_kind() const { return backend_->kind(); }
 
   /// Makespan of the last run(): max end clock over all threads.
   Cycles makespan() const { return makespan_; }
@@ -59,6 +74,8 @@ class Engine {
   void set_telemetry(Telemetry* tel) { tel_ = tel; }
 
  private:
+  friend class EngineTestPeer;
+
   enum class State { kNotStarted, kReady, kRunning, kBlocked, kDone };
 
   /// Thrown into a simulated thread when another thread failed and the run
@@ -66,22 +83,28 @@ class Engine {
   /// workload catch blocks do not swallow it.
   struct EngineStop {};
 
-  void thread_main(ThreadId t, const std::function<void()>& body);
+  /// Per-thread driver the backend invokes: initial token wait, body, and
+  /// deterministic completion/teardown handoff.
+  void thread_main(ThreadId t);
 
-  // All of the below require mu_ held.
+  // All of the below execute with the token held (or, for run()'s
+  // bookkeeping, with no simulated thread running); happens-before edges
+  // across handoffs are the backend's responsibility.
   ThreadId pick_next(ThreadId exclude) const;
-  void hand_off_locked(std::unique_lock<std::mutex>& lk, ThreadId t,
-                       bool leaving);
-  void wait_for_token(std::unique_lock<std::mutex>& lk, ThreadId t);
-  void recompute_deadline_locked(ThreadId running);
+  ThreadId pick_any_live() const;
+  void recompute_deadline(ThreadId running);
+  /// Hand the token from t to next and wait until t is resumed; throws
+  /// EngineStop on resume when the run is being torn down.
+  void switch_from(ThreadId t, ThreadId next);
+  /// Token-acquisition bookkeeping after a resume (or first activation).
+  void on_resumed(ThreadId t);
 
   const MachineConfig& cfg_;
-  mutable std::mutex mu_;
-  std::vector<std::condition_variable> cvs_;
-  std::condition_variable done_cv_;
+  std::unique_ptr<ExecutionBackend> backend_;
   std::vector<State> states_;
   std::vector<Cycles> clocks_;
   std::vector<Cycles> end_clocks_;
+  const std::vector<std::function<void()>>* bodies_ = nullptr;
   ThreadId current_ = -1;
   Cycles deadline_ = 0;  // clock value at which the current thread must yield
   int alive_ = 0;

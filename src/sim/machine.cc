@@ -14,28 +14,32 @@ void Machine::set_telemetry(Telemetry* tel) {
   futex_.set_telemetry(tel);
 }
 
-RunStats Machine::run(int num_threads,
-                      const std::function<void(Context&)>& body) {
-  std::vector<std::function<void(Context&)>> bodies(num_threads, body);
-  return run_each(bodies);
-}
+RunStats Machine::run(const RunSpec& spec) {
+  const bool per_thread = !spec.bodies.empty();
+  if (!per_thread && !spec.body) {
+    throw SimError("RunSpec: neither body nor bodies set");
+  }
+  if (per_thread && spec.body) {
+    throw SimError("RunSpec: body and bodies are mutually exclusive");
+  }
+  const int n = per_thread ? static_cast<int>(spec.bodies.size()) : spec.threads;
 
-RunStats Machine::run_each(
-    const std::vector<std::function<void(Context&)>>& bodies) {
-  const int n = static_cast<int>(bodies.size());
   for (auto& s : stats_) s = ThreadStats{};
   mem_->reset_all_tx();
   futex_.clear();
 
   engine_ = std::make_unique<Engine>(cfg_, n);
   engine_->set_telemetry(telemetry_);
-  if (telemetry_) telemetry_->begin_run(n, &stats_);
+  if (telemetry_) {
+    if (!spec.label.empty()) telemetry_->set_next_run_label(spec.label);
+    telemetry_->begin_run(n, &stats_, to_string(cfg_.backend));
+  }
   std::vector<std::function<void()>> wrapped;
   wrapped.reserve(n);
   for (ThreadId t = 0; t < n; ++t) {
-    wrapped.emplace_back([this, t, &bodies] {
+    wrapped.emplace_back([this, t, per_thread, &spec] {
       Context ctx(*this, t);
-      bodies[t](ctx);
+      (per_thread ? spec.bodies[t] : spec.body)(ctx);
       if (mem_->in_tx(t)) {
         throw SimError("thread body returned inside an open transaction");
       }

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/config.h"
@@ -17,6 +18,21 @@
 #include "sim/trace.h"
 
 namespace tsxhpc::sim {
+
+/// Everything that defines one parallel region: how many simulated threads,
+/// what each runs, and how the run is labeled in telemetry artifacts.
+/// Exactly one of `body` (SPMD: every thread runs it) or `bodies` (one
+/// entry per thread; overrides `threads`) must be set.
+struct RunSpec {
+  int threads = 1;
+  std::function<void(Context&)> body;
+  std::vector<std::function<void(Context&)>> bodies;
+  /// Telemetry run label. Replaces the old BenchIo::label →
+  /// set_next_run_label side channel: the label now rides with the run it
+  /// names. Empty keeps the telemetry default ("run_<seq>", or the last
+  /// explicit label with a "#N" suffix).
+  std::string label;
+};
 
 class Machine {
  public:
@@ -40,12 +56,26 @@ class Machine {
     return heap().allocate_named(name, bytes, align);
   }
 
-  /// Run `body` on `num_threads` simulated threads (SPMD style). Statistics
-  /// are reset at region entry; returns per-thread stats and the makespan.
-  RunStats run(int num_threads, const std::function<void(Context&)>& body);
+  /// Run one parallel region. Statistics are reset at region entry; returns
+  /// per-thread stats and the makespan.
+  RunStats run(const RunSpec& spec);
 
-  /// Run one distinct body per thread.
-  RunStats run_each(const std::vector<std::function<void(Context&)>>& bodies);
+  /// Deprecated shim (removal next PR): SPMD region without a label.
+  /// Prefer run(RunSpec).
+  RunStats run(int num_threads, const std::function<void(Context&)>& body) {
+    RunSpec spec;
+    spec.threads = num_threads;
+    spec.body = body;
+    return run(spec);
+  }
+
+  /// Deprecated shim (removal next PR): one distinct body per thread.
+  /// Prefer run(RunSpec).
+  RunStats run_each(const std::vector<std::function<void(Context&)>>& bodies) {
+    RunSpec spec;
+    spec.bodies = bodies;
+    return run(spec);
+  }
 
   /// Engine of the in-flight run (used by Context; null between runs).
   Engine* engine() { return engine_.get(); }

@@ -43,11 +43,17 @@ std::vector<BlockedSlice> RunRecord::blocked_in_order() const {
 }
 
 void Telemetry::set_next_run_label(std::string label) {
+  // Re-announcing the label the previous run adopted means "another run of
+  // the same region" (a workload passing its RunSpec label on each of its
+  // internal runs): keep the established "#2", "#3" suffixing instead of
+  // emitting duplicate labels.
+  if (label == last_label_) return;
   next_label_ = std::move(label);
 }
 
 void Telemetry::begin_run(int num_threads,
-                          const std::vector<ThreadStats>* live_stats) {
+                          const std::vector<ThreadStats>* live_stats,
+                          std::string_view backend) {
   if (open_run_) abandon_run();  // defensive: a run never ended
   runs_.emplace_back();
   RunRecord& r = runs_.back();
@@ -66,6 +72,7 @@ void Telemetry::begin_run(int num_threads,
     r.label = buf;
   }
   run_seq_++;
+  r.backend = backend;
   r.num_threads = num_threads;
   r.sample_interval = opt_.sample_interval;
   r.conflicts.assign(
@@ -415,6 +422,7 @@ std::string Telemetry::json(const std::string& bench_name) const {
   for (const RunRecord& r : runs_) {
     w.begin_object();
     w.kv("label", r.label);
+    w.kv("backend", r.backend);
     w.kv("num_threads", r.num_threads);
     w.kv("complete", r.complete);
     w.kv("makespan", r.stats.makespan);

@@ -191,6 +191,10 @@ struct Histogram {
 /// Everything recorded about one Machine::run region.
 struct RunRecord {
   std::string label;
+  /// Execution backend name ("fiber"/"thread"). Purely descriptive — every
+  /// other byte of the record is backend-invariant (the equivalence tests
+  /// assert exactly that).
+  std::string backend;
   int num_threads = 0;
   bool complete = false;  // end_run seen (false = engine teardown)
   RunStats stats;
@@ -252,7 +256,8 @@ class Telemetry {
   /// set_next_run_label reuse it with a "#2", "#3", ... suffix; runs with no
   /// label ever set are named "run_<seq>".
   void set_next_run_label(std::string label);
-  void begin_run(int num_threads, const std::vector<ThreadStats>* live_stats);
+  void begin_run(int num_threads, const std::vector<ThreadStats>* live_stats,
+                 std::string_view backend = {});
   void end_run(const RunStats& rs);
   /// Discard the open run record (engine teardown path).
   void abandon_run();

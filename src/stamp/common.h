@@ -37,10 +37,14 @@ template <typename BodyFn>
 Result run_region(const Config& cfg, Machine& m, TmRuntime& rt,
                   BodyFn&& body) {
   Result r;
-  r.stats = m.run(cfg.threads, [&](Context& c) {
+  sim::RunSpec spec;
+  spec.threads = cfg.threads;
+  spec.label = cfg.run_label;
+  spec.body = [&](Context& c) {
     TmThread t(rt, c);
     body(c, t);
-  });
+  };
+  r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
   r.tl2_starts = rt.tl2_starts();
   r.tl2_aborts = rt.tl2_aborts();

@@ -28,6 +28,9 @@ struct Config {
   /// Input scale multiplier (1.0 = the default reduced inputs).
   double scale = 1.0;
   sync::ElisionPolicy policy{};
+  /// Telemetry label for the runs this invocation records (carried into
+  /// Machine::run via RunSpec; empty = telemetry default naming).
+  std::string run_label;
   sim::MachineConfig machine{};
 };
 

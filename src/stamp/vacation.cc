@@ -28,7 +28,9 @@ Result run_vacation(const Config& cfg) {
   // treaps get their deterministic shape, then reset stats via run()).
   {
     TmRuntime setup_rt(m, Backend::kSgl);
-    m.run(1, [&](Context& c) {
+    sim::RunSpec setup;
+    setup.label = cfg.run_label;  // recorded as the "<label>" setup run
+    setup.body = [&](Context& c) {
       TmThread t(setup_rt, c);
       for (std::size_t i = 1; i <= n_relations; ++i) {
         t.atomic([&](TmAccess& tm) {
@@ -40,7 +42,8 @@ Result run_vacation(const Config& cfg) {
       for (std::size_t i = 1; i <= n_relations / 4; ++i) {
         t.atomic([&](TmAccess& tm) { customers.insert(tm, i, 0); });
       }
-    });
+    };
+    m.run(setup);
   }
 
   WorkCounter work(m, n_tasks, 4);

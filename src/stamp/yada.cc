@@ -32,7 +32,9 @@ Result run_yada(const Config& cfg) {
   // Seed the mesh with elements and the heap with the initially-bad ones.
   {
     TmRuntime setup_rt(m, Backend::kSgl);
-    m.run(1, [&](Context& c) {
+    sim::RunSpec setup;
+    setup.label = cfg.run_label;  // recorded as the "<label>" setup run
+    setup.body = [&](Context& c) {
       TmThread t(setup_rt, c);
       Xoshiro256 rng(cfg.seed);
       for (std::size_t i = 1; i <= n_initial; ++i) {
@@ -40,7 +42,8 @@ Result run_yada(const Config& cfg) {
         t.atomic([&](TmAccess& tm) { mesh.insert(tm, i, quality); });
         if (quality < 40) work_heap.seed(m, i);
       }
-    });
+    };
+    m.run(setup);
   }
 
   Result r = run_region(cfg, m, rt, [&](Context& c, TmThread& t) {

@@ -1,0 +1,237 @@
+// Differential tests for the execution backends: the fiber backend (the
+// default) and the thread backend must be observationally identical — same
+// interleaving, same makespan, and byte-identical telemetry artifacts
+// (modulo the per-run "backend" name field, which is the point of it).
+// Determinism is the simulator's core contract; these tests are what lets
+// the two mechanisms share it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "sim/machine.h"
+#include "sim/rng.h"
+#include "sim/shared.h"
+#include "sim/telemetry.h"
+#include "sync/elision.h"
+#include "sync/locks.h"
+
+namespace tsxhpc::sim {
+namespace {
+
+struct RunResult {
+  Cycles makespan = 0;
+  std::string json;
+};
+
+/// Run `workload` on the given backend with full telemetry collection.
+template <typename Workload>
+RunResult run_on(BackendKind kind, Workload&& workload) {
+  TelemetryOptions opt;
+  opt.collect_attempts = true;
+  Telemetry tel(opt);
+  MachineConfig cfg;
+  cfg.backend = kind;
+  cfg.telemetry = &tel;
+  Machine m(cfg);
+  RunResult out;
+  out.makespan = workload(m);
+  out.json = tel.json("backend_equivalence");
+  return out;
+}
+
+/// The artifacts may differ only in the advertised backend name.
+std::string normalize_backend(std::string json) {
+  const std::string from = "\"backend\":\"thread\"";
+  const std::string to = "\"backend\":\"fiber\"";
+  for (std::size_t p = json.find(from); p != std::string::npos;
+       p = json.find(from, p + to.size())) {
+    json.replace(p, from.size(), to);
+  }
+  return json;
+}
+
+template <typename Workload>
+void expect_equivalent(Workload&& workload) {
+  const RunResult fiber = run_on(BackendKind::kFiber, workload);
+  const RunResult thread = run_on(BackendKind::kThread, workload);
+  EXPECT_EQ(fiber.makespan, thread.makespan);
+  EXPECT_NE(fiber.json.find("\"backend\":\"fiber\""), std::string::npos);
+  EXPECT_NE(thread.json.find("\"backend\":\"thread\""), std::string::npos);
+  EXPECT_EQ(fiber.json, normalize_backend(thread.json))
+      << "telemetry artifacts diverge between backends";
+}
+
+// Conflict-heavy elision: 8 threads hammering 2 cache lines through an
+// elided lock. Exercises transactional aborts, retries, and lock fallback —
+// the attempt rings make any interleaving divergence visible byte-for-byte.
+TEST(BackendEquivalence, ConflictHeavyElision) {
+  expect_equivalent([](Machine& m) {
+    auto cells = SharedArray<std::uint64_t>::alloc(m, 16, 0);
+    auto lock = std::make_shared<sync::ElidedLock>(m);
+    RunSpec spec;
+    spec.threads = 8;
+    spec.label = "conflict-heavy";
+    spec.body = [&](Context& c) {
+      Xoshiro256 rng(11 + c.tid());
+      for (int i = 0; i < 200; ++i) {
+        const std::size_t idx = rng.next_below(2) * 8;
+        lock->critical(c, [&] {
+          auto cell = cells.at(idx);
+          cell.store(c, cell.load(c) + 1);
+          c.compute(60);
+        });
+      }
+    };
+    return m.run(spec).makespan;
+  });
+}
+
+// Block/wake-heavy: a futex token ring, every step a futex_wait descent and
+// a futex_wake. This is the workload that caught the fiber backend sharing
+// the host's __cxa_eh_globals across fibers (suspending inside a catch
+// block) — keep it nasty.
+TEST(BackendEquivalence, FutexTokenRing) {
+  expect_equivalent([](Machine& m) {
+    constexpr int kThreads = 8;
+    auto token = Shared<std::uint32_t>::alloc(m, 0);
+    RunSpec spec;
+    spec.threads = kThreads;
+    spec.label = "futex-ring";
+    spec.body = [&](Context& c) {
+      const std::uint32_t me = static_cast<std::uint32_t>(c.tid());
+      for (int round = 0; round < 40; ++round) {
+        const std::uint32_t want =
+            static_cast<std::uint32_t>(round) * kThreads + me;
+        while (true) {
+          const std::uint32_t cur = token.load(c);
+          if (cur == want) break;
+          c.futex_wait(token.addr(), cur);
+        }
+        c.compute(25);
+        token.store(c, want + 1);
+        c.futex_wake(token.addr(), kThreads);
+      }
+    };
+    return m.run(spec).makespan;
+  });
+}
+
+// Mixed futex mutex + condition-style sleeping through sync::FutexMutex —
+// block()/wake() flowing through the engine's scheduler telemetry.
+TEST(BackendEquivalence, FutexMutexContention) {
+  expect_equivalent([](Machine& m) {
+    auto lock = std::make_shared<sync::FutexMutex>(m);
+    auto counter = Shared<std::uint64_t>::alloc(m, 0);
+    RunSpec spec;
+    spec.threads = 6;
+    spec.label = "futex-mutex";
+    spec.body = [&](Context& c) {
+      Xoshiro256 rng(3 + c.tid());
+      for (int i = 0; i < 150; ++i) {
+        lock->acquire(c);
+        counter.store(c, counter.load(c) + 1);
+        c.compute(rng.next_below(200));
+        lock->release(c);
+        c.compute(rng.next_below(50));
+      }
+    };
+    return m.run(spec).makespan;
+  });
+}
+
+// 64 simulated threads on the fiber backend (32 cores x 2 HyperThreads):
+// stack allocation at scale, deep-ish call frames, and fiber teardown when
+// one thread throws mid-run. Every frame's destructor must run on its own
+// fiber stack before Machine::run rethrows.
+TEST(BackendStress, SixtyFourFibers) {
+  MachineConfig cfg;
+  cfg.num_cores = 32;
+  cfg.smt_per_core = 2;
+  cfg.backend = BackendKind::kFiber;
+  cfg.fiber_stack_bytes = 256 * 1024;  // deliberately lean
+  Machine m(cfg);
+  auto counter = Shared<std::uint64_t>::alloc(m, 0);
+
+  // Recursion with live frames across yield points: the scheduler switches
+  // away while these frames are on the fiber stack.
+  struct Deep {
+    static void go(Context& c, Shared<std::uint64_t>& ctr, int depth) {
+      volatile char frame[512] = {};
+      (void)frame;
+      if (depth > 0) {
+        ctr.fetch_add(c, 1);
+        go(c, ctr, depth - 1);
+      }
+    }
+  };
+
+  RunSpec spec;
+  spec.threads = 64;
+  spec.body = [&](Context& c) {
+    Deep::go(c, counter, 40);
+    c.compute(100 + 3 * c.tid());
+  };
+  const RunStats rs = m.run(spec);
+  EXPECT_EQ(counter.peek(m), 64u * 40u);
+  EXPECT_GT(rs.makespan, 0u);
+}
+
+TEST(BackendStress, SixtyFourFiberTeardownByException) {
+  MachineConfig cfg;
+  cfg.num_cores = 32;
+  cfg.smt_per_core = 2;
+  cfg.backend = BackendKind::kFiber;
+  Machine m(cfg);
+
+  // One destructor per simulated thread, living on that thread's fiber
+  // stack. The teardown sweep must unwind all 64 stacks (running these)
+  // before run() rethrows the original error.
+  static std::atomic<int> unwound{0};
+  unwound = 0;
+  struct Guard {
+    ~Guard() { unwound.fetch_add(1, std::memory_order_relaxed); }
+  };
+
+  RunSpec spec;
+  spec.threads = 64;
+  spec.body = [&](Context& c) {
+    Guard g;
+    // Throw only on a later timeslice: by then the scheduler has rotated
+    // through every thread once, so all 64 guards are live on fiber stacks.
+    for (int i = 0; i < 100; ++i) {
+      c.compute(50);
+      if (c.tid() == 23 && i == 50) throw std::runtime_error("boom");
+    }
+  };
+  EXPECT_THROW(m.run(spec), std::runtime_error);
+  EXPECT_EQ(unwound.load(), 64);
+}
+
+// The same teardown path on the thread backend, pinning the two mechanisms
+// to the same observable behaviour.
+TEST(BackendStress, ThreadBackendTeardownByException) {
+  MachineConfig cfg;
+  cfg.backend = BackendKind::kThread;
+  Machine m(cfg);
+  static std::atomic<int> unwound{0};
+  unwound = 0;
+  struct Guard {
+    ~Guard() { unwound.fetch_add(1, std::memory_order_relaxed); }
+  };
+  RunSpec spec;
+  spec.threads = 8;
+  spec.body = [&](Context& c) {
+    Guard g;
+    for (int i = 0; i < 100; ++i) {
+      c.compute(50);
+      if (c.tid() == 3 && i == 50) throw std::runtime_error("boom");
+    }
+  };
+  EXPECT_THROW(m.run(spec), std::runtime_error);
+  EXPECT_EQ(unwound.load(), 8);
+}
+
+}  // namespace
+}  // namespace tsxhpc::sim

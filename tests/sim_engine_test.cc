@@ -4,11 +4,36 @@
 
 #include <vector>
 
+#include "sim/engine.h"
 #include "sim/machine.h"
 #include "sim/rng.h"
 #include "sim/shared.h"
 
 namespace tsxhpc::sim {
+
+/// White-box access for scheduler-internals regression tests (friend of
+/// Engine). Lets a test stage exact engine states that are awkward to reach
+/// through a full Machine::run.
+class EngineTestPeer {
+ public:
+  static void make_ready(Engine& e, ThreadId t, Cycles clock) {
+    e.states_[t] = Engine::State::kReady;
+    e.clocks_[t] = clock;
+  }
+  static void make_blocked(Engine& e, ThreadId t, Cycles clock) {
+    e.states_[t] = Engine::State::kBlocked;
+    e.clocks_[t] = clock;
+  }
+  static void make_running(Engine& e, ThreadId t, Cycles clock) {
+    e.states_[t] = Engine::State::kRunning;
+    e.clocks_[t] = clock;
+    e.current_ = t;
+  }
+  static void clear_current(Engine& e) { e.current_ = -1; }
+  static void set_deadline(Engine& e, Cycles d) { e.deadline_ = d; }
+  static Cycles deadline(const Engine& e) { return e.deadline_; }
+};
+
 namespace {
 
 TEST(Engine, SingleThreadClockAdvances) {
@@ -271,6 +296,50 @@ TEST(Engine, MachineReusableAcrossManyRuns) {
     EXPECT_LE(rs.makespan, 500u);
   }
   EXPECT_EQ(cell.peek(m), 5u) << "heap contents persist";
+}
+
+// Regression: wake() with no token holder (current() < 0 — e.g. a wake
+// issued from the driver between dispatches) used to leave the standing
+// quantum deadline untouched. The stale deadline predated the woken thread
+// becoming runnable, so the next scheduled thread could overrun its quantum
+// against the waker. wake() must zero the deadline so the next dispatch
+// recomputes it.
+TEST(Engine, WakeWithNoTokenHolderResetsDeadline) {
+  MachineConfig cfg;
+  Engine e(cfg, 2);
+  EngineTestPeer::make_ready(e, 0, 100);
+  EngineTestPeer::make_blocked(e, 1, 50);
+  EngineTestPeer::clear_current(e);
+  EngineTestPeer::set_deadline(e, 1'000'000);  // stale, from before the block
+  e.wake(1, 400);
+  EXPECT_FALSE(e.is_blocked(1));
+  EXPECT_EQ(e.clock(1), 400u) << "woken clock jumps to the waker's";
+  EXPECT_EQ(EngineTestPeer::deadline(e), 0u)
+      << "next dispatch must recompute the deadline against the woken thread";
+}
+
+TEST(Engine, WakeWithTokenHolderRecomputesDeadline) {
+  MachineConfig cfg;
+  cfg.sched_quantum = 200;
+  Engine e(cfg, 2);
+  EngineTestPeer::make_running(e, 0, 1000);
+  EngineTestPeer::make_blocked(e, 1, 50);
+  EngineTestPeer::set_deadline(e, 1'000'000);
+  e.wake(1, 700);
+  EXPECT_EQ(e.clock(1), 700u);
+  EXPECT_EQ(EngineTestPeer::deadline(e), 900u)
+      << "deadline = woken thread's clock + quantum";
+}
+
+TEST(Engine, WakeOfNonBlockedThreadIsLost) {
+  MachineConfig cfg;
+  Engine e(cfg, 2);
+  EngineTestPeer::make_running(e, 0, 1000);
+  EngineTestPeer::make_ready(e, 1, 50);
+  EngineTestPeer::set_deadline(e, 250);
+  e.wake(1, 700);  // futex semantics: no waiter, the wake is dropped
+  EXPECT_EQ(e.clock(1), 50u);
+  EXPECT_EQ(EngineTestPeer::deadline(e), 250u);
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+// simspeed: measures the *simulator's* host-side speed — wall-clock
+// nanoseconds per simulated cycle — for each execution backend, on a
+// handoff-heavy microbenchmark: N simulated threads advancing in lockstep,
+// so the scheduler transfers control roughly every `sched_quantum` cycles.
+// That makes the run a nearly pure measurement of backend handoff cost,
+// which is exactly where the fiber backend earns its keep (a userspace
+// context swap vs. an OS condvar signal/wait round trip per transfer).
+//
+// Emits a BENCH_simspeed.json entry (schema tsxhpc-simspeed-v1) so CI can
+// archive the numbers, and exits non-zero if the two backends disagree on
+// the simulated makespan (they must be bit-identical by design).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/args.h"
+#include "sim/machine.h"
+
+using namespace tsxhpc;
+using sim::BackendKind;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+struct Measurement {
+  BackendKind kind;
+  sim::Cycles makespan = 0;   // simulated cycles (must match across backends)
+  double wall_ns = 0;         // best-of-reps host wall clock for the run
+  double ns_per_cycle = 0;
+  double ns_per_handoff = 0;
+};
+
+Measurement measure(BackendKind kind, int threads, sim::Cycles quantum,
+                    sim::Cycles cycles_per_thread, int reps) {
+  Measurement out;
+  out.kind = kind;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::MachineConfig cfg;
+    cfg.backend = kind;
+    cfg.sched_quantum = quantum;
+    Machine m(cfg);
+    sim::RunSpec spec;
+    spec.threads = threads;
+    spec.label = "handoff";
+    spec.body = [cycles_per_thread](Context& c) {
+      // Lockstep compute: every thread advances at the same rate, so the
+      // token rotates through all N threads once per quantum-sized slice.
+      while (c.now() < cycles_per_thread) c.compute(50);
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::RunStats rs = m.run(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (rep == 0 || ns < out.wall_ns) out.wall_ns = ns;
+    out.makespan = rs.makespan;
+  }
+  out.ns_per_cycle = out.wall_ns / static_cast<double>(out.makespan);
+  // Every thread yields the token once its clock leads by ~quantum; with N
+  // threads in lockstep that is about N transfers per quantum of makespan.
+  const double handoffs = static_cast<double>(out.makespan) /
+                          static_cast<double>(quantum) * threads;
+  out.ns_per_handoff = out.wall_ns / handoffs;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args("simspeed",
+                   "host wall-clock per simulated cycle, per backend");
+  int threads = 8;
+  std::size_t quantum = 200;
+  std::size_t kcycles = 4000;  // simulated kilocycles per thread
+  int reps = 3;
+  bool quick = false;
+  std::string json_path = "BENCH_simspeed.json";
+  args.add_int("threads", "simulated threads handing off", &threads);
+  args.add_size("quantum", "scheduler quantum in simulated cycles", &quantum);
+  args.add_size("kcycles", "simulated kilocycles per thread", &kcycles);
+  args.add_int("reps", "repetitions per backend (best is reported)", &reps);
+  args.add_bool("quick", "reduced cycle budget (CI smoke runs)", &quick);
+  args.add_string("json", "write results to this path (empty = skip)",
+                  &json_path);
+  if (!args.parse(argc, argv)) return args.exit_code();
+  if (threads < 2) return args.fail("--threads must be >= 2 (handoffs!)");
+  if (quick) kcycles = kcycles / 4;
+
+  const sim::Cycles per_thread = static_cast<sim::Cycles>(kcycles) * 1000;
+  std::printf("simspeed: %d threads, quantum %zu, %zu kcycles/thread, "
+              "best of %d reps\n\n",
+              threads, quantum, kcycles, reps);
+
+  const Measurement fiber = measure(BackendKind::kFiber, threads, quantum,
+                                    per_thread, reps);
+  const Measurement thread = measure(BackendKind::kThread, threads, quantum,
+                                     per_thread, reps);
+
+  for (const Measurement* m : {&fiber, &thread}) {
+    std::printf("%-7s makespan %llu cyc  wall %8.2f ms  %7.3f ns/cyc  "
+                "%8.1f ns/handoff\n",
+                sim::to_string(m->kind),
+                static_cast<unsigned long long>(m->makespan),
+                m->wall_ns / 1e6, m->ns_per_cycle, m->ns_per_handoff);
+  }
+
+  const double speedup = thread.wall_ns / fiber.wall_ns;
+  std::printf("\nfiber speedup over thread backend: %.1fx\n", speedup);
+
+  if (fiber.makespan != thread.makespan) {
+    std::fprintf(stderr,
+                 "simspeed: DETERMINISM VIOLATION: fiber makespan %llu != "
+                 "thread makespan %llu\n",
+                 static_cast<unsigned long long>(fiber.makespan),
+                 static_cast<unsigned long long>(thread.makespan));
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "simspeed: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"tsxhpc-simspeed-v1\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"sched_quantum\": %zu,\n"
+                 "  \"sim_cycles\": %llu,\n"
+                 "  \"backends\": [\n",
+                 threads, quantum,
+                 static_cast<unsigned long long>(fiber.makespan));
+    bool first = true;
+    for (const Measurement* m : {&fiber, &thread}) {
+      std::fprintf(f,
+                   "%s    {\"backend\": \"%s\", \"wall_ns\": %.0f, "
+                   "\"ns_per_sim_cycle\": %.4f, \"ns_per_handoff\": %.1f}",
+                   first ? "" : ",\n", sim::to_string(m->kind), m->wall_ns,
+                   m->ns_per_cycle, m->ns_per_handoff);
+      first = false;
+    }
+    std::fprintf(f,
+                 "\n  ],\n"
+                 "  \"fiber_speedup_vs_thread\": %.2f\n"
+                 "}\n",
+                 speedup);
+    std::fclose(f);
+    std::printf("simspeed: wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

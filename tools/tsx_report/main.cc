@@ -10,17 +10,16 @@
 //
 // Exit codes: 0 ok, 1 regression(s) found (diff mode), 2 usage or I/O error.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "bench/args.h"
 #include "sim/json_parse.h"
 #include "sim/report.h"
 
 namespace {
 
-bool read_file(const char* path, std::string& out) {
-  std::FILE* f = std::fopen(path, "rb");
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return false;
   char buf[1 << 16];
   std::size_t n;
@@ -30,86 +29,69 @@ bool read_file(const char* path, std::string& out) {
   return ok;
 }
 
-bool load_doc(const char* path, tsxhpc::sim::JsonValue& doc) {
+bool load_doc(const std::string& path, tsxhpc::sim::JsonValue& doc) {
   std::string text;
   if (!read_file(path, text)) {
-    std::fprintf(stderr, "tsx_report: cannot read %s\n", path);
+    std::fprintf(stderr, "tsx_report: cannot read %s\n", path.c_str());
     return false;
   }
   std::string err;
   doc = tsxhpc::sim::JsonParser::parse(text, &err);
   if (doc.is_null()) {
-    std::fprintf(stderr, "tsx_report: %s: parse error: %s\n", path,
+    std::fprintf(stderr, "tsx_report: %s: parse error: %s\n", path.c_str(),
                  err.c_str());
     return false;
   }
   if (!tsxhpc::sim::is_telemetry_doc(doc)) {
-    std::fprintf(stderr,
-                 "tsx_report: %s is not a tsxhpc-telemetry artifact\n", path);
+    std::fprintf(stderr, "tsx_report: %s is not a tsxhpc-telemetry artifact\n",
+                 path.c_str());
     return false;
   }
-  return true;
-}
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: tsx_report [--top=N] <artifact.json>\n"
-      "       tsx_report --diff <base.json> <current.json>\n"
-      "                  [--max-abort-rate-pp=X] [--max-wasted-pp=X]\n");
-  return 2;
-}
-
-bool parse_double_opt(const char* arg, const char* name, double& out) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  out = std::strtod(arg + len + 1, nullptr);
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  tsxhpc::bench::Args args("tsx_report",
+                           "analyze/diff tsxhpc-telemetry JSON artifacts");
   bool diff = false;
-  tsxhpc::sim::ReportOptions opt;
+  std::size_t top = 10;
   tsxhpc::sim::DiffThresholds thr;
-  const char* paths[2] = {nullptr, nullptr};
-  int npaths = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    double v = 0;
-    if (std::strcmp(a, "--diff") == 0) {
-      diff = true;
-    } else if (std::strncmp(a, "--top=", 6) == 0) {
-      opt.top_lines = static_cast<std::size_t>(std::strtoul(a + 6, nullptr, 10));
-    } else if (parse_double_opt(a, "--max-abort-rate-pp", v)) {
-      thr.abort_rate_pp = v;
-    } else if (parse_double_opt(a, "--max-wasted-pp", v)) {
-      thr.wasted_cycle_pp = v;
-    } else if (a[0] == '-') {
-      return usage();
-    } else if (npaths < 2) {
-      paths[npaths++] = a;
-    } else {
-      return usage();
-    }
-  }
+  std::string path0, path1;
+  args.add_bool("diff", "compare two artifacts; exit 1 on regression", &diff);
+  args.add_size("top", "conflict lines to show in the report", &top);
+  args.add_double("max-abort-rate-pp",
+                  "diff: allowed abort-rate increase (percentage points)",
+                  &thr.abort_rate_pp);
+  args.add_double("max-wasted-pp",
+                  "diff: allowed wasted-cycle increase (percentage points)",
+                  &thr.wasted_cycle_pp);
+  args.add_positional("artifact", "telemetry artifact (diff: the baseline)",
+                      &path0, true);
+  args.add_positional("current", "second artifact (diff mode only)", &path1,
+                      false);
+  if (!args.parse(argc, argv)) return args.exit_code();
 
   if (diff) {
-    if (npaths != 2) return usage();
+    if (path1.empty()) {
+      return args.fail("--diff needs two artifacts: <base.json> <cur.json>");
+    }
     tsxhpc::sim::JsonValue base, cur;
-    if (!load_doc(paths[0], base) || !load_doc(paths[1], cur)) return 2;
+    if (!load_doc(path0, base) || !load_doc(path1, cur)) return 2;
     std::string out;
-    const int regressions =
-        tsxhpc::sim::render_diff(base, cur, thr, out);
+    const int regressions = tsxhpc::sim::render_diff(base, cur, thr, out);
     std::fputs(out.c_str(), stdout);
     return regressions > 0 ? 1 : 0;
   }
 
-  if (npaths != 1) return usage();
+  if (!path1.empty()) {
+    return args.fail("exactly one artifact expected (or pass --diff)");
+  }
+  tsxhpc::sim::ReportOptions opt;
+  opt.top_lines = top;
   tsxhpc::sim::JsonValue doc;
-  if (!load_doc(paths[0], doc)) return 2;
+  if (!load_doc(path0, doc)) return 2;
   std::fputs(tsxhpc::sim::render_report(doc, opt).c_str(), stdout);
   return 0;
 }
