@@ -64,6 +64,17 @@ class BenchIo {
                    "print the flag table as markdown and exit (the "
                    "EXPERIMENTS.md CLI reference is generated from this)",
                    &cli_markdown_);
+    args_.add_size("l1-bytes",
+                   "L1 data cache bytes per core (0 = model default)",
+                   &l1_bytes_);
+    args_.add_size("l1-ways", "L1 associativity (0 = model default)",
+                   &l1_ways_);
+    args_.add_size("llc-bytes",
+                   "shared LLC bytes (0 = model default; read-set capacity "
+                   "aborts track this)",
+                   &llc_bytes_);
+    args_.add_size("llc-ways", "LLC associativity (0 = model default)",
+                   &llc_ways_);
   }
 
   /// The underlying parser, for bench-specific flag declarations.
@@ -94,11 +105,16 @@ class BenchIo {
 
   int exit_code() const { return args_.exit_code(); }
 
-  /// Wire this bench's choices into a machine config: telemetry sink and
-  /// the --backend selection. Call once per MachineConfig the bench builds.
+  /// Wire this bench's choices into a machine config: telemetry sink, the
+  /// --backend selection, and any cache-geometry overrides. Call once per
+  /// MachineConfig the bench builds.
   void apply(sim::MachineConfig& mc) {
     mc.telemetry = telemetry_.get();
     mc.backend = backend_;
+    if (l1_bytes_ != 0) mc.l1_bytes = static_cast<std::uint32_t>(l1_bytes_);
+    if (l1_ways_ != 0) mc.l1_ways = static_cast<std::uint32_t>(l1_ways_);
+    if (llc_bytes_ != 0) mc.llc_bytes = static_cast<std::uint32_t>(llc_bytes_);
+    if (llc_ways_ != 0) mc.llc_ways = static_cast<std::uint32_t>(llc_ways_);
   }
 
   bool quick() const { return quick_; }
@@ -108,12 +124,6 @@ class BenchIo {
   /// Null unless --json or --trace was given. Assign to
   /// MachineConfig::telemetry (or pass to Machine::set_telemetry).
   sim::Telemetry* telemetry() { return telemetry_.get(); }
-
-  /// Deprecated shim (removal next PR): label the next recorded run.
-  /// Prefer carrying the label in the workload config / RunSpec.
-  void label(std::string l) {
-    if (telemetry_) telemetry_->set_next_run_label(std::move(l));
-  }
 
   /// Write the requested artifacts; returns a process exit code (non-zero
   /// if a file could not be written).
@@ -166,6 +176,10 @@ class BenchIo {
   std::string json_path_;
   std::string trace_path_;
   std::string backend_name_;
+  std::size_t l1_bytes_ = 0;
+  std::size_t l1_ways_ = 0;
+  std::size_t llc_bytes_ = 0;
+  std::size_t llc_ways_ = 0;
   sim::BackendKind backend_ = sim::default_backend();
   std::unique_ptr<sim::Telemetry> telemetry_;
 };

@@ -31,7 +31,7 @@ double run_kernel(int threads, std::size_t gran) {
     u = static_cast<std::uint32_t>(rng.next_below(kBins));
   }
 
-  sim::RunStats stats = machine.run(threads, [&](sim::Context& ctx) {
+  sim::RunStats stats = machine.run({.threads = threads, .body = [&](sim::Context& ctx) {
     const std::size_t per = (kItems + threads - 1) / threads;
     const std::size_t i0 = ctx.tid() * per;
     const std::size_t i1 = std::min(kItems, i0 + per);
@@ -40,7 +40,7 @@ double run_kernel(int threads, std::size_t gran) {
           const auto bin = bins.at(updates[i0 + off]);
           bin.store(ctx, bin.load(ctx) + 1);
         });
-  });
+  }});
   return static_cast<double>(stats.makespan);
 }
 

@@ -75,12 +75,12 @@ sim::Cycles run_stage(const std::vector<Gather>& points, int stage) {
   };
   // Measure via the machine's run (parallel_for uses it internally, so we
   // inline the same static partitioning here to read the makespan).
-  sim::RunStats rs = m.run(kThreads, [&](Context& c) {
+  sim::RunStats rs = m.run({.threads = kThreads, .body = [&](Context& c) {
     const std::size_t per = (kPoints + kThreads - 1) / kThreads;
     const std::size_t i0 = c.tid() * per;
     const std::size_t i1 = std::min(kPoints, i0 + per);
     for (std::size_t i = i0; i < i1; ++i) body(c, i);
-  });
+  }});
   makespan = rs.makespan;
 
   double total = 0;

@@ -29,7 +29,7 @@ int main() {
 
   constexpr int kThreads = 8;
   constexpr int kIters = 200;
-  sim::RunStats stats = machine.run(kThreads, [&](sim::Context& ctx) {
+  sim::RunStats stats = machine.run({.threads = kThreads, .body = [&](sim::Context& ctx) {
     for (int i = 0; i < kIters; ++i) {
       // Each thread updates its own cache line plus, occasionally, the
       // shared counter: mostly disjoint sections that a plain lock would
@@ -44,7 +44,7 @@ int main() {
       });
       ctx.compute(150);  // work outside
     }
-  });
+  }});
 
   const sim::ThreadStats total = stats.total();
   std::printf("simulated makespan : %llu cycles (%.1f us at %.1f GHz)\n",
@@ -60,7 +60,7 @@ int main() {
               static_cast<unsigned long long>(
                   total.tx_aborted[size_t(sim::AbortCause::kConflict)]),
               static_cast<unsigned long long>(
-                  total.tx_aborted[size_t(sim::AbortCause::kCapacity)]));
+                  total.tx_aborted[size_t(sim::AbortCause::kCapacityWrite)]));
   std::printf("lock elision       : %llu elided, %llu fallback acquisitions "
               "(%.1f%% elided)\n",
               static_cast<unsigned long long>(lock.stats().elided_commits),

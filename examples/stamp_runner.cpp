@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     t.tx_aborted[size_t(sim::AbortCause::kConflict)]),
                 static_cast<unsigned long long>(
-                    t.tx_aborted[size_t(sim::AbortCause::kCapacity)]),
+                    t.tx_aborted[size_t(sim::AbortCause::kCapacityWrite)]),
                 static_cast<unsigned long long>(
                     t.tx_aborted[size_t(sim::AbortCause::kExplicit)]),
                 static_cast<unsigned long long>(

@@ -55,7 +55,7 @@ double serve(sync::MonitorScheme scheme) {
     });
   }
 
-  const sim::RunStats stats = machine.run_each(bodies);
+  const sim::RunStats stats = machine.run({.bodies = bodies});
   const double bytes = static_cast<double>(kConns) * kRequests * kMsg;
   return bytes / 1e6 / machine.seconds(stats.makespan);
 }

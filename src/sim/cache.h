@@ -1,20 +1,27 @@
-// Set-associative L1 data cache model. One instance per core; SMT siblings
-// share it, which is what creates the extra transactional capacity pressure
-// the paper observes with HyperThreading (Section 4.2).
+// Reusable set-associative cache level (sets/ways/LRU) — the building block
+// of the modeled hierarchy. MemorySystem instantiates it twice:
 //
-// The cache tracks *which lines are resident* (for latency and transactional
-// capacity), not data values; values live in SharedHeap / the write buffers.
+//   * one L1 data cache per core (SMT siblings share it, which is what
+//     creates the extra transactional capacity pressure the paper observes
+//     with HyperThreading, Section 4.2). L1 entries carry the transactional
+//     read/write marks;
+//   * one shared, inclusive last-level cache. LLC entries carry the
+//     MESI-style directory state (dirty owner + sharer bitmask), so
+//     coherence information lives — and dies — with LLC residency.
+//
+// A level tracks *which lines are resident* (for latency, capacity and
+// coherence), not data values; values live in SharedHeap / the write
+// buffers.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "sim/config.h"
 #include "sim/types.h"
 
 namespace tsxhpc::sim {
 
-/// Result of touching a line in the L1.
+/// Result of touching a line in a cache level.
 struct CacheTouch {
   bool hit = false;
   /// Line evicted to make room (only meaningful when !hit and a valid line
@@ -30,15 +37,38 @@ struct CacheTouch {
   /// transactional *read* set. Per Section 2 these are moved to a secondary
   /// tracking structure rather than aborting.
   std::uint16_t evicted_tx_readers = 0;
+  /// Directory state of the evicted entry (LLC evictions only): the core
+  /// holding the line dirty (-1 = none) and the sharer bitmask. The caller
+  /// uses these to back-invalidate L1 copies (inclusion).
+  int evicted_dirty_core = -1;
+  std::uint16_t evicted_sharers = 0;
 };
 
-class L1Cache {
+class CacheLevel {
  public:
-  explicit L1Cache(const MachineConfig& cfg)
-      : sets_(cfg.l1_sets()), ways_(cfg.l1_ways), entries_(sets_ * ways_) {}
+  /// One resident line. The transactional marks are used by L1 instances,
+  /// the directory fields by the LLC instance; unused fields stay at their
+  /// defaults and cost nothing.
+  struct Entry {
+    Addr line = 0;
+    std::uint64_t lru = 0;
+    ThreadId tx_writer = -1;
+    std::uint16_t tx_readers = 0;
+    int dirty_core = -1;        // directory: core holding the line dirty
+    std::uint16_t sharers = 0;  // directory: cores with a copy
+    bool valid = false;
+  };
 
-  /// Bring `line` into the cache (or refresh its LRU position). Marks the
-  /// entry with transactional ownership bits when requested.
+  CacheLevel(std::uint32_t sets, std::uint32_t ways)
+      : sets_(sets), ways_(ways), entries_(sets * ways) {
+    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0) {
+      throw SimError("cache set count must be a nonzero power of two");
+    }
+    if (ways_ == 0) throw SimError("cache must have at least one way");
+  }
+
+  /// Bring `line` into the level (or refresh its LRU position). Marks the
+  /// entry with transactional ownership bits when requested (L1 use).
   CacheTouch touch(Addr line, ThreadId tid, bool tx_write, bool tx_read) {
     CacheTouch r;
     Entry* slot = find(line);
@@ -51,11 +81,15 @@ class L1Cache {
         r.evicted_line = slot->line;
         r.evicted_tx_writer = slot->tx_writer;
         r.evicted_tx_readers = slot->tx_readers;
+        r.evicted_dirty_core = slot->dirty_core;
+        r.evicted_sharers = slot->sharers;
       }
       slot->valid = true;
       slot->line = line;
       slot->tx_writer = -1;
       slot->tx_readers = 0;
+      slot->dirty_core = -1;
+      slot->sharers = 0;
     }
     if (tx_write) slot->tx_writer = tid;
     if (tx_read) slot->tx_readers |= static_cast<std::uint16_t>(1u << tid);
@@ -63,8 +97,21 @@ class L1Cache {
     return r;
   }
 
+  /// Resident entry for `line` without disturbing LRU order, or null. The
+  /// LLC uses this to consult/update directory state.
+  Entry* find(Addr line) {
+    Entry* base = &entries_[set_of(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].line == line) return &base[w];
+    }
+    return nullptr;
+  }
+
+  /// Move an entry returned by find() to most-recently-used.
+  void promote(Entry* e) { e->lru = ++tick_; }
+
   bool contains(Addr line) const {
-    return const_cast<L1Cache*>(this)->find(line) != nullptr;
+    return const_cast<CacheLevel*>(this)->find(line) != nullptr;
   }
 
   /// Remote write: drop our copy (coherence invalidation).
@@ -86,7 +133,9 @@ class L1Cache {
     }
   }
 
-  /// Number of valid resident lines (testing hook).
+  /// Number of valid resident lines (testing hook; also the bound the
+  /// directory-boundedness test checks against, since directory state only
+  /// exists on resident LLC lines).
   std::size_t resident_lines() const {
     std::size_t n = 0;
     for (const auto& e : entries_)
@@ -96,27 +145,14 @@ class L1Cache {
 
   std::uint32_t sets() const { return sets_; }
   std::uint32_t ways() const { return ways_; }
+  std::size_t capacity_lines() const {
+    return static_cast<std::size_t>(sets_) * ways_;
+  }
 
  private:
-  struct Entry {
-    Addr line = 0;
-    std::uint64_t lru = 0;
-    ThreadId tx_writer = -1;
-    std::uint16_t tx_readers = 0;
-    bool valid = false;
-  };
-
   std::uint32_t set_of(Addr line) const {
     // Lines are already addr / line_bytes; index by low bits.
     return static_cast<std::uint32_t>(line) & (sets_ - 1);
-  }
-
-  Entry* find(Addr line) {
-    Entry* base = &entries_[set_of(line) * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      if (base[w].valid && base[w].line == line) return &base[w];
-    }
-    return nullptr;
   }
 
   /// LRU victim within the set; prefers invalid ways.

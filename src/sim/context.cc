@@ -34,7 +34,7 @@ void Context::charge(Cycles c, CycleBucket dflt) {
   stats().cycles_by_bucket[static_cast<std::size_t>(b)] += c;
 }
 
-void Context::charge_mem(Cycles lat) {
+void Context::charge_mem(Cycles lat, MemLevel level) {
   if (m_.mem().in_tx(tid_)) {
     tx_pending_ += lat;
     return;
@@ -42,7 +42,13 @@ void Context::charge_mem(Cycles lat) {
   const Cycles hit = m_.config().lat_l1_hit;
   const Cycles work = lat < hit ? lat : hit;
   charge(work, CycleBucket::kWork);
-  charge(lat - work, CycleBucket::kMemStall);
+  const Cycles stall = lat - work;
+  charge(stall, CycleBucket::kMemStall);
+  // Mirror charge()'s rerouting: only stalls that land in kMemStall are
+  // attributed per level, so sum(mem_stall_by_level) == the kMemStall bucket.
+  if (stall > 0 && lock_wait_depth_ == 0 && fallback_depth_ == 0) {
+    stats().mem_stall_by_level[static_cast<std::size_t>(level)] += stall;
+  }
 }
 
 void Context::compute(Cycles cycles) {
@@ -109,15 +115,15 @@ std::uint64_t Context::load(Addr a, unsigned size) {
   check_doom();
   AccessResult r = m_.mem().load(tid_, a, size);
   m_.engine()->advance(tid_, r.latency);
-  charge_mem(r.latency);
+  charge_mem(r.latency, r.level);
   return r.value;
 }
 
 void Context::store(Addr a, std::uint64_t v, unsigned size) {
   check_doom();
-  Cycles lat = m_.mem().store(tid_, a, v, size);
-  m_.engine()->advance(tid_, lat);
-  charge_mem(lat);
+  AccessResult r = m_.mem().store(tid_, a, v, size);
+  m_.engine()->advance(tid_, r.latency);
+  charge_mem(r.latency, r.level);
 }
 
 std::uint64_t Context::fetch_add(Addr a, std::int64_t delta, unsigned size) {
@@ -127,7 +133,7 @@ std::uint64_t Context::fetch_add(Addr a, std::int64_t delta, unsigned size) {
         return old + static_cast<std::uint64_t>(delta);
       });
   m_.engine()->advance(tid_, r.latency);
-  charge_mem(r.latency);
+  charge_mem(r.latency, r.level);
   return r.value;
 }
 
@@ -141,7 +147,7 @@ bool Context::cas(Addr a, std::uint64_t expected, std::uint64_t desired,
         return ok ? desired : old;
       });
   m_.engine()->advance(tid_, r.latency);
-  charge_mem(r.latency);
+  charge_mem(r.latency, r.level);
   return ok;
 }
 
@@ -150,7 +156,7 @@ std::uint64_t Context::exchange(Addr a, std::uint64_t v, unsigned size) {
   AccessResult r =
       m_.mem().atomic_rmw(tid_, a, size, [v](std::uint64_t) { return v; });
   m_.engine()->advance(tid_, r.latency);
-  charge_mem(r.latency);
+  charge_mem(r.latency, r.level);
   return r.value;
 }
 
@@ -159,7 +165,7 @@ std::uint64_t Context::fetch_or(Addr a, std::uint64_t bits, unsigned size) {
   AccessResult r = m_.mem().atomic_rmw(
       tid_, a, size, [bits](std::uint64_t old) { return old | bits; });
   m_.engine()->advance(tid_, r.latency);
-  charge_mem(r.latency);
+  charge_mem(r.latency, r.level);
   return r.value;
 }
 
@@ -174,7 +180,7 @@ void Context::load_bytes(Addr a, void* dst, std::size_t n) {
     for (std::size_t off = 0; off < n; off += 8) {
       AccessResult r = m_.mem().load(tid_, a + off, 8);
       m_.engine()->advance(tid_, r.latency);
-      charge_mem(r.latency);
+      charge_mem(r.latency, r.level);
       std::memcpy(out + off, &r.value, 8);
     }
     return;
@@ -184,7 +190,7 @@ void Context::load_bytes(Addr a, void* dst, std::size_t n) {
   for (Addr p = a & ~static_cast<Addr>(line - 1); p < a + n; p += line) {
     AccessResult r = m_.mem().load(tid_, p >= a ? p : a, 8);
     m_.engine()->advance(tid_, r.latency);
-    charge_mem(r.latency);
+    charge_mem(r.latency, r.level);
   }
   m_.heap().read_bytes(a, out, n);
 }
@@ -199,9 +205,9 @@ void Context::store_bytes(Addr a, const void* src, std::size_t n) {
     for (std::size_t off = 0; off < n; off += 8) {
       std::uint64_t v;
       std::memcpy(&v, in + off, 8);
-      Cycles lat = m_.mem().store(tid_, a + off, v, 8);
-      m_.engine()->advance(tid_, lat);
-      charge_mem(lat);
+      AccessResult r = m_.mem().store(tid_, a + off, v, 8);
+      m_.engine()->advance(tid_, r.latency);
+      charge_mem(r.latency, r.level);
     }
     return;
   }
@@ -210,9 +216,9 @@ void Context::store_bytes(Addr a, const void* src, std::size_t n) {
     Addr at = p >= a ? p : a;
     std::uint64_t v;
     std::memcpy(&v, in + (at - a), 8);
-    Cycles lat = m_.mem().store(tid_, at, v, 8);
-    m_.engine()->advance(tid_, lat);
-    charge_mem(lat);
+    AccessResult r = m_.mem().store(tid_, at, v, 8);
+    m_.engine()->advance(tid_, r.latency);
+    charge_mem(r.latency, r.level);
   }
   m_.heap().write_bytes(a, in, n);
 }

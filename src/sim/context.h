@@ -116,8 +116,11 @@ class Context {
   /// scope. Every Engine::advance in this class is paired with exactly one
   /// charge so the buckets sum to end_cycle.
   void charge(Cycles c, CycleBucket dflt);
-  /// Memory-access latency: the L1-hit portion is work, the excess is stall.
-  void charge_mem(Cycles lat);
+  /// Memory-access latency: the L1-hit portion is work, the excess is stall,
+  /// attributed to the hierarchy level that served the access (the per-level
+  /// breakdown only counts stalls that actually land in kMemStall — cycles
+  /// rerouted to lock-wait/fallback scopes are excluded the same way).
+  void charge_mem(Cycles lat, MemLevel level);
 
   Machine& m_;
   ThreadId tid_;

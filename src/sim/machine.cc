@@ -31,8 +31,7 @@ RunStats Machine::run(const RunSpec& spec) {
   engine_ = std::make_unique<Engine>(cfg_, n);
   engine_->set_telemetry(telemetry_);
   if (telemetry_) {
-    if (!spec.label.empty()) telemetry_->set_next_run_label(spec.label);
-    telemetry_->begin_run(n, &stats_, to_string(cfg_.backend));
+    telemetry_->begin_run(n, &stats_, to_string(cfg_.backend), spec.label);
   }
   std::vector<std::function<void()>> wrapped;
   wrapped.reserve(n);

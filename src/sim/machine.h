@@ -60,23 +60,6 @@ class Machine {
   /// per-thread stats and the makespan.
   RunStats run(const RunSpec& spec);
 
-  /// Deprecated shim (removal next PR): SPMD region without a label.
-  /// Prefer run(RunSpec).
-  RunStats run(int num_threads, const std::function<void(Context&)>& body) {
-    RunSpec spec;
-    spec.threads = num_threads;
-    spec.body = body;
-    return run(spec);
-  }
-
-  /// Deprecated shim (removal next PR): one distinct body per thread.
-  /// Prefer run(RunSpec).
-  RunStats run_each(const std::vector<std::function<void(Context&)>>& bodies) {
-    RunSpec spec;
-    spec.bodies = bodies;
-    return run(spec);
-  }
-
   /// Engine of the in-flight run (used by Context; null between runs).
   Engine* engine() { return engine_.get(); }
 

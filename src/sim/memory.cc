@@ -10,7 +10,7 @@ const char* to_string(AbortCause cause) {
   switch (cause) {
     case AbortCause::kNone: return "none";
     case AbortCause::kConflict: return "conflict";
-    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kCapacityWrite: return "capacity";
     case AbortCause::kExplicit: return "explicit";
     case AbortCause::kSyscall: return "syscall";
     case AbortCause::kNesting: return "nesting";
@@ -20,14 +20,33 @@ const char* to_string(AbortCause cause) {
   }
 }
 
+const char* to_string(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL1: return "l1";
+    case MemLevel::kXfer: return "xfer";
+    case MemLevel::kLlc: return "llc";
+    case MemLevel::kDram: return "dram";
+    default: return "?";
+  }
+}
+
 MemorySystem::MemorySystem(const MachineConfig& cfg,
                            std::vector<ThreadStats>& stats)
-    : cfg_(cfg), stats_(stats), heap_(cfg.line_bytes) {
+    : cfg_(cfg),
+      stats_(stats),
+      heap_(cfg.line_bytes),
+      llc_(cfg.llc_sets(), cfg.llc_ways) {
   if ((cfg_.l1_sets() & (cfg_.l1_sets() - 1)) != 0) {
     throw SimError("L1 set count must be a power of two");
   }
+  if (static_cast<std::size_t>(cfg_.llc_sets()) * cfg_.llc_ways <
+      static_cast<std::size_t>(cfg_.l1_sets()) * cfg_.l1_ways) {
+    throw SimError("LLC must be at least as large as one L1 (inclusive)");
+  }
   l1_.reserve(cfg_.num_cores);
-  for (int c = 0; c < cfg_.num_cores; ++c) l1_.emplace_back(cfg_);
+  for (int c = 0; c < cfg_.num_cores; ++c) {
+    l1_.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);
+  }
   tx_.resize(cfg_.num_hw_threads());
 }
 
@@ -92,90 +111,172 @@ void MemorySystem::tx_track(ThreadId t, Addr line, bool is_write) {
   }
 }
 
-Cycles MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
+bool MemorySystem::read_evict_dooms(Addr line) {
+  std::uint64_t z = (line * 0x9E3779B97F4A7C15ULL) ^
+                    (++evict_events_ * 0xBF58476D1CE4E5B9ULL);
+  z ^= z >> 31;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 29;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+  return u < cfg_.read_evict_abort_prob;
+}
+
+void MemorySystem::on_l1_eviction(const CacheTouch& touch) {
+  const Addr evicted_addr = touch.evicted_line * cfg_.line_bytes;
+  // Evicting a line a transaction has *written* destroys its speculative
+  // data: immediate capacity abort (Section 2).
+  if (touch.evicted_tx_writer >= 0) {
+    if (doom(touch.evicted_tx_writer, AbortCause::kCapacityWrite,
+             evicted_addr, /*aggressor=*/-1, /*is_write=*/true) &&
+        tel_) {
+      tel_->on_capacity(touch.evicted_tx_writer, evicted_addr,
+                        /*read_line=*/false, heap_.name_of(evicted_addr));
+    }
+  }
+  // Evicted *read* lines move to the secondary tracking structure. While
+  // the line stays LLC-resident (guaranteed here — the LLC is inclusive)
+  // the tracker holds it safely; the abort risk materializes only if the
+  // LLC later loses the line (on_llc_eviction).
+  std::uint16_t readers = touch.evicted_tx_readers;
+  while (readers != 0) {
+    int r = __builtin_ctz(readers);
+    readers &= static_cast<std::uint16_t>(readers - 1);
+    stats_[r].tx_read_lines_evicted++;
+  }
+}
+
+void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
+  const Addr line = touch.evicted_line;
+  const Addr evicted_addr = line * cfg_.line_bytes;
+
+  // Write-set capacity: the (inclusion-mandated) back-invalidation below
+  // destroys the speculative data of any transactionally written copy.
+  std::uint16_t writers = writers_of_line(line);
+  while (writers != 0) {
+    int w = __builtin_ctz(writers);
+    writers &= static_cast<std::uint16_t>(writers - 1);
+    if (doom(w, AbortCause::kCapacityWrite, evicted_addr, /*aggressor=*/-1,
+             /*is_write=*/true) &&
+        tel_) {
+      tel_->on_capacity(w, evicted_addr, /*read_line=*/false,
+                        heap_.name_of(evicted_addr));
+    }
+  }
+
+  // Read-set capacity: the level backing the secondary tracker lost the
+  // line. Readers still holding it in their L1 were precisely tracked until
+  // now and enter the secondary structure as they are back-invalidated;
+  // either way each reader takes one deterministic imprecision draw.
+  std::uint16_t readers = readers_of_line(line);
+  while (readers != 0) {
+    int r = __builtin_ctz(readers);
+    readers &= static_cast<std::uint16_t>(readers - 1);
+    if (l1_[core_of(r)].contains(line)) {
+      stats_[r].tx_read_lines_evicted++;
+    }
+    if (cfg_.read_evict_abort_prob > 0.0 && read_evict_dooms(line)) {
+      if (doom(r, AbortCause::kCapacityRead, evicted_addr, /*aggressor=*/-1,
+               /*is_write=*/false) &&
+          tel_) {
+        tel_->on_capacity(r, evicted_addr, /*read_line=*/true,
+                          heap_.name_of(evicted_addr));
+      }
+    }
+  }
+
+  // Inclusion: drop every L1 copy. Directory state (the entry's dirty/
+  // sharer bits) dies with the LLC entry — nothing is leaked for dead
+  // lines. The sharer mask can over-approximate (L1s evict silently), so
+  // some of these are no-ops.
+  std::uint16_t cores = touch.evicted_sharers;
+  if (touch.evicted_dirty_core >= 0) {
+    cores |= static_cast<std::uint16_t>(1u << touch.evicted_dirty_core);
+  }
+  for (int c = 0; c < cfg_.num_cores; ++c) {
+    if (cores & (1u << c)) l1_[c].invalidate(line);
+  }
+}
+
+void MemorySystem::update_directory(CacheLevel::Entry& e, int core,
+                                    bool is_write) {
+  if (is_write) {
+    // Invalidate all other cores' copies and take dirty ownership.
+    for (int c = 0; c < cfg_.num_cores; ++c) {
+      if (c != core && (e.sharers & (1u << c))) l1_[c].invalidate(e.line);
+    }
+    if (e.dirty_core >= 0 && e.dirty_core != core) {
+      l1_[e.dirty_core].invalidate(e.line);
+    }
+    e.dirty_core = core;
+    e.sharers = static_cast<std::uint16_t>(1u << core);
+  } else {
+    if (e.dirty_core >= 0 && e.dirty_core != core) e.dirty_core = -1;
+    e.sharers |= static_cast<std::uint16_t>(1u << core);
+  }
+}
+
+AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
   const int core = core_of(t);
   TxState& tx = tx_[t];
   const bool tx_write = tx.active && is_write;
   const bool tx_read = tx.active && !is_write;
+  ThreadStats& st = stats_[t];
+  st.mem_accesses++;
 
-  CacheTouch touch = l1_[core].touch(line, t, tx_write, tx_read);
-
-  // Handle capacity consequences of the eviction. Evicting a line another
-  // (or our own) transaction has *written* aborts that transaction; evicted
-  // *read* lines move to the secondary tracking structure (Section 2).
-  if (touch.evicted) {
-    const Addr evicted_addr = touch.evicted_line * cfg_.line_bytes;
-    if (touch.evicted_tx_writer >= 0) {
-      if (doom(touch.evicted_tx_writer, AbortCause::kCapacity, evicted_addr,
-               /*aggressor=*/-1, /*is_write=*/true) &&
-          tel_) {
-        tel_->on_capacity(touch.evicted_tx_writer, evicted_addr,
-                          /*read_line=*/false, heap_.name_of(evicted_addr));
-      }
-    }
-    std::uint16_t readers = touch.evicted_tx_readers;
-    while (readers != 0) {
-      int r = __builtin_ctz(readers);
-      readers &= static_cast<std::uint16_t>(readers - 1);
-      stats_[r].tx_read_lines_evicted++;
-      // Secondary-tracking imprecision: the eviction may doom the reader.
-      if (cfg_.read_evict_abort_prob > 0.0) {
-        std::uint64_t z = (touch.evicted_line * 0x9E3779B97F4A7C15ULL) ^
-                          (++evict_events_ * 0xBF58476D1CE4E5B9ULL);
-        z ^= z >> 31;
-        z *= 0x94D049BB133111EBULL;
-        z ^= z >> 29;
-        const double u =
-            static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
-        if (u < cfg_.read_evict_abort_prob) {
-          if (doom(r, AbortCause::kCapacityRead, evicted_addr,
-                   /*aggressor=*/-1, /*is_write=*/false) &&
-              tel_) {
-            tel_->on_capacity(r, evicted_addr, /*read_line=*/true,
-                              heap_.name_of(evicted_addr));
-          }
-        }
-      }
-    }
+  CacheTouch l1t = l1_[core].touch(line, t, tx_write, tx_read);
+  if (l1t.evicted) {
+    st.l1_evictions++;
+    on_l1_eviction(l1t);
   }
 
-  DirEntry& d = dir_[line];
-  Cycles lat;
-  if (touch.hit) {
-    lat = cfg_.lat_l1_hit;
-    stats_[t].l1_hits++;
+  AccessResult r;
+  CacheLevel::Entry* e = llc_.find(line);
+  if (l1t.hit) {
+    if (e == nullptr) {
+      // Every L1-resident line must be LLC-resident; a miss here is a bug
+      // in the back-invalidation plumbing, not a workload condition.
+      throw SimError("inclusive-LLC invariant violated");
+    }
+    llc_.promote(e);
+    r.latency = cfg_.lat_l1_hit;
+    r.level = MemLevel::kL1;
+    st.l1_hits++;
   } else {
-    stats_[t].l1_misses++;
-    if (d.dirty_core >= 0 && d.dirty_core != core) {
-      lat = cfg_.lat_xfer_dirty;
-      stats_[t].xfers_in++;
-    } else if ((d.sharers & ~(1u << core)) != 0) {
-      lat = cfg_.lat_xfer_clean;
-      stats_[t].xfers_in++;
-    } else if (d.ever_touched) {
-      lat = cfg_.lat_llc_hit;
+    st.l1_misses++;
+    if (e != nullptr) {
+      // Served on-chip: a transfer from another core's L1 (the directory
+      // says who has it and how) or a plain LLC hit.
+      if (e->dirty_core >= 0 && e->dirty_core != core) {
+        r.latency = cfg_.lat_xfer_dirty;
+        r.level = MemLevel::kXfer;
+        st.xfers_in++;
+      } else if ((e->sharers & ~(1u << core)) != 0) {
+        r.latency = cfg_.lat_xfer_clean;
+        r.level = MemLevel::kXfer;
+        st.xfers_in++;
+      } else {
+        r.latency = cfg_.lat_llc_hit;
+        r.level = MemLevel::kLlc;
+        st.llc_hits++;
+      }
+      llc_.promote(e);
     } else {
-      lat = cfg_.lat_mem;
+      // DRAM is the explicit miss endpoint; the fill allocates an LLC
+      // entry (with fresh directory state) and may evict a victim.
+      r.latency = cfg_.lat_mem;
+      r.level = MemLevel::kDram;
+      st.llc_misses++;
+      CacheTouch fill = llc_.touch(line, t, /*tx_write=*/false,
+                                   /*tx_read=*/false);
+      if (fill.evicted) {
+        st.llc_evictions++;
+        on_llc_eviction(fill);
+      }
+      e = llc_.find(line);
     }
   }
-
-  // Coherence state update.
-  d.ever_touched = true;
-  if (is_write) {
-    // Invalidate all other cores' copies.
-    for (int c = 0; c < cfg_.num_cores; ++c) {
-      if (c != core && (d.sharers & (1u << c))) l1_[c].invalidate(line);
-    }
-    if (d.dirty_core >= 0 && d.dirty_core != core) {
-      l1_[d.dirty_core].invalidate(line);
-    }
-    d.dirty_core = core;
-    d.sharers = static_cast<std::uint16_t>(1u << core);
-  } else {
-    if (d.dirty_core >= 0 && d.dirty_core != core) d.dirty_core = -1;
-    d.sharers |= static_cast<std::uint16_t>(1u << core);
-  }
-  return lat;
+  update_directory(*e, core, is_write);
+  return r;
 }
 
 AccessResult MemorySystem::load(ThreadId t, Addr a, unsigned size) {
@@ -184,8 +285,7 @@ AccessResult MemorySystem::load(ThreadId t, Addr a, unsigned size) {
   TxState& tx = tx_[t];
 
   detect_conflicts(t, line, /*is_write=*/false);
-  AccessResult r;
-  r.latency = cache_access(t, line, /*is_write=*/false);
+  AccessResult r = cache_access(t, line, /*is_write=*/false);
   if (tx.active) tx_track(t, line, /*is_write=*/false);
 
   // Read our own speculative value if present.
@@ -204,17 +304,18 @@ AccessResult MemorySystem::load(ThreadId t, Addr a, unsigned size) {
   return r;
 }
 
-Cycles MemorySystem::store(ThreadId t, Addr a, std::uint64_t v, unsigned size) {
+AccessResult MemorySystem::store(ThreadId t, Addr a, std::uint64_t v,
+                                 unsigned size) {
   check_alignment(a, size);
   const Addr line = line_of(a);
   TxState& tx = tx_[t];
 
   detect_conflicts(t, line, /*is_write=*/true);
-  Cycles lat = cache_access(t, line, /*is_write=*/true);
+  AccessResult r = cache_access(t, line, /*is_write=*/true);
 
   if (!tx.active) {
     heap_.write_word(a, v, size);
-    return lat;
+    return r;
   }
 
   tx_track(t, line, /*is_write=*/true);
@@ -231,7 +332,7 @@ Cycles MemorySystem::store(ThreadId t, Addr a, std::uint64_t v, unsigned size) {
       size == 8 ? ~0ULL : ((1ULL << (size * 8)) - 1) << shift;
   w = (w & ~mask) | ((v << shift) & mask);
   tx.write_buffer[word] = w;
-  return lat;
+  return r;
 }
 
 void MemorySystem::tx_begin(ThreadId t) {

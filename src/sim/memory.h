@@ -1,12 +1,29 @@
-// MemorySystem: ties together the shared heap, per-core L1 models, a
-// directory-based coherence cost model, and the per-hardware-thread RTM
-// transactional state (read/write line sets, write buffer, abort causes).
+// MemorySystem: ties together the shared heap, the modeled cache hierarchy
+// (per-core L1s + one shared inclusive LLC + the DRAM miss endpoint), and
+// the per-hardware-thread RTM transactional state (read/write line sets,
+// write buffer, abort causes).
 //
 // Every *timed* shared-memory access in the simulator funnels through
-// MemorySystem::access(); this is where conflicts are detected (eagerly,
+// MemorySystem::load/store; this is where conflicts are detected (eagerly,
 // requester-wins, at cache-line granularity — matching the first TSX
 // implementation described in Section 2 of the paper) and where capacity
-// aborts originate (transactionally written line evicted from the L1).
+// aborts originate:
+//
+//   * a transactionally *written* line leaving the L1 — whether displaced
+//     by the owner's own traffic or back-invalidated by an LLC eviction
+//     (the LLC is inclusive) — aborts the writing transaction immediately
+//     (kCapacityWrite);
+//   * a transactionally *read* line evicted from the L1 moves to the
+//     secondary tracking structure and does NOT abort while the line stays
+//     LLC-resident; evicting it from the LLC exposes the tracker's
+//     imprecision and dooms each reader with read_evict_abort_prob
+//     (kCapacityRead). Read-set capacity is therefore a function of LLC
+//     geometry.
+//
+// The MESI-style coherence directory lives in the LLC's entries: directory
+// state exists exactly for LLC-resident lines and is reclaimed on eviction,
+// so the memory system's footprint is bounded by the configured geometry
+// (plus the transient read/write-set registries of active transactions).
 #pragma once
 
 #include <cstdint>
@@ -68,7 +85,8 @@ struct TxState {
 /// Outcome of a timed access, consumed by Context.
 struct AccessResult {
   Cycles latency = 0;
-  std::uint64_t value = 0;  // loads only
+  MemLevel level = MemLevel::kL1;  // level that served the access
+  std::uint64_t value = 0;         // loads only
 };
 
 class MemorySystem {
@@ -83,17 +101,19 @@ class MemorySystem {
   /// Timed load of `size` (1/2/4/8, naturally aligned) bytes at `a`.
   AccessResult load(ThreadId t, Addr a, unsigned size);
 
-  /// Timed store.
-  Cycles store(ThreadId t, Addr a, std::uint64_t v, unsigned size);
+  /// Timed store. `value` is unused in the result.
+  AccessResult store(ThreadId t, Addr a, std::uint64_t v, unsigned size);
 
   /// LOCK-prefixed read-modify-write outside a transaction; inside a
   /// transaction it degenerates to load+store within the speculative domain
-  /// (legal on real hardware). `op` combines old value and operand.
+  /// (legal on real hardware). `op` combines old value and operand. The
+  /// result's level is the load's serving level (the store that follows
+  /// always hits the just-filled L1 line).
   template <typename F>
   AccessResult atomic_rmw(ThreadId t, Addr a, unsigned size, F&& op) {
     AccessResult r = load(t, a, size);
     std::uint64_t nv = op(r.value);
-    r.latency += store(t, a, nv, size);
+    r.latency += store(t, a, nv, size).latency;
     if (!tx_[t].active) r.latency += cfg_.lat_atomic_rmw;
     stats_[t].atomics++;
     return r;
@@ -126,17 +146,21 @@ class MemorySystem {
   void set_telemetry(Telemetry* tel) { tel_ = tel; }
 
   // Testing hooks.
-  const L1Cache& l1_of_core(int core) const { return l1_[core]; }
+  const CacheLevel& l1_of_core(int core) const { return l1_[core]; }
+  const CacheLevel& llc() const { return llc_; }
   std::uint16_t readers_of_line(Addr line) const;
   std::uint16_t writers_of_line(Addr line) const;
+  /// Lines with live directory state == LLC-resident lines (the directory
+  /// rides in LLC entries; boundedness tests check this never exceeds the
+  /// configured LLC capacity).
+  std::size_t directory_entries() const { return llc_.resident_lines(); }
+  /// Live entries across the transactional reverse maps (bounded by the
+  /// footprints of currently active transactions).
+  std::size_t tx_registry_entries() const {
+    return line_readers_.size() + line_writers_.size();
+  }
 
  private:
-  struct DirEntry {
-    int dirty_core = -1;       // core holding the line dirty, or -1
-    std::uint16_t sharers = 0;  // bitmask of cores with a (clean) copy
-    bool ever_touched = false;
-  };
-
   Addr line_of(Addr a) const { return cfg_.line_of(a); }
   int core_of(ThreadId t) const { return cfg_.core_of(t); }
 
@@ -154,8 +178,30 @@ class MemorySystem {
   /// Track line membership in t's transactional read or write set.
   void tx_track(ThreadId t, Addr line, bool is_write);
 
-  /// Run the L1 + directory machinery; returns access latency.
-  Cycles cache_access(ThreadId t, Addr line, bool is_write);
+  /// Run the hierarchy (L1 -> directory/LLC -> DRAM); returns the latency
+  /// and the level that served the access.
+  AccessResult cache_access(ThreadId t, Addr line, bool is_write);
+
+  /// Capacity consequences of an L1 eviction: doom the tx writer (write-set
+  /// capacity), move tx readers to secondary tracking (no abort — the line
+  /// is still LLC-resident by inclusion).
+  void on_l1_eviction(const CacheTouch& touch);
+
+  /// An LLC eviction: back-invalidate L1 copies (inclusion), doom tx
+  /// writers (kCapacityWrite), and doom tx readers with
+  /// read_evict_abort_prob (kCapacityRead) — the secondary tracker loses
+  /// the line with the level that backed it. Directory state dies with the
+  /// entry.
+  void on_llc_eviction(const CacheTouch& touch);
+
+  /// MESI-style directory update on the line's LLC entry: a write
+  /// invalidates all other cores' copies and takes dirty ownership; a read
+  /// joins the sharers (downgrading a remote dirty owner).
+  void update_directory(CacheLevel::Entry& e, int core, bool is_write);
+
+  /// One deterministic draw of the secondary-tracker imprecision hash;
+  /// true = the eviction dooms the reader.
+  bool read_evict_dooms(Addr line);
 
   /// Remove t's bits from the global line->readers/writers registries.
   void clear_tx_registry(ThreadId t);
@@ -165,11 +211,14 @@ class MemorySystem {
   const MachineConfig& cfg_;
   std::vector<ThreadStats>& stats_;
   SharedHeap heap_;
-  std::vector<L1Cache> l1_;           // per core
-  std::vector<TxState> tx_;           // per hardware thread
-  std::unordered_map<Addr, DirEntry> dir_;
+  std::vector<CacheLevel> l1_;  // per core (SMT siblings share)
+  CacheLevel llc_;              // shared, inclusive; holds the directory
+  std::vector<TxState> tx_;     // per hardware thread
   // Reverse maps: line -> bitmask of hw threads with the line in their
-  // transactional read / write set. Enables O(1) conflict checks.
+  // transactional read / write set. Enables O(1) conflict checks and keeps
+  // evicted-read lines visible to conflict detection (the secondary
+  // tracker); entries are erased when the last bit clears, so the maps stay
+  // bounded by live transactional footprints.
   std::unordered_map<Addr, std::uint16_t> line_readers_;
   std::unordered_map<Addr, std::uint16_t> line_writers_;
   // Monotone counter feeding the deterministic read-evict abort hash.

@@ -56,7 +56,7 @@ inline std::string perf_report(const RunStats& rs) {
   line_pct(out, t.tx_aborts_total(), "tx-abort                  ", abort_pct,
            "starts");
   line(out, aborted(AbortCause::kConflict), "tx-abort.conflict");
-  line(out, aborted(AbortCause::kCapacity), "tx-abort.capacity");
+  line(out, aborted(AbortCause::kCapacityWrite), "tx-abort.capacity");
   line(out, aborted(AbortCause::kExplicit), "tx-abort.explicit");
   line(out, aborted(AbortCause::kSyscall), "tx-abort.syscall");
   line(out, aborted(AbortCause::kCapacityRead),

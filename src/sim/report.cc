@@ -112,6 +112,24 @@ void render_capacity_lines(std::string& out, const JsonValue& run,
   }
 }
 
+/// Per-level hit/miss/evict table (v3 artifacts; absent on v2 and earlier).
+void render_cache_levels(std::string& out, const JsonValue& run) {
+  const JsonValue& levels = run["cache_levels"];
+  if (levels.size() == 0) return;
+  out +=
+      "  cache hierarchy (run totals):\n"
+      "    level        served        misses     evictions  stall-cycles\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const JsonValue& l = levels.at(i);
+    appendf(out, "    %-5s  %12llu  %12llu  %12llu  %12llu\n",
+            l["level"].as_string().c_str(),
+            static_cast<unsigned long long>(l["served"].as_u64()),
+            static_cast<unsigned long long>(l["misses"].as_u64()),
+            static_cast<unsigned long long>(l["evictions"].as_u64()),
+            static_cast<unsigned long long>(l["stall_cycles"].as_u64()));
+  }
+}
+
 constexpr const char* kBucketKeys[] = {"work",      "tx_committed", "tx_wasted",
                                        "lock_wait", "fallback",     "mem_stall"};
 
@@ -197,6 +215,7 @@ std::string render_report(const JsonValue& doc, const ReportOptions& opt) {
             totals["wasted_cycle_pct"].as_double());
     render_conflict_lines(out, run, opt.top_lines);
     render_capacity_lines(out, run, opt.top_lines);
+    render_cache_levels(out, run);
     render_cycle_table(out, run);
     render_locks(out, run);
   }

@@ -1,4 +1,4 @@
-// Human-readable analysis of a tsxhpc-telemetry-v2 artifact: the abort-cause
+// Human-readable analysis of a tsxhpc-telemetry-v3 artifact: the abort-cause
 // tree, top conflicting lines with object attribution, per-thread cycle
 // accounting, and per-lock-site elision economics. Both consumers — the
 // tools/tsx_report CLI (from a JSON file) and bench --report (from the

@@ -56,11 +56,23 @@ struct ThreadStats {
   std::array<Cycles, static_cast<size_t>(CycleBucket::kNumBuckets)>
       cycles_by_bucket{};
 
-  // Memory system.
+  // Memory system, per hierarchy level. Every timed access is served by
+  // exactly one level, so mem_accesses == l1_hits + l1_misses and
+  // l1_misses == xfers_in + llc_hits + llc_misses (CI checks both).
+  std::uint64_t mem_accesses = 0;  // total timed cache accesses
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;
+  std::uint64_t l1_evictions = 0;   // valid lines displaced from our L1
+  std::uint64_t llc_hits = 0;       // served by the shared LLC
+  std::uint64_t llc_misses = 0;     // served by memory (DRAM endpoint)
+  std::uint64_t llc_evictions = 0;  // LLC victims displaced by our fills
   std::uint64_t xfers_in = 0;  // lines transferred from another core
   std::uint64_t atomics = 0;
+  // Beyond-L1 stall cycles by the level that served the access; sums to the
+  // kMemStall bucket (stalls rerouted to lock-wait/fallback are excluded,
+  // exactly as they are from the bucket).
+  std::array<Cycles, static_cast<size_t>(MemLevel::kNumLevels)>
+      mem_stall_by_level{};
 
   // Kernel interaction.
   std::uint64_t syscalls = 0;
@@ -125,10 +137,17 @@ struct RunStats {
       t.tx_cycles_wasted += s.tx_cycles_wasted;
       for (size_t i = 0; i < t.cycles_by_bucket.size(); ++i)
         t.cycles_by_bucket[i] += s.cycles_by_bucket[i];
+      t.mem_accesses += s.mem_accesses;
       t.l1_hits += s.l1_hits;
       t.l1_misses += s.l1_misses;
+      t.l1_evictions += s.l1_evictions;
+      t.llc_hits += s.llc_hits;
+      t.llc_misses += s.llc_misses;
+      t.llc_evictions += s.llc_evictions;
       t.xfers_in += s.xfers_in;
       t.atomics += s.atomics;
+      for (size_t i = 0; i < t.mem_stall_by_level.size(); ++i)
+        t.mem_stall_by_level[i] += s.mem_stall_by_level[i];
       t.syscalls += s.syscalls;
       t.futex_waits += s.futex_waits;
       t.futex_wakes += s.futex_wakes;

@@ -42,19 +42,15 @@ std::vector<BlockedSlice> RunRecord::blocked_in_order() const {
   return out;
 }
 
-void Telemetry::set_next_run_label(std::string label) {
+void Telemetry::begin_run(int num_threads,
+                          const std::vector<ThreadStats>* live_stats,
+                          std::string_view backend, std::string_view label) {
+  if (open_run_) abandon_run();  // defensive: a run never ended
   // Re-announcing the label the previous run adopted means "another run of
   // the same region" (a workload passing its RunSpec label on each of its
   // internal runs): keep the established "#2", "#3" suffixing instead of
   // emitting duplicate labels.
-  if (label == last_label_) return;
-  next_label_ = std::move(label);
-}
-
-void Telemetry::begin_run(int num_threads,
-                          const std::vector<ThreadStats>* live_stats,
-                          std::string_view backend) {
-  if (open_run_) abandon_run();  // defensive: a run never ended
+  if (!label.empty() && label != last_label_) next_label_ = std::string(label);
   runs_.emplace_back();
   RunRecord& r = runs_.back();
   if (!next_label_.empty()) {
@@ -380,8 +376,23 @@ void write_counter_block(JsonWriter& w, const ThreadStats& t) {
   }
   w.kv("total", t.cycles_total());
   w.end_object();
+  w.key("mem_stall_levels");
+  w.begin_object();
+  // kL1 is usually zero (the hit latency is all work) but not structurally
+  // so: an atomic's RMW surcharge on an L1-hit line stalls at the L1. Emit
+  // every level so the entries partition the mem_stall bucket exactly.
+  for (std::size_t l = 0;
+       l < static_cast<std::size_t>(MemLevel::kNumLevels); ++l) {
+    w.kv(to_string(static_cast<MemLevel>(l)), t.mem_stall_by_level[l]);
+  }
+  w.end_object();
+  w.kv("mem_accesses", t.mem_accesses);
   w.kv("l1_hits", t.l1_hits);
   w.kv("l1_misses", t.l1_misses);
+  w.kv("l1_evictions", t.l1_evictions);
+  w.kv("llc_hits", t.llc_hits);
+  w.kv("llc_misses", t.llc_misses);
+  w.kv("llc_evictions", t.llc_evictions);
   w.kv("xfers_in", t.xfers_in);
   w.kv("atomics", t.atomics);
   w.kv("syscalls", t.syscalls);
@@ -415,7 +426,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v2");
+  w.kv("schema", "tsxhpc-telemetry-v3");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -431,6 +442,42 @@ std::string Telemetry::json(const std::string& bench_name) const {
     w.begin_object();
     write_counter_block(w, r.stats.total());
     w.end_object();
+
+    // Uniform per-level hierarchy table (derived from the totals): for each
+    // level, accesses it served, accesses it passed down (misses), lines it
+    // displaced, and the stall cycles attributed to it. "dram" is the miss
+    // endpoint: it serves every LLC miss and never misses itself.
+    {
+      const ThreadStats tot = r.stats.total();
+      struct Row {
+        const char* level;
+        std::uint64_t served, misses, evictions;
+        Cycles stall;
+      };
+      const auto stall = [&tot](MemLevel l) {
+        return tot.mem_stall_by_level[static_cast<std::size_t>(l)];
+      };
+      const Row rows[] = {
+          {"l1", tot.l1_hits, tot.l1_misses, tot.l1_evictions,
+           stall(MemLevel::kL1)},
+          {"xfer", tot.xfers_in, 0, 0, stall(MemLevel::kXfer)},
+          {"llc", tot.llc_hits, tot.llc_misses, tot.llc_evictions,
+           stall(MemLevel::kLlc)},
+          {"dram", tot.llc_misses, 0, 0, stall(MemLevel::kDram)},
+      };
+      w.key("cache_levels");
+      w.begin_array();
+      for (const Row& row : rows) {
+        w.begin_object();
+        w.kv("level", row.level);
+        w.kv("served", row.served);
+        w.kv("misses", row.misses);
+        w.kv("evictions", row.evictions);
+        w.kv("stall_cycles", row.stall);
+        w.end_object();
+      }
+      w.end_array();
+    }
 
     w.key("threads");
     w.begin_array();

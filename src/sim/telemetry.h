@@ -252,12 +252,12 @@ class Telemetry {
 
   // --- Run lifecycle (called by Machine) ----------------------------------
 
-  /// Label adopted by the next begin_run. Further runs before the next
-  /// set_next_run_label reuse it with a "#2", "#3", ... suffix; runs with no
-  /// label ever set are named "run_<seq>".
-  void set_next_run_label(std::string label);
+  /// Open a run record. `label` (usually RunSpec::label) names the run;
+  /// re-announcing the label the previous run adopted means "another run of
+  /// the same region" and gets a "#2", "#3", ... suffix. Empty label: reuse
+  /// the last explicit label (suffixed), or fall back to "run_<seq>".
   void begin_run(int num_threads, const std::vector<ThreadStats>* live_stats,
-                 std::string_view backend = {});
+                 std::string_view backend = {}, std::string_view label = {});
   void end_run(const RunStats& rs);
   /// Discard the open run record (engine teardown path).
   void abandon_run();
@@ -305,7 +305,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v2), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v3), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices

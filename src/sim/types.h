@@ -31,7 +31,8 @@ class SimError : public std::runtime_error {
 enum class AbortCause : std::uint8_t {
   kNone = 0,
   kConflict,        // data conflict with another thread (requester-wins)
-  kCapacity,        // transactionally written line evicted from L1D
+  kCapacityWrite,   // transactionally written line evicted from the L1D
+                    // (or back-invalidated by an LLC eviction — inclusion)
   kExplicit,        // XABORT executed (e.g. lock observed held)
   kSyscall,         // system call / IO attempted inside a transaction
   kNesting,         // nesting depth limit exceeded
@@ -42,6 +43,19 @@ enum class AbortCause : std::uint8_t {
 };
 
 const char* to_string(AbortCause cause);
+
+/// Which level of the memory hierarchy served a timed access. Used for
+/// latency selection and for attributing the beyond-L1 stall cycles of an
+/// access to the level that produced them (telemetry "mem_stall_levels").
+enum class MemLevel : std::uint8_t {
+  kL1 = 0,  // hit in the core's own L1D
+  kXfer,    // line forwarded from another core's L1 (clean or dirty)
+  kLlc,     // hit in the shared last-level cache
+  kDram,    // LLC miss, served by memory
+  kNumLevels,
+};
+
+const char* to_string(MemLevel level);
 
 /// Control-flow exception implementing the RTM abort "longjmp" back to the
 /// XBEGIN point. Thrown by the simulator whenever the current transaction

@@ -62,7 +62,7 @@ inline bool retry_may_succeed(sim::AbortCause cause) {
 /// keeps dying of these is structurally oversized and should trigger the
 /// adaptive elision holiday.
 inline bool is_capacity_class(sim::AbortCause cause) {
-  return cause == sim::AbortCause::kCapacity ||
+  return cause == sim::AbortCause::kCapacityWrite ||
          cause == sim::AbortCause::kCapacityRead ||
          cause == sim::AbortCause::kSyscall ||
          cause == sim::AbortCause::kNesting;

@@ -89,23 +89,23 @@ void parallel_for(Machine& m, int threads, std::size_t n, Body&& body,
                   Schedule schedule = Schedule::kStatic,
                   std::size_t chunk = 8) {
   if (schedule == Schedule::kStatic) {
-    m.run(threads, [&](Context& c) {
+    m.run({.threads = threads, .body = [&](Context& c) {
       const std::size_t per = (n + threads - 1) / threads;
       const std::size_t i0 = c.tid() * per;
       const std::size_t i1 = std::min(n, i0 + per);
       for (std::size_t i = i0; i < i1; ++i) body(c, i);
-    });
+    }});
     return;
   }
   auto next = sim::Shared<std::uint64_t>::alloc(m, 0);
-  m.run(threads, [&](Context& c) {
+  m.run({.threads = threads, .body = [&](Context& c) {
     for (;;) {
       const std::uint64_t b = next.fetch_add(c, chunk);
       if (b >= n) break;
       const std::uint64_t e = std::min<std::uint64_t>(b + chunk, n);
       for (std::uint64_t i = b; i < e; ++i) body(c, i);
     }
-  });
+  }});
 }
 
 }  // namespace tsxhpc::omp

@@ -33,7 +33,7 @@ TEST_P(ContainerBackends, ListMatchesReferenceModel) {
   TxArena arena(m);
   TmList list(m, arena);
   std::map<std::uint64_t, std::uint64_t> model;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(11);
     for (int i = 0; i < 500; ++i) {
@@ -80,7 +80,7 @@ TEST_P(ContainerBackends, ListMatchesReferenceModel) {
       EXPECT_EQ(it, model.end());
       EXPECT_EQ(list.size(tm), model.size());
     });
-  });
+  }});
 }
 
 TEST_P(ContainerBackends, TreapMatchesReferenceModel) {
@@ -89,7 +89,7 @@ TEST_P(ContainerBackends, TreapMatchesReferenceModel) {
   TxArena arena(m);
   TmMap map(m, arena);
   std::map<std::uint64_t, std::uint64_t> model;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(23);
     for (int i = 0; i < 800; ++i) {
@@ -128,7 +128,7 @@ TEST_P(ContainerBackends, TreapMatchesReferenceModel) {
         }
       });
     }
-  });
+  }});
   // Structural check: in-order traversal is sorted and complete.
   std::vector<std::uint64_t> keys;
   map.peek_inorder(m, [&](std::uint64_t k, std::uint64_t) {
@@ -147,7 +147,7 @@ TEST_P(ContainerBackends, HashMapMatchesReferenceModel) {
   TxArena arena(m);
   TmHashMap map(m, arena, 64);
   std::map<std::uint64_t, std::uint64_t> model;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(37);
     for (int i = 0; i < 600; ++i) {
@@ -178,7 +178,7 @@ TEST_P(ContainerBackends, HashMapMatchesReferenceModel) {
         }
       });
     }
-  });
+  }});
   std::size_t n = 0;
   map.peek_each(m, [&](std::uint64_t k, std::uint64_t v) {
     EXPECT_EQ(model[k], v);
@@ -192,7 +192,7 @@ TEST_P(ContainerBackends, QueueIsFifo) {
   TmRuntime rt(m, GetParam());
   TxArena arena(m);
   TmQueue q(m, arena);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     std::queue<std::uint64_t> model;
     sim::Xoshiro256 rng(5);
@@ -213,14 +213,14 @@ TEST_P(ContainerBackends, QueueIsFifo) {
         EXPECT_EQ(q.size(tm), model.size());
       });
     }
-  });
+  }});
 }
 
 TEST_P(ContainerBackends, HeapPopsInSortedOrder) {
   Machine m;
   TmRuntime rt(m, GetParam());
   TmHeap heap(m, 256);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
                         std::greater<>>
@@ -242,7 +242,7 @@ TEST_P(ContainerBackends, HeapPopsInSortedOrder) {
         }
       });
     }
-  });
+  }});
 }
 
 TEST_P(ContainerBackends, ConcurrentMapInsertionsAllLand) {
@@ -252,13 +252,13 @@ TEST_P(ContainerBackends, ConcurrentMapInsertionsAllLand) {
   TmMap map(m, arena);
   constexpr int kThreads = 4;
   constexpr int kPerThread = 100;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (int i = 0; i < kPerThread; ++i) {
       const std::uint64_t key = c.tid() * 10000 + i;
       t.atomic([&](TmAccess& tm) { map.insert(tm, key, key * 2); });
     }
-  });
+  }});
   std::size_t n = 0;
   std::uint64_t prev = 0;
   bool first = true;
@@ -281,7 +281,7 @@ TEST_P(ContainerBackends, ConcurrentQueueConservesItems) {
   auto popped_count = sim::Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kItems = 120;
   for (int i = 1; i <= kItems; ++i) q.seed(m, i);
-  m.run(4, [&](Context& c) {
+  m.run({.threads = 4, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (;;) {
       bool done = false;
@@ -299,7 +299,7 @@ TEST_P(ContainerBackends, ConcurrentQueueConservesItems) {
       });
       if (done) break;
     }
-  });
+  }});
   EXPECT_EQ(popped_count.peek(m), static_cast<std::uint64_t>(kItems));
   EXPECT_EQ(popped_sum.peek(m),
             static_cast<std::uint64_t>(kItems) * (kItems + 1) / 2);
@@ -315,38 +315,38 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, ContainerBackends,
 TEST(TxArena, ReusesFreedBlocksOutsideTxn) {
   Machine m;
   TxArena arena(m);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     sim::Addr a = arena.alloc(c, 24);
     arena.free(c, a, 24);
     sim::Addr b = arena.alloc(c, 24);
     EXPECT_EQ(a, b) << "free list reuse";
-  });
+  }});
 }
 
 TEST(TxArena, FreeInsideTxnDoesNotRecycle) {
   Machine m;
   TxArena arena(m);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     sim::Addr a = arena.alloc(c, 24);
     c.xbegin();
     arena.free(c, a, 24);  // deferred (leaked): txn may abort
     c.xend();
     sim::Addr b = arena.alloc(c, 24);
     EXPECT_NE(a, b);
-  });
+  }});
 }
 
 TEST(TxArena, AllocZeroes) {
   Machine m;
   TxArena arena(m);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     sim::Addr a = arena.alloc(c, 64);
     m.heap().write_word(a, 0xFF, 8);
     arena.free(c, a, 64);
     sim::Addr b = arena.alloc(c, 64);
     ASSERT_EQ(a, b);
     EXPECT_EQ(m.heap().read_word(b, 8), 0u);
-  });
+  }});
 }
 
 }  // namespace

@@ -37,7 +37,7 @@ std::uint64_t run_program(Backend backend, int threads, std::uint64_t seed) {
   TmList list(m, arena);
 
   constexpr std::uint64_t kRangePerThread = 1000;
-  m.run(threads, [&](Context& c) {
+  m.run({.threads = threads, .body = [&](Context& c) {
     TmThread t(rt, c);
     const std::uint64_t lo = 1 + c.tid() * kRangePerThread;
     sim::Xoshiro256 rng(seed * 1000003 + c.tid());
@@ -65,7 +65,7 @@ std::uint64_t run_program(Backend backend, int threads, std::uint64_t seed) {
         }
       });
     }
-  });
+  }});
 
   // Order-insensitive content digest over all four structures.
   std::uint64_t digest = 0x9E3779B97F4A7C15ULL;
@@ -83,7 +83,7 @@ std::uint64_t run_program(Backend backend, int threads, std::uint64_t seed) {
   // List iteration needs a TM context; use a 1-thread region.
   std::uint64_t lsum = 0;
   TmRuntime srt(m, Backend::kSgl);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(srt, c);
     t.atomic([&](TmAccess& tm) {
       list.for_each(tm, [&](std::uint64_t k, std::uint64_t v) {
@@ -91,7 +91,7 @@ std::uint64_t run_program(Backend backend, int threads, std::uint64_t seed) {
         return true;
       });
     });
-  });
+  }});
   return digest ^ lsum;
 }
 

@@ -24,7 +24,7 @@ TEST_P(StackSchemes, BulkTransferPreservesPayload) {
   NetStack stack(m, GetParam(), 1);
   constexpr std::size_t kTotal = 64 * 1024;  // 4x the socket buffer
   std::uint64_t sent = 0, received = 0, bytes = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         sim::Xoshiro256 rng(5);
         std::vector<std::uint8_t> buf(4096);
@@ -52,7 +52,7 @@ TEST_P(StackSchemes, BulkTransferPreservesPayload) {
           bytes += k;
         }
       },
-  });
+  }});
   EXPECT_EQ(bytes, kTotal);
   EXPECT_EQ(received, sent);
 }
@@ -62,7 +62,7 @@ TEST_P(StackSchemes, PingPongSmallMessages) {
   NetStack stack(m, GetParam(), 1);
   constexpr int kRounds = 40;
   int client_rounds = 0, server_rounds = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         std::uint8_t msg[32];
         for (int r = 0; r < kRounds; ++r) {
@@ -95,7 +95,7 @@ TEST_P(StackSchemes, PingPongSmallMessages) {
       out:
         stack.shutdown(c, stack.conn(0).to_client);
       },
-  });
+  }});
   EXPECT_EQ(client_rounds, kRounds);
   EXPECT_EQ(server_rounds, kRounds);
 }
@@ -129,7 +129,7 @@ TEST_P(StackSchemes, MultipleConnectionsInParallel) {
       }
     });
   }
-  m.run_each(bodies);
+  m.run({.bodies = bodies});
   for (int i = 0; i < kConns; ++i) EXPECT_EQ(bytes[i], 2048u * 8);
 }
 
@@ -150,7 +150,7 @@ TEST(Stack, FlowControlLimitsBufferOccupancy) {
   // A fast sender against a slow receiver must block rather than overrun.
   Machine m;
   NetStack stack(m, MonitorScheme::kMutex, 1, /*socket_bytes=*/4096);
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         std::vector<std::uint8_t> buf(2048, 7);
         for (int r = 0; r < 16; ++r) {
@@ -169,7 +169,7 @@ TEST(Stack, FlowControlLimitsBufferOccupancy) {
           c.compute(8000);  // slow consumer
         }
       },
-  });
+  }});
 }
 
 }  // namespace
@@ -329,7 +329,7 @@ TEST_P(AcceptSchemes, ConnectAcceptPairsUpAndDrains) {
       if (accepted.size() == kConns) stack.close_listener(c);
     }
   });
-  m.run_each(bodies);
+  m.run({.bodies = bodies});
   ASSERT_EQ(accepted.size(), static_cast<std::size_t>(kConns));
   // Every slot handed out exactly once.
   std::vector<bool> seen(kConns, false);
@@ -345,13 +345,13 @@ TEST_P(AcceptSchemes, ClosedListenerUnblocksAcceptors) {
   sim::Machine m;
   NetStack stack(m, GetParam(), 1);
   int result = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](sim::Context& c) { result = stack.accept(c); },
       [&](sim::Context& c) {
         c.compute(30000);
         stack.close_listener(c);
       },
-  });
+  }});
   EXPECT_EQ(result, NetStack::kNoConnection);
 }
 

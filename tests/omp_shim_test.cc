@@ -41,12 +41,12 @@ TEST(OmpShim, AtomicAddIntegralAndFloating) {
   Machine m;
   auto icell = Shared<std::uint64_t>::alloc(m, 0);
   auto fcell = Shared<double>::alloc(m, 0.0);
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     for (int i = 0; i < 100; ++i) {
       atomic_add<std::uint64_t>(c, icell, 1);
       atomic_add(c, fcell, 0.5);
     }
-  });
+  }});
   EXPECT_EQ(icell.peek(m), 800u);
   EXPECT_DOUBLE_EQ(fcell.peek(m), 400.0);
 }
@@ -56,11 +56,11 @@ TEST(OmpShim, CriticalMutualExclusion) {
     Machine m;
     Critical crit(m, elide);
     auto counter = Shared<std::uint64_t>::alloc(m, 0);
-    m.run(8, [&](Context& c) {
+    m.run({.threads = 8, .body = [&](Context& c) {
       for (int i = 0; i < 200; ++i) {
         crit.run(c, [&] { counter.store(c, counter.load(c) + 1); });
       }
-    });
+    }});
     EXPECT_EQ(counter.peek(m), 1600u) << "elide=" << elide;
     if (elide) EXPECT_GT(crit.stats().elided_commits, 0u);
   }
@@ -74,7 +74,7 @@ TEST(OmpShim, Listing1DoublePathBehavesLikeALock) {
   for (std::size_t i = 0; i < kVertices; ++i) locks.emplace_back(m);
   auto status = SharedArray<std::uint64_t>::alloc(m, kVertices, 0);
   std::uint64_t fast = 0, slow = 0;
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     sim::Xoshiro256 rng(c.tid() + 1);
     for (int i = 0; i < 150; ++i) {
       const std::size_t v = rng.next_below(kVertices);
@@ -91,7 +91,7 @@ TEST(OmpShim, Listing1DoublePathBehavesLikeALock) {
         slow++;
       }
     }
-  });
+  }});
   std::uint64_t total = 0;
   for (std::size_t v = 0; v < kVertices; ++v) total += status.at(v).peek(m);
   EXPECT_EQ(total, 8u * 150u);

@@ -34,7 +34,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
   Machine m(cfg);
   auto cell = Shared<std::uint64_t>::alloc_named(m, "pingpong/cell", 0);
 
-  const RunStats rs = m.run(2, [&](Context& c) {
+  const RunStats rs = m.run({.threads = 2, .body = [&](Context& c) {
     if (c.tid() == 0) {
       // Transactional incrementer; retries until the line quiets down.
       for (int i = 0; i < 8; ++i) {
@@ -57,7 +57,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
         c.compute(100);
       }
     }
-  });
+  }});
 
   ASSERT_EQ(tel.runs().size(), 1u);
   const RunRecord& r = tel.runs().at(0);
@@ -117,7 +117,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
   cfg2.telemetry = &tel2;
   Machine m2(cfg2);
   auto cell2 = Shared<std::uint64_t>::alloc_named(m2, "pingpong/cell", 0);
-  m2.run(2, [&](Context& c) {
+  m2.run({.threads = 2, .body = [&](Context& c) {
     if (c.tid() == 0) {
       for (int i = 0; i < 8; ++i) {
         for (;;) {
@@ -138,7 +138,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
         c.compute(100);
       }
     }
-  });
+  }});
   const RunRecord& r2 = tel2.runs().at(0);
   ASSERT_EQ(r2.conflict_lines.size(), 1u);
   EXPECT_EQ(r2.conflict_lines.begin()->second.dooms, cl.dooms);
@@ -151,7 +151,7 @@ TEST(Provenance, BucketsSumToEndCycleUnderLockContention) {
   Machine m;
   sync::ElidedLock lock(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 8, 0);
-  const RunStats rs = m.run(4, [&](Context& c) {
+  const RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     for (int i = 0; i < 60; ++i) {
       lock.critical(c, [&] {
         auto cell = cells.at((c.tid() + i) % 8);
@@ -159,7 +159,7 @@ TEST(Provenance, BucketsSumToEndCycleUnderLockContention) {
         c.compute(80);
       });
     }
-  });
+  }});
   expect_buckets_cover_clock(rs);
   // Contention makes all the interesting buckets non-empty somewhere.
   const ThreadStats t = rs.total();

@@ -32,7 +32,7 @@ TYPED_TEST(OrderedMaps, RandomOpsMatchStdMap) {
     TxArena arena(m);
     TypeParam map(m, arena);
     std::map<std::uint64_t, std::uint64_t> model;
-    m.run(1, [&](Context& c) {
+    m.run({.threads = 1, .body = [&](Context& c) {
       TmThread t(rt, c);
       sim::Xoshiro256 rng(404);
       for (int i = 0; i < 1200; ++i) {
@@ -73,7 +73,7 @@ TYPED_TEST(OrderedMaps, RandomOpsMatchStdMap) {
           }
         });
       }
-    });
+    }});
     // Full-content equality.
     auto it = model.begin();
     std::size_t n = 0;
@@ -94,13 +94,13 @@ TYPED_TEST(OrderedMaps, ConcurrentMixedOpsKeepInvariants) {
   TxArena arena(m);
   TypeParam map(m, arena);
   // Pre-populate.
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (std::uint64_t k = 0; k < 200; k += 2) {
       t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
     }
-  });
-  m.run(8, [&](Context& c) {
+  }});
+  m.run({.threads = 8, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(13 + c.tid());
     for (int i = 0; i < 120; ++i) {
@@ -113,7 +113,7 @@ TYPED_TEST(OrderedMaps, ConcurrentMixedOpsKeepInvariants) {
         }
       });
     }
-  });
+  }});
   // Values are always key*1 or key*3: check structural sanity.
   std::uint64_t prev = 0;
   bool first = true;
@@ -130,7 +130,7 @@ TEST(RbTree, StructuralInvariantsAfterChurn) {
   TmRuntime rt(m, Backend::kSgl);
   TxArena arena(m);
   TmRbMap map(m, arena);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(77);
     for (int round = 0; round < 40; ++round) {
@@ -147,7 +147,7 @@ TEST(RbTree, StructuralInvariantsAfterChurn) {
       // Red-black invariants must hold after EVERY batch.
       ASSERT_GE(map.peek_validate(m), 0) << "round " << round;
     }
-  });
+  }});
 }
 
 TEST(RbTree, SequentialInsertStaysBalanced) {
@@ -159,12 +159,12 @@ TEST(RbTree, SequentialInsertStaysBalanced) {
   TxArena arena(m);
   TmRbMap map(m, arena);
   constexpr std::uint64_t kN = 1024;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (std::uint64_t k = 1; k <= kN; ++k) {
       t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
     }
-  });
+  }});
   const int bh = map.peek_validate(m);
   ASSERT_GE(bh, 0);
   EXPECT_LE(bh, 11) << "black height must stay logarithmic";
@@ -179,7 +179,7 @@ TEST(RbTree, AbortedInsertLeavesNoTrace) {
   TmRuntime rt(m, Backend::kTsx);
   TxArena arena(m);
   TmRbMap map(m, arena);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (std::uint64_t k = 1; k <= 64; ++k) {
       t.atomic([&](TmAccess& tm) { map.insert(tm, k, k); });
@@ -192,7 +192,7 @@ TEST(RbTree, AbortedInsertLeavesNoTrace) {
       c.xabort(0x7);
     } catch (const sim::TxAbort&) {
     }
-  });
+  }});
   EXPECT_GE(map.peek_validate(m), 0);
   std::size_t n = 0;
   map.peek_inorder(m, [&](std::uint64_t k, std::uint64_t) {

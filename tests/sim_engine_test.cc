@@ -38,21 +38,21 @@ namespace {
 
 TEST(Engine, SingleThreadClockAdvances) {
   Machine m;
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     EXPECT_EQ(c.now(), 0u);
     c.compute(100);
     EXPECT_EQ(c.now(), 100u);
-  });
+  }});
   EXPECT_EQ(rs.makespan, 100u);
 }
 
 TEST(Engine, MakespanIsMaxOverThreads) {
   Machine m;
-  RunStats rs = m.run_each({
+  RunStats rs = m.run({.bodies = {
       [](Context& c) { c.compute(100); },
       [](Context& c) { c.compute(5000); },
       [](Context& c) { c.compute(300); },
-  });
+  }});
   EXPECT_EQ(rs.makespan, 5000u);
   EXPECT_EQ(rs.threads[0].end_cycle, 100u);
   EXPECT_EQ(rs.threads[1].end_cycle, 5000u);
@@ -60,7 +60,7 @@ TEST(Engine, MakespanIsMaxOverThreads) {
 
 TEST(Engine, ThreadCountCappedByMachine) {
   Machine m;  // 8 hardware threads
-  EXPECT_THROW(m.run(9, [](Context&) {}), SimError);
+  EXPECT_THROW(m.run({.threads = 9, .body = [](Context&) {}}), SimError);
 }
 
 TEST(Engine, VirtualTimeOrderingIsDeterministic) {
@@ -69,13 +69,13 @@ TEST(Engine, VirtualTimeOrderingIsDeterministic) {
     Machine m;
     auto counter = Shared<std::uint64_t>::alloc(m, 0);
     std::vector<std::vector<std::uint64_t>> seen(4);
-    m.run(4, [&](Context& c) {
+    m.run({.threads = 4, .body = [&](Context& c) {
       Xoshiro256 rng(17 + c.tid());
       for (int i = 0; i < 300; ++i) {
         c.compute(rng.next_below(150));
         seen[c.tid()].push_back(counter.fetch_add(c, 1));
       }
-    });
+    }});
     return seen;
   };
   auto a = trace();
@@ -90,7 +90,7 @@ TEST(Engine, InterleavingRespectsVirtualTime) {
   Machine m(cfg);
   auto order = SharedArray<std::uint64_t>::alloc(m, 2, 0);
   auto next = Shared<std::uint64_t>::alloc(m, 0);
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         c.compute(10000);
         order.at(0).store(c, next.fetch_add(c, 1));
@@ -99,7 +99,7 @@ TEST(Engine, InterleavingRespectsVirtualTime) {
         c.compute(100);
         order.at(1).store(c, next.fetch_add(c, 1));
       },
-  });
+  }});
   EXPECT_EQ(order.at(1).peek(m), 0u) << "thread 1 arrived first";
   EXPECT_EQ(order.at(0).peek(m), 1u);
 }
@@ -108,7 +108,7 @@ TEST(Engine, FutexWaitWakeRoundTrip) {
   Machine m;
   auto word = Shared<std::uint32_t>::alloc(m, 0);
   auto data = Shared<std::uint64_t>::alloc(m, 0);
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         // Consumer: wait until the producer flips the word.
         while (word.load(c) == 0) {
@@ -122,23 +122,23 @@ TEST(Engine, FutexWaitWakeRoundTrip) {
         word.store(c, 1);
         c.futex_wake(word.addr(), 1);
       },
-  });
+  }});
 }
 
 TEST(Engine, FutexWaitReturnsImmediatelyOnValueMismatch) {
   Machine m;
   auto word = Shared<std::uint32_t>::alloc(m, 5);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.futex_wait(word.addr(), 0);  // *addr != expected: EAGAIN, no block
     SUCCEED();
-  });
+  }});
 }
 
 TEST(Engine, WokenThreadClockJumpsToWaker) {
   Machine m;
   auto word = Shared<std::uint32_t>::alloc(m, 0);
   Cycles woken_at = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         c.futex_wait(word.addr(), 0);
         woken_at = c.now();
@@ -148,31 +148,29 @@ TEST(Engine, WokenThreadClockJumpsToWaker) {
         word.store(c, 1);
         c.futex_wake(word.addr(), 1);
       },
-  });
+  }});
   EXPECT_GT(woken_at, 50000u);
 }
 
 TEST(Engine, DeadlockDetected) {
   Machine m;
   auto word = Shared<std::uint32_t>::alloc(m, 0);
-  EXPECT_THROW(m.run(2,
-                     [&](Context& c) {
+  EXPECT_THROW(m.run({.threads = 2, .body = [&](Context& c) {
                        c.futex_wait(word.addr(), 0);  // nobody will wake us
-                     }),
+                     }}),
                SimError);
 }
 
 TEST(Engine, BodyExceptionPropagates) {
   Machine m;
-  EXPECT_THROW(m.run(4,
-                     [&](Context& c) {
+  EXPECT_THROW(m.run({.threads = 4, .body = [&](Context& c) {
                        c.compute(10);
                        if (c.tid() == 2) throw std::runtime_error("boom");
                        for (int i = 0; i < 100000; ++i) c.compute(100);
-                     }),
+                     }}),
                std::runtime_error);
   // The machine remains usable afterwards.
-  RunStats rs = m.run(2, [](Context& c) { c.compute(5); });
+  RunStats rs = m.run({.threads = 2, .body = [](Context& c) { c.compute(5); }});
   EXPECT_EQ(rs.makespan, 5u);
 }
 
@@ -180,16 +178,15 @@ TEST(Engine, LivelockGuardFires) {
   MachineConfig cfg;
   cfg.max_cycles = 10000;
   Machine m(cfg);
-  EXPECT_THROW(m.run(1,
-                     [](Context& c) {
+  EXPECT_THROW(m.run({.threads = 1, .body = [](Context& c) {
                        for (;;) c.compute(100);
-                     }),
+                     }}),
                SimError);
 }
 
 TEST(Engine, OpenTransactionAtExitIsAnError) {
   Machine m;
-  EXPECT_THROW(m.run(1, [](Context& c) { c.xbegin(); }), SimError);
+  EXPECT_THROW(m.run({.threads = 1, .body = [](Context& c) { c.xbegin(); }}), SimError);
 }
 
 TEST(Engine, ManyThreadsManyWakeups) {
@@ -199,7 +196,7 @@ TEST(Engine, ManyThreadsManyWakeups) {
   auto arrived = Shared<std::uint32_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kRounds = 25;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     for (int r = 0; r < kRounds; ++r) {
       std::uint32_t n = arrived.fetch_add(c, 1) + 1;
       if (n == kThreads) {
@@ -213,7 +210,7 @@ TEST(Engine, ManyThreadsManyWakeups) {
         }
       }
     }
-  });
+  }});
   EXPECT_EQ(word.peek(m), static_cast<std::uint32_t>(kRounds));
 }
 
@@ -232,13 +229,13 @@ TEST_P(QuantumSweep, AtomicCounterExactUnderAnyQuantum) {
   cfg.sched_quantum = GetParam();
   Machine m(cfg);
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     Xoshiro256 rng(c.tid());
     for (int i = 0; i < 250; ++i) {
       counter.fetch_add(c, 1);
       c.compute(rng.next_below(90));
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), 2000u);
 }
 
@@ -255,7 +252,7 @@ TEST_P(QuantumSweep, TransactionalIsolationHoldsUnderAnyQuantum) {
   auto x = Shared<std::uint64_t>::alloc(m, 0);
   auto y = Shared<std::uint64_t>::alloc(m, 0);
   std::uint64_t violations = 0;
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     Xoshiro256 rng(91 + c.tid());
     for (int i = 0; i < 150; ++i) {
       for (;;) {
@@ -274,7 +271,7 @@ TEST_P(QuantumSweep, TransactionalIsolationHoldsUnderAnyQuantum) {
         }
       }
     }
-  });
+  }});
   EXPECT_EQ(violations, 0u);
   EXPECT_EQ(x.peek(m), 1200u);
   EXPECT_EQ(y.peek(m), 1200u);
@@ -288,10 +285,10 @@ TEST(Engine, MachineReusableAcrossManyRuns) {
   Machine m;
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   for (int round = 0; round < 5; ++round) {
-    RunStats rs = m.run(4, [&](Context& c) {
+    RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
       if (c.tid() == 0) cell.fetch_add(c, 1);
       c.compute(10);
-    });
+    }});
     EXPECT_EQ(rs.total().tx_started, 0u) << "stats reset each run";
     EXPECT_LE(rs.makespan, 500u);
   }

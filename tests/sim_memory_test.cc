@@ -44,37 +44,37 @@ TEST(SharedHeap, SubWordAccess) {
 TEST(Memory, LoadStoreRoundTrip) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 7);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     EXPECT_EQ(cell.load(c), 7u);
     cell.store(c, 42);
     EXPECT_EQ(cell.load(c), 42u);
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 42u);
 }
 
 TEST(Memory, AlignmentEnforced) {
   Machine m(quantum0());
   Addr a = m.alloc(64);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     EXPECT_THROW(c.load(a + 1, 8), SimError);
     EXPECT_THROW(c.load(a + 2, 4), SimError);
     EXPECT_THROW(c.load(a, 3), SimError);
     EXPECT_NO_THROW(c.load(a + 4, 4));
-  });
+  }});
 }
 
 TEST(Memory, L1HitIsCheaperThanMiss) {
   Machine m(quantum0());
   Addr a = m.alloc(64);
   Cycles first = 0, second = 0;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     Cycles t0 = c.now();
     c.load(a);
     first = c.now() - t0;
     t0 = c.now();
     c.load(a);
     second = c.now() - t0;
-  });
+  }});
   EXPECT_EQ(first, m.config().lat_mem);
   EXPECT_EQ(second, m.config().lat_l1_hit);
 }
@@ -84,7 +84,7 @@ TEST(Memory, CrossCoreDirtyTransferCost) {
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   auto flag = Shared<std::uint32_t>::alloc(m, 0);
   std::vector<Cycles> load_cost(2, 0);
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         cell.store(c, 5);  // dirty in core 0's L1
         flag.store(c, 1);
@@ -95,7 +95,7 @@ TEST(Memory, CrossCoreDirtyTransferCost) {
         cell.load(c);
         load_cost[1] = c.now() - t0;
       },
-  });
+  }});
   EXPECT_EQ(load_cost[1], m.config().lat_xfer_dirty);
 }
 
@@ -104,9 +104,9 @@ TEST(Memory, AtomicFetchAddIsAtomicAcrossThreads) {
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kIters = 2000;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     for (int i = 0; i < kIters; ++i) counter.fetch_add(c, 1);
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
@@ -114,7 +114,7 @@ TEST(Memory, AtomicCostsMoreThanPlainAccess) {
   Machine m(quantum0());
   Addr a = m.alloc(64);
   Cycles plain = 0, atomic = 0;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.load(a);  // warm
     Cycles t0 = c.now();
     c.store(a, 1);
@@ -122,28 +122,28 @@ TEST(Memory, AtomicCostsMoreThanPlainAccess) {
     t0 = c.now();
     c.fetch_add(a, 1);
     atomic = c.now() - t0;
-  });
+  }});
   EXPECT_GT(atomic, plain);
 }
 
 TEST(Tx, CommitPublishesWrites) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 1);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     cell.store(c, 99);
     EXPECT_EQ(cell.load(c), 99u);       // read own speculative write
     EXPECT_EQ(cell.peek(m), 1u);
     c.xend();
     EXPECT_EQ(cell.load(c), 99u);
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 99u);
 }
 
 TEST(Tx, ExplicitAbortDiscardsWrites) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 1);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     try {
       c.xbegin();
       cell.store(c, 99);
@@ -155,7 +155,7 @@ TEST(Tx, ExplicitAbortDiscardsWrites) {
     }
     EXPECT_FALSE(c.in_txn());
     EXPECT_EQ(cell.load(c), 1u);
-  });
+  }});
   EXPECT_EQ(rs.threads[0].tx_aborted[size_t(AbortCause::kExplicit)], 1u);
 }
 
@@ -163,7 +163,7 @@ TEST(Tx, SubWordWritesMergeInBuffer) {
   Machine m(quantum0());
   Addr a = m.alloc(8);
   m.heap().write_word(a, 0, 8);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     c.store(a, 0xAA, 1);
     c.store(a + 4, 0xBBCCDDEE, 4);
@@ -171,14 +171,14 @@ TEST(Tx, SubWordWritesMergeInBuffer) {
     EXPECT_EQ(c.load(a + 4, 4), 0xBBCCDDEEu);
     EXPECT_EQ(c.load(a, 8), 0xBBCCDDEE000000AAULL);
     c.xend();
-  });
+  }});
   EXPECT_EQ(m.heap().read_word(a, 8), 0xBBCCDDEE000000AAULL);
 }
 
 TEST(Tx, SyscallAbortsTransaction) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     try {
       c.xbegin();
       cell.store(c, 5);
@@ -187,7 +187,7 @@ TEST(Tx, SyscallAbortsTransaction) {
     } catch (const TxAbort& a) {
       EXPECT_EQ(a.cause, AbortCause::kSyscall);
     }
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 0u);
   EXPECT_EQ(rs.threads[0].tx_aborted[size_t(AbortCause::kSyscall)], 1u);
 }
@@ -195,7 +195,7 @@ TEST(Tx, SyscallAbortsTransaction) {
 TEST(Tx, NestingIsFlatAndDepthLimited) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     c.xbegin();  // nested
     cell.store(c, 1);
@@ -204,11 +204,11 @@ TEST(Tx, NestingIsFlatAndDepthLimited) {
     EXPECT_EQ(cell.peek(m), 0u);
     c.xend();
     EXPECT_FALSE(c.in_txn());
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 1u);
 
   // Depth overflow.
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     bool aborted = false;
     try {
       for (int i = 0; i < 64; ++i) c.xbegin();
@@ -218,7 +218,7 @@ TEST(Tx, NestingIsFlatAndDepthLimited) {
     }
     EXPECT_TRUE(aborted);
     EXPECT_FALSE(c.in_txn());
-  });
+  }});
 }
 
 TEST(Tx, WriteWriteConflictRequesterWins) {
@@ -226,7 +226,7 @@ TEST(Tx, WriteWriteConflictRequesterWins) {
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   auto ready = Shared<std::uint32_t>::alloc(m, 0);
   int victim_aborts = 0;
-  m.run_each({
+  m.run({.bodies = {
       // Thread 0: opens a txn, writes the cell, then spins. Thread 1's
       // conflicting write must doom it (requester wins).
       [&](Context& c) {
@@ -245,7 +245,7 @@ TEST(Tx, WriteWriteConflictRequesterWins) {
         c.compute(2000);  // let thread 0 enter its txn
         cell.store(c, 20);
       },
-  });
+  }});
   EXPECT_EQ(victim_aborts, 1);
   EXPECT_EQ(cell.peek(m), 20u);
 }
@@ -254,7 +254,7 @@ TEST(Tx, ReadersDoomedByRemoteWrite) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   int aborts = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         try {
           c.xbegin();
@@ -269,19 +269,19 @@ TEST(Tx, ReadersDoomedByRemoteWrite) {
         c.compute(2000);
         cell.store(c, 1);  // non-transactional write dooms the reader
       },
-  });
+  }});
   EXPECT_EQ(aborts, 1);
 }
 
 TEST(Tx, ConcurrentReadersDoNotConflict) {
   Machine m(quantum0());
   auto cell = Shared<std::uint64_t>::alloc(m, 7);
-  RunStats rs = m.run(4, [&](Context& c) {
+  RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     c.xbegin();
     EXPECT_EQ(cell.load(c), 7u);
     c.compute(500);
     c.xend();
-  });
+  }});
   EXPECT_EQ(rs.total().tx_committed, 4u);
   EXPECT_EQ(rs.total().tx_aborts_total(), 0u);
 }
@@ -293,7 +293,7 @@ TEST(Tx, CapacityAbortOnWriteSetOverflow) {
   const std::size_t set_stride =
       static_cast<std::size_t>(cfg.l1_sets()) * cfg.line_bytes;
   Addr base = m.alloc(set_stride * (cfg.l1_ways + 2), 64);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     bool aborted = false;
     try {
       c.xbegin();
@@ -303,11 +303,11 @@ TEST(Tx, CapacityAbortOnWriteSetOverflow) {
       c.xend();
     } catch (const TxAbort& a) {
       aborted = true;
-      EXPECT_EQ(a.cause, AbortCause::kCapacity);
+      EXPECT_EQ(a.cause, AbortCause::kCapacityWrite);
     }
     EXPECT_TRUE(aborted);
-  });
-  EXPECT_EQ(rs.threads[0].tx_aborted[size_t(AbortCause::kCapacity)], 1u);
+  }});
+  EXPECT_EQ(rs.threads[0].tx_aborted[size_t(AbortCause::kCapacityWrite)], 1u);
 }
 
 TEST(Tx, ReadSetEvictionDoesNotAbort) {
@@ -320,13 +320,13 @@ TEST(Tx, ReadSetEvictionDoesNotAbort) {
   const std::size_t set_stride =
       static_cast<std::size_t>(cfg.l1_sets()) * cfg.line_bytes;
   Addr base = m.alloc(set_stride * (cfg.l1_ways + 4), 64);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     for (std::uint32_t i = 0; i < cfg.l1_ways + 4; ++i) {
       c.load(base + i * set_stride);
     }
     c.xend();
-  });
+  }});
   EXPECT_EQ(rs.threads[0].tx_committed, 1u);
   EXPECT_GT(rs.threads[0].tx_read_lines_evicted, 0u);
 }
@@ -346,7 +346,7 @@ TEST(Tx, EvictedReadLineStillDetectsConflicts) {
   // Adjust alias to land in the same set as probe.
   alias += (probe % set_stride) - (alias % set_stride);
   int aborts = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         try {
           c.xbegin();
@@ -366,7 +366,7 @@ TEST(Tx, EvictedReadLineStillDetectsConflicts) {
         c.compute(8000);
         c.store(probe, 1);
       },
-  });
+  }});
   EXPECT_EQ(aborts, 1);
 }
 
@@ -393,7 +393,7 @@ TEST(Tx, SmtSiblingPressureCausesCapacityAborts) {
         c.compute(300);
         c.xend();
       } catch (const TxAbort& a) {
-        if (a.cause == AbortCause::kCapacity) capacity_aborts++;
+        if (a.cause == AbortCause::kCapacityWrite) capacity_aborts++;
       }
     }
   };
@@ -402,7 +402,7 @@ TEST(Tx, SmtSiblingPressureCausesCapacityAborts) {
   });
   bodies[0] = body;
   bodies[4] = body;  // same core as thread 0 (t % 4)
-  m.run_each(bodies);
+  m.run({.bodies = bodies});
   EXPECT_GT(capacity_aborts, 0);
 }
 
@@ -435,7 +435,7 @@ TEST(Affinity, PackingRaisesTransactionalCapacityPressure) {
     Addr r0 = m.alloc(stride * cfg.l1_ways, 64);
     Addr r1 = m.alloc(stride * cfg.l1_ways, 64);
     std::uint64_t aborts = 0;
-    RunStats rs = m.run(2, [&](Context& c) {
+    RunStats rs = m.run({.threads = 2, .body = [&](Context& c) {
       const Addr base = c.tid() == 0 ? r0 : r1;
       for (int rep = 0; rep < 8; ++rep) {
         try {
@@ -448,7 +448,7 @@ TEST(Affinity, PackingRaisesTransactionalCapacityPressure) {
         } catch (const TxAbort&) {
         }
       }
-    });
+    }});
     aborts = rs.total().tx_aborts_total();
     return aborts;
   };

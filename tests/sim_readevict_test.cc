@@ -1,5 +1,9 @@
 // Tests for the secondary read-tracking imprecision model (the source of
-// the paper's nonzero single-thread abort rates in Table 1).
+// the paper's nonzero single-thread abort rates in Table 1). In the
+// hierarchy model the L1 -> secondary-tracker handoff is free; the abort
+// risk materializes only when the *LLC* (the level backing the tracker)
+// loses the line, so read-set capacity is a function of LLC geometry. The
+// tests shrink the LLC to 64 KB so footprints that overflow it stay small.
 #include <gtest/gtest.h>
 
 #include "sim/machine.h"
@@ -15,9 +19,11 @@ double abort_rate_for_read_footprint(double prob, std::size_t lines,
   MachineConfig cfg;
   cfg.sched_quantum = 0;
   cfg.read_evict_abort_prob = prob;
+  cfg.llc_bytes = 64 * 1024;  // 1024 lines: 2x the L1, small enough to blow
+  cfg.llc_ways = 16;          // 64 sets (sets must be a power of two)
   Machine m(cfg);
   Addr base = m.alloc(lines * cfg.line_bytes, 64);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     for (int t = 0; t < txns; ++t) {
       for (int attempt = 0; attempt < 8; ++attempt) {
         try {
@@ -31,13 +37,20 @@ double abort_rate_for_read_footprint(double prob, std::size_t lines,
         }
       }
     }
-  });
+  }});
   return rs.threads[0].abort_rate_pct();
 }
 
 TEST(ReadEvict, SmallFootprintNeverAborts) {
-  // Fits in L1: no evictions, no aborts regardless of probability.
+  // Fits in L1: no evictions anywhere, no aborts regardless of probability.
   EXPECT_EQ(abort_rate_for_read_footprint(0.5, 64, 50), 0.0);
+}
+
+TEST(ReadEvict, LlcResidentFootprintNeverAborts) {
+  // 768 lines overflow the 512-line L1 (secondary tracking engages) but fit
+  // the 1024-line LLC: losing the L1 copy is harmless while the LLC still
+  // backs the tracker — the defining behaviour of the hierarchy model.
+  EXPECT_EQ(abort_rate_for_read_footprint(0.5, 768, 50), 0.0);
 }
 
 TEST(ReadEvict, ZeroProbabilityNeverAborts) {
@@ -45,22 +58,23 @@ TEST(ReadEvict, ZeroProbabilityNeverAborts) {
 }
 
 TEST(ReadEvict, LargeFootprintAbortsOften) {
-  // ~4x the L1: many evictions; with p=0.05 nearly every txn dies, exactly
-  // the labyrinth/bayes single-thread regime of Table 1.
+  // 2x the LLC: the sequential scan evicts transactionally read lines from
+  // the LLC wholesale; with p=0.05 nearly every txn dies, exactly the
+  // labyrinth/bayes single-thread regime of Table 1.
   const double rate = abort_rate_for_read_footprint(0.05, 2048, 20);
   EXPECT_GT(rate, 40.0);
 }
 
 TEST(ReadEvict, RateGrowsWithFootprint) {
-  const double mid = abort_rate_for_read_footprint(0.02, 768, 40);
+  const double mid = abort_rate_for_read_footprint(0.02, 1536, 40);
   const double big = abort_rate_for_read_footprint(0.02, 3072, 40);
   EXPECT_GE(big, mid);
   EXPECT_GT(big, 0.0);
 }
 
 TEST(ReadEvict, Deterministic) {
-  const double a = abort_rate_for_read_footprint(0.03, 1024, 30);
-  const double b = abort_rate_for_read_footprint(0.03, 1024, 30);
+  const double a = abort_rate_for_read_footprint(0.03, 2048, 30);
+  const double b = abort_rate_for_read_footprint(0.03, 2048, 30);
   EXPECT_EQ(a, b);
 }
 

@@ -13,7 +13,7 @@ TEST(Trace, RecordsBeginCommitAbortWithFootprints) {
   TraceLog trace;
   m.set_trace(&trace);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 16, 0);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     // A committing transaction touching 3 lines (16 cells span 2 lines;
     // write two of them plus a read).
     c.xbegin();
@@ -27,7 +27,7 @@ TEST(Trace, RecordsBeginCommitAbortWithFootprints) {
       c.xabort(0x11);
     } catch (const TxAbort&) {
     }
-  });
+  }});
   m.set_trace(nullptr);
 
   ASSERT_EQ(trace.events().size(), 4u);
@@ -51,7 +51,7 @@ TEST(Trace, CycleStampsAreMonotonePerThread) {
   TraceLog trace;
   m.set_trace(&trace);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(4, [&](Context& c) {
+  m.run({.threads = 4, .body = [&](Context& c) {
     for (int i = 0; i < 20; ++i) {
       try {
         c.xbegin();
@@ -61,7 +61,7 @@ TEST(Trace, CycleStampsAreMonotonePerThread) {
       } catch (const TxAbort&) {
       }
     }
-  });
+  }});
   m.set_trace(nullptr);
   std::vector<Cycles> last(4, 0);
   for (const auto& e : trace.events()) {
@@ -80,11 +80,11 @@ TEST(Trace, DetachedTraceRecordsNothing) {
   Machine m;
   TraceLog trace;
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     cell.store(c, 1);
     c.xend();
-  });
+  }});
   EXPECT_TRUE(trace.events().empty());
 }
 

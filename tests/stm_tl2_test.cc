@@ -17,7 +17,7 @@ TEST(Tl2, ReadYourOwnWrites) {
   Machine m;
   Tl2Space space(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 3);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     Tl2Tx tx(space);
     tx.begin(c);
     EXPECT_EQ(tx.read(c, cell.addr()), 3u);
@@ -25,7 +25,7 @@ TEST(Tl2, ReadYourOwnWrites) {
     EXPECT_EQ(tx.read(c, cell.addr()), 9u);
     EXPECT_EQ(cell.peek(m), 3u) << "no write-back before commit";
     tx.commit(c);
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 9u);
 }
 
@@ -34,14 +34,14 @@ TEST(Tl2, SubWordWritesMerge) {
   Tl2Space space(m);
   sim::Addr a = m.alloc(8);
   m.heap().write_word(a, 0x1111111111111111ULL, 8);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     Tl2Tx tx(space);
     tx.begin(c);
     tx.write(c, a, 0xAB, 1);
     tx.write(c, a + 4, 0xCDEF, 2);
     EXPECT_EQ(tx.read(c, a, 1), 0xABu);
     tx.commit(c);
-  });
+  }});
   EXPECT_EQ(m.heap().read_word(a, 8), 0x1111CDEF111111ABULL);
 }
 
@@ -53,7 +53,7 @@ TEST(Tl2, ConflictingWriterAbortsReader) {
   Tl2Space space(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   int aborts = 0;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         Tl2Tx tx(space);
         tx.begin(c);
@@ -74,7 +74,7 @@ TEST(Tl2, ConflictingWriterAbortsReader) {
         tx.write(c, cell.addr(), 42);
         tx.commit(c);
       },
-  });
+  }});
   // The reader either aborted at re-read/commit validation, or it committed
   // read-only before the writer — with these delays it must abort.
   EXPECT_EQ(aborts, 1);
@@ -86,7 +86,7 @@ TEST(Tl2, CounterIncrementsAreLinearizable) {
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kIters = 250;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     Tl2Tx tx(space);
     for (int i = 0; i < kIters; ++i) {
       for (;;) {
@@ -101,7 +101,7 @@ TEST(Tl2, CounterIncrementsAreLinearizable) {
         }
       }
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
@@ -110,7 +110,7 @@ TEST(Tl2, ReadOnlyTransactionsAreCheapAndNeverBlockEachOther) {
   Tl2Space space(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 64, 5);
   std::uint64_t aborts_total = 0;
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     Tl2Tx tx(space);
     for (int i = 0; i < 50; ++i) {
       tx.begin(c);
@@ -120,7 +120,7 @@ TEST(Tl2, ReadOnlyTransactionsAreCheapAndNeverBlockEachOther) {
       EXPECT_EQ(sum, 64u * 5u);
     }
     aborts_total += tx.aborts();
-  });
+  }});
   EXPECT_EQ(aborts_total, 0u);
 }
 
@@ -131,7 +131,7 @@ TEST(Tl2, MoneyConservationProperty) {
   constexpr int kAccounts = 32;
   constexpr std::uint64_t kInitial = 1000;
   auto accounts = SharedArray<std::uint64_t>::alloc(m, kAccounts, kInitial);
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     Tl2Tx tx(space);
     sim::Xoshiro256 rng(99 + c.tid());
     for (int i = 0; i < 200; ++i) {
@@ -154,7 +154,7 @@ TEST(Tl2, MoneyConservationProperty) {
         }
       }
     }
-  });
+  }});
   std::uint64_t total = 0;
   for (int i = 0; i < kAccounts; ++i) total += accounts.at(i).peek(m);
   EXPECT_EQ(total, static_cast<std::uint64_t>(kAccounts) * kInitial);
@@ -166,7 +166,7 @@ TEST(Tl2, InstrumentationCostsMoreThanPlainAccess) {
   Tl2Space space(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 256, 1);
   sim::Cycles plain_t = 0, stm_t = 0;
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     // Warm the cache identically first.
     for (int j = 0; j < 256; ++j) (void)c.load(cells.addr(j));
     sim::Cycles t0 = c.now();
@@ -179,7 +179,7 @@ TEST(Tl2, InstrumentationCostsMoreThanPlainAccess) {
     for (int j = 0; j < 256; ++j) (void)tx.read(c, cells.addr(j));
     stm_t = c.now() - t0;
     tx.commit(c);
-  });
+  }});
   EXPECT_GT(stm_t, 2 * plain_t);
 }
 

@@ -19,11 +19,11 @@ TEST(ElidedLock, UncontendedSectionsCommitElided) {
   Machine m;
   ElidedLock lock(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     for (int i = 0; i < 100; ++i) {
       lock.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
     }
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 100u);
   EXPECT_EQ(lock.stats().elided_commits, 100u);
   EXPECT_EQ(lock.stats().fallback_acquires, 0u);
@@ -37,7 +37,7 @@ TEST(ElidedLock, DisjointSectionsRunConcurrently) {
     Machine m;
     ElidedLock el(m);
     auto cells = SharedArray<std::uint64_t>::alloc(m, 8 * 8, 0);  // 1/line
-    RunStats rs = m.run(4, [&](Context& c) {
+    RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
       const std::size_t idx = static_cast<std::size_t>(c.tid()) * 8;
       for (int i = 0; i < 500; ++i) {
         if (elide) {
@@ -52,7 +52,7 @@ TEST(ElidedLock, DisjointSectionsRunConcurrently) {
           el.underlying().release(c);
         }
       }
-    });
+    }});
     return rs.makespan;
   };
   const auto elided = makespan(true);
@@ -67,11 +67,11 @@ TEST(ElidedLock, ConflictingSectionsStaySequentiallyConsistent) {
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kIters = 500;
-  RunStats rs = m.run(kThreads, [&](Context& c) {
+  RunStats rs = m.run({.threads = kThreads, .body = [&](Context& c) {
     for (int i = 0; i < kIters; ++i) {
       lock.critical(c, [&] { counter.store(c, counter.load(c) + 1); });
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
   EXPECT_GT(rs.total().tx_aborts_total(), 0u) << "contended: some aborts";
 }
@@ -84,11 +84,11 @@ TEST(ElidedLock, FallbackAfterMaxRetries) {
   const std::size_t lines = cfg.l1_ways + 2;
   const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
   sim::Addr base = m.alloc(stride * lines, 64);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     lock.critical(c, [&] {
       for (std::size_t i = 0; i < lines; ++i) c.store(base + i * stride, i);
     });
-  });
+  }});
   EXPECT_EQ(lock.stats().fallback_acquires, 1u);
   // Capacity aborts clear the hardware retry hint: exactly one attempt.
   EXPECT_EQ(lock.stats().aborts, 1u);
@@ -109,7 +109,7 @@ TEST(ElidedLock, RetryCountHonoredForConflicts) {
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   // Thread 1 writes the cell non-transactionally in a tight loop, dooming
   // thread 0's transactional attempts every time.
-  RunStats rs = m.run_each({
+  RunStats rs = m.run({.bodies = {
       [&](Context& c) {
         lock.critical(c, [&] {
           std::uint64_t v = cell.load(c);
@@ -123,7 +123,7 @@ TEST(ElidedLock, RetryCountHonoredForConflicts) {
           c.compute(40);
         }
       },
-  });
+  }});
   (void)rs;
   EXPECT_EQ(lock.stats().fallback_acquires, 1u);
   EXPECT_EQ(lock.stats().aborts, 3u);
@@ -136,7 +136,7 @@ TEST(ElidedLock, ExplicitAcquireDoomsEliders) {
   ElidedLock lock(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
   bool saw_abort = false;
-  m.run_each({
+  m.run({.bodies = {
       [&](Context& c) {
         try {
           c.xbegin();
@@ -155,7 +155,7 @@ TEST(ElidedLock, ExplicitAcquireDoomsEliders) {
         cell.store(c, 1);
         lock.release(c);
       },
-  });
+  }});
   EXPECT_TRUE(saw_abort);
 }
 
@@ -163,11 +163,11 @@ TEST(ElidedLock, NestedElisionFlattens) {
   Machine m;
   ElidedLock outer(m), inner(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     outer.critical(c, [&] {
       inner.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
     });
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 1u);
   // One hardware transaction, not two.
   EXPECT_EQ(rs.threads[0].tx_started, 1u);
@@ -185,13 +185,13 @@ TEST(ElidedLock, AdaptiveSkipAfterHopelessAborts) {
   const std::size_t lines = cfg.l1_ways + 2;
   const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
   sim::Addr base = m.alloc(stride * lines, 64);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     for (int rep = 0; rep < 10; ++rep) {
       lock.critical(c, [&] {
         for (std::size_t i = 0; i < lines; ++i) c.store(base + i * stride, i);
       });
     }
-  });
+  }});
   EXPECT_EQ(lock.stats().fallback_acquires, 10u);
   // Far fewer transactional attempts than the 50 a non-adaptive retry-5
   // policy would burn: the holiday suppresses most of them.
@@ -204,12 +204,12 @@ TEST(ElidedLock, AdaptiveSkipForgivesAfterSuccess) {
   Machine m;
   ElidedLock lock(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(8, [&](Context& c) {
+  RunStats rs = m.run({.threads = 8, .body = [&](Context& c) {
     for (int i = 0; i < 200; ++i) {
       lock.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
       c.compute(100);
     }
-  });
+  }});
   (void)rs;
   EXPECT_EQ(cell.peek(m), 1600u);
   EXPECT_GT(lock.stats().elision_rate(), 0.5)
@@ -223,13 +223,13 @@ TEST(ElidedLockSet, SingleBeginReplacesManyAcquisitions) {
   for (int i = 0; i < kLocks; ++i) locks.emplace_back(m);
   ElidedLockSet lockset;
   auto cells = SharedArray<std::uint64_t>::alloc(m, kLocks, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     lockset.critical(c, {&locks[0], &locks[1], &locks[2], &locks[3]}, [&] {
       for (int i = 0; i < kLocks; ++i) {
         cells.at(i).store(c, cells.at(i).load(c) + 1);
       }
     });
-  });
+  }});
   EXPECT_EQ(rs.threads[0].tx_started, 1u);
   EXPECT_EQ(rs.threads[0].atomics, 0u) << "no lock CAS on the elided path";
   for (int i = 0; i < kLocks; ++i) EXPECT_EQ(cells.at(i).peek(m), 1u);
@@ -247,7 +247,7 @@ TEST(ElidedLockSet, FallbackAcquiresInCanonicalOrderWithoutDeadlock) {
   const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
   sim::Addr big = m.alloc(stride * lines * 2, 64);
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(2, [&](Context& c) {
+  m.run({.threads = 2, .body = [&](Context& c) {
     std::vector<SpinLock*> order = c.tid() == 0
                                        ? std::vector<SpinLock*>{&locks[0], &locks[1]}
                                        : std::vector<SpinLock*>{&locks[1], &locks[0]};
@@ -260,7 +260,7 @@ TEST(ElidedLockSet, FallbackAcquiresInCanonicalOrderWithoutDeadlock) {
         counter.store(c, counter.load(c) + 1);
       });
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), 40u);
   EXPECT_GT(lockset.stats().fallback_acquires, 0u);
 }
@@ -278,13 +278,13 @@ TEST(ElidedLockSet, DuplicateLocksInSetDoNotSelfDeadlock) {
   const std::size_t lines = cfg.l1_ways + 2;
   const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
   sim::Addr big = m.alloc(stride * lines, 64);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     // Oversized footprint forces the fallback path.
     lockset.critical(c, {&lock, &lock, &lock}, [&] {
       for (std::size_t i = 0; i < lines; ++i) c.store(big + i * stride, 1);
       cell.store(c, cell.load(c) + 1);
     });
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 1u);
   EXPECT_EQ(lockset.stats().fallback_acquires, 1u);
 }
@@ -293,10 +293,10 @@ TEST(Coarsen, ForEachCoarsenedCoversAllAndBatches) {
   Machine m;
   ElidedLock lock(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 37, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     for_each_coarsened(c, lock, 37, 4,
                        [&](std::size_t i) { cells.at(i).store(c, i + 1); });
-  });
+  }});
   for (std::size_t i = 0; i < 37; ++i) EXPECT_EQ(cells.at(i).peek(m), i + 1);
   EXPECT_EQ(rs.threads[0].tx_started, 10u) << "ceil(37/4) regions";
 }
@@ -305,11 +305,11 @@ TEST(Coarsen, BatcherFlushesOnDestructionAndGranularity) {
   Machine m;
   ElidedLock lock(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 10, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     auto fn = [&](std::size_t i) { cells.at(i).store(c, 1); };
     CoarseningBatcher<decltype(fn)> batcher(c, lock, 3, fn);
     for (std::size_t i = 0; i < 10; ++i) batcher.add(i);
-  });
+  }});
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(cells.at(i).peek(m), 1u);
   EXPECT_EQ(rs.threads[0].tx_started, 4u) << "3+3+3+1";
 }
@@ -320,11 +320,11 @@ TEST(Coarsen, CoarserRegionsAmortizeOverhead) {
     Machine m;
     ElidedLock lock(m);
     auto cells = SharedArray<std::uint64_t>::alloc(m, 1024, 0);
-    RunStats rs = m.run(1, [&](Context& c) {
+    RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
       for_each_coarsened(c, lock, 1024, gran, [&](std::size_t i) {
         cells.at(i).store(c, cells.at(i).load(c) + 1);
       });
-    });
+    }});
     return rs.makespan;
   };
   EXPECT_LT(makespan(8), makespan(1));

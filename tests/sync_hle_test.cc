@@ -19,11 +19,11 @@ TEST(HleLock, UncontendedSectionsElide) {
   Machine m;
   HleLock lock(m);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     for (int i = 0; i < 50; ++i) {
       lock.critical(c, [&] { cell.store(c, cell.load(c) + 1); });
     }
-  });
+  }});
   EXPECT_EQ(cell.peek(m), 50u);
   EXPECT_EQ(lock.elided(), 50u);
   EXPECT_EQ(lock.acquired(), 0u);
@@ -36,11 +36,11 @@ TEST(HleLock, MutualExclusionUnderContention) {
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kIters = 300;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     for (int i = 0; i < kIters; ++i) {
       lock.critical(c, [&] { counter.store(c, counter.load(c) + 1); });
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
@@ -53,11 +53,11 @@ TEST(HleLock, HardwarePolicyIsOneRetry) {
   const std::size_t lines = cfg.l1_ways + 2;
   const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
   sim::Addr base = m.alloc(stride * lines, 64);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     lock.critical(c, [&] {
       for (std::size_t i = 0; i < lines; ++i) c.store(base + i * stride, i);
     });
-  });
+  }});
   EXPECT_EQ(lock.acquired(), 1u);
   EXPECT_LE(lock.aborts(), 2u);
 }
@@ -67,7 +67,7 @@ TEST(HleLock, DisjointSectionsScale) {
     Machine m;
     HleLock lock(m);
     auto cells = SharedArray<std::uint64_t>::alloc(m, 8 * 8, 0);
-    RunStats rs = m.run(4, [&](Context& c) {
+    RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
       const std::size_t idx = static_cast<std::size_t>(c.tid()) * 8;
       for (int i = 0; i < 300; ++i) {
         if (elide) {
@@ -82,7 +82,7 @@ TEST(HleLock, DisjointSectionsScale) {
           lock.underlying().release(c);
         }
       }
-    });
+    }});
     return rs.makespan;
   };
   EXPECT_LT(2 * makespan(true), makespan(false));
@@ -91,7 +91,7 @@ TEST(HleLock, DisjointSectionsScale) {
 TEST(CycleAccounting, CommittedAndWastedCyclesSplit) {
   Machine m;
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     // One committing transaction with known work.
     c.xbegin();
     c.compute(1000);
@@ -104,7 +104,7 @@ TEST(CycleAccounting, CommittedAndWastedCyclesSplit) {
       c.xabort(1);
     } catch (const sim::TxAbort&) {
     }
-  });
+  }});
   const auto& t = rs.threads[0];
   EXPECT_GE(t.tx_cycles_committed, 1000u);
   EXPECT_LT(t.tx_cycles_committed, 1600u);
@@ -115,7 +115,7 @@ TEST(CycleAccounting, CommittedAndWastedCyclesSplit) {
 TEST(CycleAccounting, NestedRegionsCountOnce) {
   Machine m;
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(1, [&](Context& c) {
+  RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     c.compute(500);
     c.xbegin();  // flat nesting
@@ -124,7 +124,7 @@ TEST(CycleAccounting, NestedRegionsCountOnce) {
     c.xend();
     c.compute(500);
     c.xend();
-  });
+  }});
   const auto& t = rs.threads[0];
   EXPECT_GE(t.tx_cycles_committed, 1500u);
   EXPECT_LT(t.tx_cycles_committed, 2200u) << "not double-counted";
@@ -134,7 +134,7 @@ TEST(CycleAccounting, NestedRegionsCountOnce) {
 TEST(PerfReport, ContainsTheHeadlineCounters) {
   Machine m;
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(2, [&](Context& c) {
+  RunStats rs = m.run({.threads = 2, .body = [&](Context& c) {
     for (int i = 0; i < 20; ++i) {
       try {
         c.xbegin();
@@ -144,7 +144,7 @@ TEST(PerfReport, ContainsTheHeadlineCounters) {
       } catch (const sim::TxAbort&) {
       }
     }
-  });
+  }});
   const std::string report = sim::perf_report(rs);
   for (const char* key :
        {"tx-start", "tx-commit", "tx-abort", "cycles-t", "cycles-ct",

@@ -19,7 +19,7 @@ void mutual_exclusion_check(int threads, int iters) {
   Lock lock(m);
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   auto in_cs = Shared<std::uint32_t>::alloc(m, 0);
-  m.run(threads, [&](Context& c) {
+  m.run({.threads = threads, .body = [&](Context& c) {
     for (int i = 0; i < iters; ++i) {
       lock.acquire(c);
       ASSERT_EQ(in_cs.fetch_add(c, 1), 0u) << "two threads inside the CS";
@@ -30,7 +30,7 @@ void mutual_exclusion_check(int threads, int iters) {
       lock.release(c);
       c.compute(50);
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(threads) * iters);
 }
 
@@ -41,26 +41,26 @@ TEST(FutexMutex, MutualExclusion) { mutual_exclusion_check<FutexMutex>(8, 300); 
 TEST(SpinLock, TryAcquire) {
   Machine m;
   SpinLock lock(m);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     EXPECT_TRUE(lock.try_acquire(c));
     EXPECT_FALSE(lock.try_acquire(c));
     lock.release(c);
     EXPECT_TRUE(lock.try_acquire(c));
     lock.release(c);
-  });
+  }});
 }
 
 TEST(FutexMutex, BlocksInsteadOfSpinning) {
   // Under contention the futex mutex must actually sleep (futex_waits > 0).
   Machine m;
   FutexMutex lock(m);
-  RunStats rs = m.run(4, [&](Context& c) {
+  RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     for (int i = 0; i < 50; ++i) {
       lock.acquire(c);
       c.compute(3000);  // long critical section forces contention
       lock.release(c);
     }
-  });
+  }});
   EXPECT_GT(rs.total().futex_waits, 0u);
 }
 
@@ -69,7 +69,7 @@ TEST(Barrier, AllThreadsMeet) {
   constexpr int kThreads = 8;
   Barrier bar(m, kThreads);
   auto phase_counts = sim::SharedArray<std::uint32_t>::alloc(m, 3, 0);
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     sim::Xoshiro256 rng(c.tid() + 1);
     for (int p = 0; p < 3; ++p) {
       c.compute(rng.next_below(5000));
@@ -78,30 +78,30 @@ TEST(Barrier, AllThreadsMeet) {
       // After the barrier, everyone must have arrived in this phase.
       ASSERT_EQ(phase_counts.at(p).load(c), static_cast<std::uint32_t>(kThreads));
     }
-  });
+  }});
 }
 
 TEST(Barrier, BlockingVariant) {
   Machine m;
   Barrier bar(m, 4, /*blocking=*/true);
-  RunStats rs = m.run(4, [&](Context& c) {
+  RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     c.compute((c.tid() + 1) * 20000);  // heavily skewed arrival
     bar.wait(c);
-  });
+  }});
   EXPECT_GT(rs.total().futex_waits, 0u);
 }
 
 TEST(Guard, ReleasesOnScopeExit) {
   Machine m;
   SpinLock lock(m);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     {
       Guard<SpinLock> g(c, lock);
       EXPECT_FALSE(lock.try_acquire(c));
     }
     EXPECT_TRUE(lock.try_acquire(c));
     lock.release(c);
-  });
+  }});
 }
 
 TEST(Locks, ContendedLockCostsMoreThanUncontended) {
@@ -111,13 +111,13 @@ TEST(Locks, ContendedLockCostsMoreThanUncontended) {
     Machine m;
     SpinLock lock(m);
     auto cell = Shared<std::uint64_t>::alloc(m, 0);
-    RunStats rs = m.run(threads, [&](Context& c) {
+    RunStats rs = m.run({.threads = threads, .body = [&](Context& c) {
       for (int i = 0; i < 400; ++i) {
         lock.acquire(c);
         cell.store(c, cell.load(c) + 1);
         lock.release(c);
       }
-    });
+    }});
     return static_cast<double>(rs.makespan);
   };
   const double t1 = run_with(1);

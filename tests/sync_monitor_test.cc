@@ -44,7 +44,7 @@ TEST_P(MonitorSchemes, ProducerConsumerDeliversEverythingInOrder) {
   constexpr std::uint64_t kItems = 400;
   std::vector<std::uint64_t> received;
 
-  m.run_each({
+  m.run({.bodies = {
       // Producer.
       [&](Context& c) {
         for (std::uint64_t i = 1; i <= kItems; ++i) {
@@ -72,7 +72,7 @@ TEST_P(MonitorSchemes, ProducerConsumerDeliversEverythingInOrder) {
           c.compute(120);
         }
       },
-  });
+  }});
 
   ASSERT_EQ(received.size(), kItems);
   for (std::uint64_t i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i + 1);
@@ -116,7 +116,7 @@ TEST_P(MonitorSchemes, ManyProducersManyConsumers) {
       }
     });
   }
-  m.run_each(bodies);
+  m.run({.bodies = bodies});
 
   std::uint64_t expect = 0;
   for (int p = 0; p < 4; ++p) {
@@ -147,7 +147,7 @@ TEST(TxMonitor, TsxCondWaitDoesNotAbort) {
   TxMonitor mon(m, MonitorScheme::kTsxCond);
   CondVar cv(m);
   auto flag = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run_each({
+  RunStats rs = m.run({.bodies = {
       [&](Context& c) {
         mon.enter(c, [&](MonitorOps& ops) {
           if (flag.load(c) == 0) ops.wait(cv);
@@ -160,7 +160,7 @@ TEST(TxMonitor, TsxCondWaitDoesNotAbort) {
           ops.signal(cv);
         });
       },
-  });
+  }});
   EXPECT_EQ(rs.total().tx_aborts_total(), 0u);
   EXPECT_EQ(mon.stats().fallback_acquires, 0u);
 }
@@ -170,7 +170,7 @@ TEST(TxMonitor, TsxAbortSchemeAcquiresLockOnWait) {
   TxMonitor mon(m, MonitorScheme::kTsxAbort);
   CondVar cv(m);
   auto flag = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run_each({
+  RunStats rs = m.run({.bodies = {
       [&](Context& c) {
         mon.enter(c, [&](MonitorOps& ops) {
           if (flag.load(c) == 0) ops.wait(cv);
@@ -183,7 +183,7 @@ TEST(TxMonitor, TsxAbortSchemeAcquiresLockOnWait) {
           ops.signal(cv);
         });
       },
-  });
+  }});
   EXPECT_GT(rs.total().tx_aborted[size_t(sim::AbortCause::kExplicit)], 0u);
   EXPECT_GT(mon.stats().fallback_acquires, 0u);
 }
@@ -195,7 +195,7 @@ TEST(TxMonitor, BusyWaitSchemesNeverTouchFutex) {
     TxMonitor mon(m, s);
     CondVar cv(m);
     auto flag = Shared<std::uint64_t>::alloc(m, 0);
-    RunStats rs = m.run_each({
+    RunStats rs = m.run({.bodies = {
         [&](Context& c) {
           mon.enter(c, [&](MonitorOps& ops) {
             if (flag.load(c) == 0) ops.wait(cv);
@@ -208,7 +208,7 @@ TEST(TxMonitor, BusyWaitSchemesNeverTouchFutex) {
             ops.signal(cv);
           });
         },
-    });
+    }});
     EXPECT_EQ(rs.total().futex_waits, 0u) << to_string(s);
     EXPECT_EQ(rs.total().futex_wakes, 0u) << to_string(s);
   }
@@ -218,11 +218,11 @@ TEST(TxMonitor, MutexSchemeNeverStartsTransactions) {
   Machine m;
   TxMonitor mon(m, MonitorScheme::kMutex);
   auto x = Shared<std::uint64_t>::alloc(m, 0);
-  RunStats rs = m.run(4, [&](Context& c) {
+  RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     for (int i = 0; i < 50; ++i) {
       mon.enter(c, [&](MonitorOps&) { x.store(c, x.load(c) + 1); });
     }
-  });
+  }});
   EXPECT_EQ(rs.total().tx_started, 0u);
   EXPECT_EQ(x.peek(m), 200u);
 }

@@ -18,13 +18,14 @@ namespace {
 
 /// A small contended workload exercising elision commits, retries,
 /// fallbacks, conflicts and futex traffic — every telemetry hook fires.
-RunStats contended_run(Telemetry* tel, int threads = 4, int iters = 60) {
+RunStats contended_run(Telemetry* tel, int threads = 4, int iters = 60,
+                       std::string label = {}) {
   MachineConfig cfg;
   cfg.telemetry = tel;
   Machine m(cfg);
   sync::ElidedLock lock(m);
   auto cells = SharedArray<std::uint64_t>::alloc(m, 8, 0);
-  return m.run(threads, [&](Context& c) {
+  return m.run({.threads = threads, .body = [&](Context& c) {
     for (int i = 0; i < iters; ++i) {
       lock.critical(c, [&] {
         auto cell = cells.at((c.tid() + i) % 8);
@@ -32,7 +33,7 @@ RunStats contended_run(Telemetry* tel, int threads = 4, int iters = 60) {
         c.compute(80);
       });
     }
-  });
+  }, .label = std::move(label)});
 }
 
 TEST(Telemetry, ExportsAreByteIdenticalAcrossRuns) {
@@ -40,10 +41,8 @@ TEST(Telemetry, ExportsAreByteIdenticalAcrossRuns) {
   opt.collect_attempts = true;
   Telemetry a(opt);
   Telemetry b(opt);
-  a.set_next_run_label("golden");
-  b.set_next_run_label("golden");
-  contended_run(&a);
-  contended_run(&b);
+  contended_run(&a, 4, 60, "golden");
+  contended_run(&b, 4, 60, "golden");
   EXPECT_EQ(a.json("telemetry_test"), b.json("telemetry_test"));
   EXPECT_EQ(a.chrome_trace(), b.chrome_trace());
   // And the artifact is non-trivial: the run actually recorded something.
@@ -119,9 +118,10 @@ TEST(Telemetry, AttemptRingDropsOldestWhenFull) {
 
 TEST(Telemetry, RunLabelsAdoptAndSuffix) {
   Telemetry tel;
-  tel.set_next_run_label("sweep/t4");
-  contended_run(&tel, 2, 4);
-  contended_run(&tel, 2, 4);  // reuses the sticky label with a suffix
+  contended_run(&tel, 2, 4, "sweep/t4");
+  // Re-announcing the same label means "another run of the same region":
+  // the sticky suffixing kicks in.
+  contended_run(&tel, 2, 4, "sweep/t4");
   contended_run(&tel, 2, 4);
   ASSERT_EQ(tel.runs().size(), 3u);
   EXPECT_EQ(tel.runs()[0].label, "sweep/t4");
@@ -159,11 +159,10 @@ TEST(Telemetry, JsonAndTraceAreStructurallyValid) {
   TelemetryOptions opt;
   opt.collect_attempts = true;
   Telemetry tel(opt);
-  tel.set_next_run_label("validity");
-  contended_run(&tel);
+  contended_run(&tel, 4, 60, "validity");
   const std::string j = tel.json("telemetry_test");
   expect_balanced_json(j);
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v2\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v3\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"validity\""), std::string::npos);
   const std::string t = tel.chrome_trace();
   expect_balanced_json(t);
@@ -253,11 +252,11 @@ TEST(TraceLog, DumpToPathWritesEvents) {
   TraceLog trace;
   m.set_trace(&trace);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(1, [&](Context& c) {
+  m.run({.threads = 1, .body = [&](Context& c) {
     c.xbegin();
     cell.store(c, 1);
     c.xend();
-  });
+  }});
   m.set_trace(nullptr);
 
   const std::string path = ::testing::TempDir() + "telemetry_test_trace.txt";

@@ -22,14 +22,14 @@ TEST_P(TmBackends, CounterIsExactUnderContention) {
   auto counter = Shared<std::uint64_t>::alloc(m, 0);
   constexpr int kThreads = 8;
   constexpr int kIters = 200;
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (int i = 0; i < kIters; ++i) {
       t.atomic([&](TmAccess& tm) {
         tm.write(counter, tm.read(counter) + 1);
       });
     }
-  });
+  }});
   EXPECT_EQ(counter.peek(m), static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
@@ -47,7 +47,7 @@ TEST_P(TmBackends, LinkedListInsertionKeepsStructure) {
   for (int i = 0; i < kThreads * kPerThread; ++i) {
     node_pool.push_back(m.alloc(16));
   }
-  m.run(kThreads, [&](Context& c) {
+  m.run({.threads = kThreads, .body = [&](Context& c) {
     TmThread t(rt, c);
     sim::Xoshiro256 rng(7 + c.tid());
     for (int i = 0; i < kPerThread; ++i) {
@@ -65,7 +65,7 @@ TEST_P(TmBackends, LinkedListInsertionKeepsStructure) {
         tm.write(prev, static_cast<std::uint64_t>(node));
       });
     }
-  });
+  }});
   // Verify: sorted, and exactly kThreads*kPerThread nodes.
   int count = 0;
   std::uint64_t last = 0;
@@ -93,7 +93,7 @@ TEST(TmLib, SglSerializesDisjointRegions) {
     Machine m;
     TmRuntime rt(m, b);
     auto cells = SharedArray<std::uint64_t>::alloc(m, 4 * 8, 0);
-    RunStats rs = m.run(4, [&](Context& c) {
+    RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
       TmThread t(rt, c);
       const std::size_t idx = static_cast<std::size_t>(c.tid()) * 8;
       for (int i = 0; i < 300; ++i) {
@@ -102,7 +102,7 @@ TEST(TmLib, SglSerializesDisjointRegions) {
           tm.ctx().compute(120);
         });
       }
-    });
+    }});
     return rs.makespan;
   };
   EXPECT_GT(makespan(Backend::kSgl), 2 * makespan(Backend::kTsx));
@@ -112,7 +112,7 @@ TEST(TmLib, Tl2AbortStatsReported) {
   Machine m;
   TmRuntime rt(m, Backend::kTl2);
   auto cell = Shared<std::uint64_t>::alloc(m, 0);
-  m.run(8, [&](Context& c) {
+  m.run({.threads = 8, .body = [&](Context& c) {
     TmThread t(rt, c);
     for (int i = 0; i < 100; ++i) {
       t.atomic([&](TmAccess& tm) {
@@ -120,7 +120,7 @@ TEST(TmLib, Tl2AbortStatsReported) {
         tm.ctx().compute(200);
       });
     }
-  });
+  }});
   EXPECT_GE(rt.tl2_starts(), 800u);
   EXPECT_GT(rt.tl2_aborts(), 0u) << "8 threads on one cell must conflict";
 }
@@ -131,7 +131,7 @@ TEST(TmLib, TsxSingleThreadOverheadIsSmall) {
     Machine m;
     TmRuntime rt(m, b);
     auto cells = SharedArray<std::uint64_t>::alloc(m, 512, 0);
-    RunStats rs = m.run(1, [&](Context& c) {
+    RunStats rs = m.run({.threads = 1, .body = [&](Context& c) {
       TmThread t(rt, c);
       for (int i = 0; i < 200; ++i) {
         t.atomic([&](TmAccess& tm) {
@@ -141,7 +141,7 @@ TEST(TmLib, TsxSingleThreadOverheadIsSmall) {
           }
         });
       }
-    });
+    }});
     return static_cast<double>(rs.makespan);
   };
   const double sgl = makespan(Backend::kSgl);
