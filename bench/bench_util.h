@@ -18,8 +18,8 @@
 namespace tsxhpc::bench {
 
 /// Shared bench I/O: declares the flags every bench supports (--quick,
-/// --report, --json=, --trace=, --backend=), owns the Telemetry collector,
-/// and writes the artifacts at exit. Bench-specific flags are declared on
+/// --report, --json=, --trace=, --backend=, --policy=), owns the Telemetry
+/// collector, and writes the artifacts at exit. Bench-specific flags are declared on
 /// args() between construction and parse().
 ///
 ///   int main(int argc, char** argv) {
@@ -60,6 +60,10 @@ class BenchIo {
                      "execution backend: fiber or thread (default: fiber, or "
                      "$TSXHPC_BACKEND)",
                      &backend_name_);
+    args_.add_string("policy",
+                     "elision retry/backoff/fallback policy: paper, no-hint, "
+                     "expo-backoff or adaptive-site (default: paper)",
+                     &policy_name_);
     args_.add_bool("cli-markdown",
                    "print the flag table as markdown and exit (the "
                    "EXPERIMENTS.md CLI reference is generated from this)",
@@ -95,6 +99,13 @@ class BenchIo {
                  "' (expected fiber or thread)");
       return false;
     }
+    if (!policy_name_.empty() &&
+        !sim::tx_policy_from_string(policy_name_, tx_policy_)) {
+      args_.fail("bad value for '--policy': '" + policy_name_ +
+                 "' (expected paper, no-hint, expo-backoff or "
+                 "adaptive-site)");
+      return false;
+    }
     if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
@@ -111,6 +122,7 @@ class BenchIo {
   void apply(sim::MachineConfig& mc) {
     mc.telemetry = telemetry_.get();
     mc.backend = backend_;
+    mc.tx_policy = tx_policy_;
     if (l1_bytes_ != 0) mc.l1_bytes = static_cast<std::uint32_t>(l1_bytes_);
     if (l1_ways_ != 0) mc.l1_ways = static_cast<std::uint32_t>(l1_ways_);
     if (llc_bytes_ != 0) mc.llc_bytes = static_cast<std::uint32_t>(llc_bytes_);
@@ -119,6 +131,7 @@ class BenchIo {
 
   bool quick() const { return quick_; }
   sim::BackendKind backend() const { return backend_; }
+  sim::TxPolicyKind tx_policy() const { return tx_policy_; }
   const std::string& bench_name() const { return bench_name_; }
 
   /// Null unless --json or --trace was given. Assign to
@@ -176,11 +189,13 @@ class BenchIo {
   std::string json_path_;
   std::string trace_path_;
   std::string backend_name_;
+  std::string policy_name_;
   std::size_t l1_bytes_ = 0;
   std::size_t l1_ways_ = 0;
   std::size_t llc_bytes_ = 0;
   std::size_t llc_ways_ = 0;
   sim::BackendKind backend_ = sim::default_backend();
+  sim::TxPolicyKind tx_policy_ = sim::TxPolicyKind::kPaper;
   std::unique_ptr<sim::Telemetry> telemetry_;
 };
 

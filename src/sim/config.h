@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "sim/backend.h"
 #include "sim/types.h"
@@ -25,6 +26,38 @@ enum class Affinity {
   kSpreadCores,  // fill distinct cores first (the paper's policy)
   kPackCores,    // fill HyperThread siblings first (for SMT ablations)
 };
+
+/// Which retry/backoff/fallback brain the elided primitives use
+/// (sync::make_tx_policy). Lives on the machine config so one `--policy=`
+/// flag reaches every ElidedLock/ElidedLockSet/TxMonitor a workload builds,
+/// the same way the telemetry sink and backend do.
+enum class TxPolicyKind : std::uint8_t {
+  kPaper,         // Section 3 handler, bit-for-bit the pre-seam behaviour
+  kNoHint,        // ignore the abort-status retry hint
+  kExpoBackoff,   // exponential conflict backoff + deterministic jitter
+  kAdaptiveSite,  // glibc-style per-site skip, doubling windows, all kinds
+};
+
+inline const char* to_string(TxPolicyKind kind) {
+  switch (kind) {
+    case TxPolicyKind::kPaper: return "paper";
+    case TxPolicyKind::kNoHint: return "no-hint";
+    case TxPolicyKind::kExpoBackoff: return "expo-backoff";
+    case TxPolicyKind::kAdaptiveSite: return "adaptive-site";
+  }
+  return "?";
+}
+
+/// Parse a `--policy=` value; returns false (leaving `out` untouched) on an
+/// unknown name so callers can print the valid set.
+inline bool tx_policy_from_string(const std::string& s, TxPolicyKind& out) {
+  if (s == "paper") out = TxPolicyKind::kPaper;
+  else if (s == "no-hint") out = TxPolicyKind::kNoHint;
+  else if (s == "expo-backoff") out = TxPolicyKind::kExpoBackoff;
+  else if (s == "adaptive-site") out = TxPolicyKind::kAdaptiveSite;
+  else return false;
+  return true;
+}
 
 struct MachineConfig {
   // --- Topology -----------------------------------------------------------
@@ -121,6 +154,11 @@ struct MachineConfig {
   /// interleavings, telemetry and makespans; only host wall-clock differs.
   /// The process-wide default honours TSXHPC_BACKEND=fiber|thread.
   BackendKind backend = default_backend();
+  /// Retry/backoff/fallback policy for every elided primitive built over
+  /// this machine (the benches' --policy= flag). The knob selects the
+  /// *brain* (sync::TxPolicy); the per-primitive numbers still come from
+  /// each workload's sync::ElisionPolicy.
+  TxPolicyKind tx_policy = TxPolicyKind::kPaper;
   /// Stack bytes per fiber (fiber backend only). Fibers do not grow their
   /// stacks on demand the way OS threads do; raise this for workloads with
   /// deep recursion.

@@ -62,6 +62,20 @@ void Context::yield() {
   m_.engine()->yield_point(tid_);
 }
 
+void Context::tx_backoff(Cycles cycles) {
+  check_doom();
+  if (m_.mem().in_tx(tid_)) {
+    throw SimError("tx_backoff inside a transaction");
+  }
+  if (cycles == 0) return;
+  m_.engine()->advance(tid_, cycles);
+  // Bypasses charge()'s scope rerouting on purpose: backoff is abort waste
+  // even when a lock-wait scope happens to be open.
+  stats().cycles_by_bucket[static_cast<std::size_t>(CycleBucket::kTxWasted)] +=
+      cycles;
+  stats().backoff_cycles += cycles;
+}
+
 void Context::tx_account_start() {
   tx_start_clock_ = now();
   if (TraceLog* t = m_.trace()) {

@@ -58,6 +58,13 @@ class Context {
   /// Lines currently in the transactional read+write sets (testing hook).
   std::size_t txn_footprint_lines() const;
 
+  /// Inter-retry backoff charged by the elision policy after an abort.
+  /// Advances virtual time like compute(), but books the cycles into the
+  /// kTxWasted bucket (and the backoff_cycles sub-counter): the delay exists
+  /// only because a transaction aborted, so it is abort waste, not work or
+  /// lock-hold contention. Must be called outside any transaction.
+  void tx_backoff(Cycles cycles);
+
   // --- Kernel interaction ---------------------------------------------------
   /// Any system call. Inside a transaction this aborts it (Section 2:
   /// "instructions that may always abort (e.g., system calls)").

@@ -184,6 +184,27 @@ void render_locks(std::string& out, const JsonValue& run) {
             static_cast<unsigned long long>(l["tx_cycles_wasted"].as_u64()),
             static_cast<unsigned long long>(l["fallback_hold_cycles"].as_u64()),
             static_cast<unsigned long long>(l["wait_cycles"].as_u64()));
+    // TxPolicy decision counts (schema v4+; older artifacts lack the key).
+    // Only render sites the policy actually touched, so plain spin/futex
+    // rows stay one line.
+    const JsonValue& pd = l["policy"];
+    if (pd.is_object()) {
+      std::uint64_t total = 0;
+      for (const char* k :
+           {"retries", "backoffs", "lock_waits", "fallbacks", "skips"}) {
+        total += pd[k].as_u64();
+      }
+      if (total > 0) {
+        appendf(out,
+                "      policy: retries=%llu backoffs=%llu lock-waits=%llu "
+                "fallbacks=%llu skips=%llu\n",
+                static_cast<unsigned long long>(pd["retries"].as_u64()),
+                static_cast<unsigned long long>(pd["backoffs"].as_u64()),
+                static_cast<unsigned long long>(pd["lock_waits"].as_u64()),
+                static_cast<unsigned long long>(pd["fallbacks"].as_u64()),
+                static_cast<unsigned long long>(pd["skips"].as_u64()));
+      }
+    }
   }
 }
 

@@ -50,6 +50,10 @@ struct ThreadStats {
   // cycles spent inside regions that eventually committed vs. aborted.
   Cycles tx_cycles_committed = 0;
   Cycles tx_cycles_wasted = 0;
+  /// Inter-retry backoff charged by the elision policy (Context::tx_backoff).
+  /// A sub-counter of the kTxWasted bucket: backoff is time lost *because* a
+  /// transaction aborted, not lock-hold contention, so it books as waste.
+  Cycles backoff_cycles = 0;
 
   // Full cycle accounting: every clock advance lands in exactly one bucket,
   // so the buckets sum to end_cycle (see CycleBucket).
@@ -135,6 +139,7 @@ struct RunStats {
       t.tx_doomed_by_remote += s.tx_doomed_by_remote;
       t.tx_cycles_committed += s.tx_cycles_committed;
       t.tx_cycles_wasted += s.tx_cycles_wasted;
+      t.backoff_cycles += s.backoff_cycles;
       for (size_t i = 0; i < t.cycles_by_bucket.size(); ++i)
         t.cycles_by_bucket[i] += s.cycles_by_bucket[i];
       t.mem_accesses += s.mem_accesses;

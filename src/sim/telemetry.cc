@@ -15,6 +15,19 @@ const char* to_string(LockKind k) {
     case LockKind::kElided: return "elided";
     case LockKind::kHle: return "hle";
     case LockKind::kLockset: return "lockset";
+    case LockKind::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+const char* to_string(PolicyDecision d) {
+  switch (d) {
+    case PolicyDecision::kRetry: return "retries";
+    case PolicyDecision::kBackoff: return "backoffs";
+    case PolicyDecision::kLockWait: return "lock_waits";
+    case PolicyDecision::kFallback: return "fallbacks";
+    case PolicyDecision::kSkip: return "skips";
+    case PolicyDecision::kNumDecisions: break;
   }
   return "?";
 }
@@ -252,6 +265,15 @@ void Telemetry::section_fallback(ThreadId tid, Cycles acquired_at,
   push_attempt(*r, rec);
 }
 
+void Telemetry::policy_decision(ThreadId tid, PolicyDecision d) {
+  RunRecord* r = cur();
+  if (!r) return;
+  OpenSection& sec = open_sections_[static_cast<std::size_t>(tid)];
+  if (!sec.open) return;
+  site_stats(*r, sec.site, sec.kind)
+      .policy_decisions[static_cast<std::size_t>(d)]++;
+}
+
 void Telemetry::on_lock_acquired(Addr site, LockKind kind, ThreadId tid,
                                  Cycles wait_start, Cycles now,
                                  bool contended) {
@@ -376,6 +398,9 @@ void write_counter_block(JsonWriter& w, const ThreadStats& t) {
   }
   w.kv("total", t.cycles_total());
   w.end_object();
+  // Policy backoff is a sub-counter of the tx_wasted bucket (v4):
+  // backoff_cycles <= cycles.tx_wasted always.
+  w.kv("backoff_cycles", t.backoff_cycles);
   w.key("mem_stall_levels");
   w.begin_object();
   // kL1 is usually zero (the hit latency is all work) but not structurally
@@ -426,7 +451,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v3");
+  w.kv("schema", "tsxhpc-telemetry-v4");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -514,6 +539,17 @@ std::string Telemetry::json(const std::string& bench_name) const {
            i < static_cast<std::size_t>(AbortCause::kNumCauses); ++i) {
         if (ls.aborts_by_cause[i] == 0) continue;
         w.kv(to_string(static_cast<AbortCause>(i)), ls.aborts_by_cause[i]);
+      }
+      w.end_object();
+      // TxPolicy decision counts (v4). Reconciliation invariants:
+      // retries+backoffs+lock_waits+fallbacks == tx_aborts, and
+      // fallbacks+skips == fallback_acquires (elided-family sites).
+      w.key("policy");
+      w.begin_object();
+      for (std::size_t i = 0;
+           i < static_cast<std::size_t>(PolicyDecision::kNumDecisions); ++i) {
+        w.kv(to_string(static_cast<PolicyDecision>(i)),
+             ls.policy_decisions[i]);
       }
       w.end_object();
       w.end_object();

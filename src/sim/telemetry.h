@@ -50,9 +50,25 @@ enum class LockKind : std::uint8_t {
   kElided,
   kHle,
   kLockset,
+  kMonitor,
 };
 
 const char* to_string(LockKind k);
+
+/// How a TxPolicy (sync/policy.h) resolved one policy consultation inside an
+/// elided section. Aborts map 1:1 to decisions, so the per-site counts
+/// reconcile with the attempt chains: retries+backoffs+lock_waits+fallbacks
+/// == tx_aborts, and fallbacks+skips == fallback_acquires (CI asserts both).
+enum class PolicyDecision : std::uint8_t {
+  kRetry,     // retry immediately
+  kBackoff,   // backoff cycles charged, then retry
+  kLockWait,  // waited for the subscribed lock word(s), then retried
+  kFallback,  // the decision ended the section: acquire the lock for real
+  kSkip,      // should_attempt declined — no transactional attempt at all
+  kNumDecisions,
+};
+
+const char* to_string(PolicyDecision d);
 
 struct TelemetryOptions {
   /// Initial virtual-time sampling interval. When a run outgrows
@@ -137,6 +153,17 @@ struct LockSiteStats {
   Cycles tx_cycles_committed = 0;
   Cycles tx_cycles_wasted = 0;
   Cycles fallback_hold_cycles = 0;
+  // TxPolicy consultations for sections on this site, by outcome (schema
+  // v4; see PolicyDecision for the reconciliation invariants).
+  std::array<std::uint64_t,
+             static_cast<size_t>(PolicyDecision::kNumDecisions)>
+      policy_decisions{};
+
+  std::uint64_t policy_decisions_total() const {
+    std::uint64_t n = 0;
+    for (auto d : policy_decisions) n += d;
+    return n;
+  }
 
   double elision_rate() const {
     const double total =
@@ -277,6 +304,11 @@ class Telemetry {
   /// [acquired_at, released_at].
   void section_fallback(ThreadId tid, Cycles acquired_at, Cycles released_at);
 
+  /// The TxPolicy resolved one consultation for `tid`'s open section.
+  /// Attributed to that section's site; dropped when no section is open
+  /// (e.g. a lockset over zero locks).
+  void policy_decision(ThreadId tid, PolicyDecision d);
+
   /// A real lock acquisition completed (wait began at `wait_start`).
   void on_lock_acquired(Addr site, LockKind kind, ThreadId tid,
                         Cycles wait_start, Cycles now, bool contended);
@@ -305,7 +337,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v3), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v4), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices

@@ -4,69 +4,26 @@
 // The elision wrapper executes a critical section transactionally. The lock
 // word is read ("subscribed") inside the transaction and the section aborts
 // if the lock is held, guaranteeing correct interaction with threads that
-// acquired the lock explicitly. On abort, a policy decides between retrying
-// transactionally and falling back to a real acquisition; the paper found 5
-// retries best on its hardware and workloads, which is our default.
+// acquired the lock explicitly. On abort, the machine's TxPolicy (see
+// sync/policy.h) decides between retrying transactionally and falling back to
+// a real acquisition; the paper found 5 retries best on its hardware and
+// workloads, which is our default. The wrapper here only *executes* the
+// decisions — spins on its own lock words, charges backoff through
+// Context::tx_backoff — so cycle accounting stays in the primitive.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/context.h"
 #include "sync/locks.h"
+#include "sync/policy.h"
 
 namespace tsxhpc::sync {
-
-/// XABORT code used when the subscribed lock word is observed held.
-inline constexpr std::uint8_t kAbortCodeLockBusy = 0xFF;
-
-/// Fallback policy knobs.
-struct ElisionPolicy {
-  /// Transactional attempts before explicitly acquiring the lock.
-  int max_retries = 5;
-  /// Wait for the lock to become free before retrying after a lock-busy
-  /// abort (avoids the lemming effect: immediately re-eliding while the
-  /// lock is held just aborts again).
-  bool spin_until_free = true;
-  /// Aborts whose cause cannot succeed on retry (capacity, syscall,
-  /// nesting) skip the remaining attempts — the analogue of the hardware
-  /// abort-status "retry" hint bit being clear.
-  bool honor_retry_hint = true;
-  /// Backoff between transactional retries after a conflict abort.
-  Cycles conflict_backoff = 120;
-  /// Adaptive elision (glibc-style skip_lock_internal_abort): once
-  /// `adaptive_trigger` CONSECUTIVE sections end in capacity/syscall-driven
-  /// fallbacks, skip elision for `adaptive_skip` sections, doubling the
-  /// holiday (capped at 128) while the condition persists. Structurally
-  /// hopeless sections (labyrinth's over-capacity copies) degenerate to
-  /// plain locking; workloads whose sections only *sometimes* overflow
-  /// (vacation) keep eliding the ones that fit.
-  int adaptive_skip = 4;
-  int adaptive_trigger = 4;
-};
-
-/// Whether the hardware would set the "retry may succeed" status bit.
-/// Conflicts are transient, and so are secondary-read-tracker losses (the
-/// loss depends on incidental cache state, which differs on retry) — this
-/// is why the paper's retry-5 policy pays off on vacation despite its
-/// 38-52% abort rates. Write-set overflow, syscalls and nesting overflow
-/// fail deterministically and clear the hint.
-inline bool retry_may_succeed(sim::AbortCause cause) {
-  return cause == sim::AbortCause::kConflict ||
-         cause == sim::AbortCause::kCapacityRead;
-}
-
-/// Capacity-class causes: even when individually retryable, a section that
-/// keeps dying of these is structurally oversized and should trigger the
-/// adaptive elision holiday.
-inline bool is_capacity_class(sim::AbortCause cause) {
-  return cause == sim::AbortCause::kCapacityWrite ||
-         cause == sim::AbortCause::kCapacityRead ||
-         cause == sim::AbortCause::kSyscall ||
-         cause == sim::AbortCause::kNesting;
-}
 
 /// Per-lock elision statistics (host-side: simulated threads are serialized
 /// by the scheduler token, so plain integers are race-free).
@@ -87,7 +44,8 @@ class ElidedLock {
  public:
   ElidedLock() = default;
   explicit ElidedLock(Machine& m, ElisionPolicy policy = {})
-      : lock_(m), policy_(policy), skip_base_(policy.adaptive_skip) {}
+      : lock_(m), policy_(policy),
+        brain_(make_tx_policy(m.config().tx_policy, policy, kTraits)) {}
 
   /// Execute `f` as an elided critical section.
   ///
@@ -106,68 +64,40 @@ class ElidedLock {
       c.xend();
       return;
     }
+    TxPolicy& brain = this->brain(c);
+    const sim::Addr site = lock_.word().addr();
     sim::Telemetry* tel = c.machine().telemetry();
-    if (tel) {
-      tel->section_enter(c.tid(), lock_.word().addr(),
-                         sim::LockKind::kElided);
-    }
-    if (skip_elision_ > 0) {
-      // Adaptive phase: this lock recently failed to elide; take it.
-      skip_elision_--;
+    if (tel) tel->section_enter(c.tid(), site, sim::LockKind::kElided);
+    if (!brain.should_attempt(site, c.tid())) {
+      // Adaptive phase (or a zero retry budget): elision recently failed
+      // here; take the lock. The policy is NOT notified of this fallback —
+      // skipped sections carry no evidence about whether elision works.
+      if (tel) tel->policy_decision(c.tid(), sim::PolicyDecision::kSkip);
       stats_.fallback_acquires++;
-      lock_.acquire(c);
-      const Cycles t_acq = tel ? c.now() : 0;
-      {
-        Context::FallbackScope serialized(c);
-        f();
-      }
-      const Cycles t_rel = tel ? c.now() : 0;
-      lock_.release(c);
-      if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
+      run_fallback(c, tel, f);
       return;
     }
-    bool saw_hard_abort = false;   // capacity/syscall: elision is hopeless
-    int capacity_aborts_here = 0;  // per-section capacity-class abort count
-    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+    for (int attempt = 0;; ++attempt) {
       try {
         c.xbegin();
         if (lock_.word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
         f();
         c.xend();
         stats_.elided_commits++;
-        skip_base_ = policy_.adaptive_skip;  // elision works again: forgive
-        consecutive_hard_fallbacks_ = 0;
+        brain.on_commit(site);
         if (tel) tel->section_commit(c.tid());
         return;
       } catch (const sim::TxAbort& a) {
         stats_.aborts++;
-        if (is_capacity_class(a.cause)) {
-          saw_hard_abort = true;
-          // A capacity-class abort may be incidental (secondary-tracker
-          // loss) — worth ONE more try — but two in the same section means
-          // the footprint itself is the problem: stop wasting work.
-          if (++capacity_aborts_here >= 2) break;
-        }
-        if (!handle_abort(c, a)) break;
+        const TxDecision d = brain.on_abort(site, c.tid(), a, attempt);
+        if (tel) tel->policy_decision(c.tid(), classify(d));
+        perform(c, d);
+        if (!d.retry) break;
       }
     }
     stats_.fallback_acquires++;
-    if (saw_hard_abort &&
-        ++consecutive_hard_fallbacks_ >= policy_.adaptive_trigger) {
-      // Elision looks structurally hopeless here (footprint, syscalls):
-      // take a holiday, doubling it while the condition persists.
-      skip_elision_ = skip_base_;
-      if (skip_base_ < 128) skip_base_ *= 2;
-    }
-    lock_.acquire(c);
-    const Cycles t_acq = tel ? c.now() : 0;
-    {
-      Context::FallbackScope serialized(c);
-      f();
-    }
-    const Cycles t_rel = tel ? c.now() : 0;
-    lock_.release(c);
-    if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
+    brain.on_fallback(site, c.tid());
+    run_fallback(c, tel, f);
   }
 
   /// Explicit (non-transactional) acquisition, for code that needs the lock
@@ -186,31 +116,55 @@ class ElidedLock {
  private:
   friend class ElidedLockSet;
 
-  /// Returns true if another transactional attempt should be made.
-  bool handle_abort(Context& c, const sim::TxAbort& a) {
-    if (a.cause == sim::AbortCause::kExplicit && a.code == kAbortCodeLockBusy) {
-      if (policy_.spin_until_free) {
+  // ElidedLock is the only primitive with the full Section-3 handler:
+  // adaptive skip and the two-strikes capacity break.
+  static constexpr TxSiteTraits kTraits{/*adaptive=*/true,
+                                        /*capacity_break=*/true};
+
+  TxPolicy& brain(Context& c) {
+    // Default-constructed locks have no Machine until first use; bind the
+    // brain to the machine the first critical section runs on.
+    if (!brain_) {
+      brain_ = make_tx_policy(c.machine().config().tx_policy, policy_,
+                              kTraits);
+    }
+    return *brain_;
+  }
+
+  /// Execute the delay a decision asks for (the policy decides, we spin on
+  /// OUR lock word / charge OUR context — see file comment).
+  void perform(Context& c, const TxDecision& d) {
+    switch (d.action) {
+      case TxDecision::Action::kWaitForLock: {
         Context::LockWaitScope wait(c);
         while (lock_.word().load(c) != 0) c.compute(80);
+        break;
       }
-      return true;
+      case TxDecision::Action::kBackoff:
+        c.tx_backoff(d.backoff);
+        break;
+      case TxDecision::Action::kNone:
+        break;
     }
-    if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) return false;
+  }
+
+  template <typename F>
+  void run_fallback(Context& c, sim::Telemetry* tel, F&& f) {
+    lock_.acquire(c);
+    const Cycles t_acq = tel ? c.now() : 0;
     {
-      Context::LockWaitScope wait(c);
-      c.compute(policy_.conflict_backoff);
+      Context::FallbackScope serialized(c);
+      f();
     }
-    return true;
+    const Cycles t_rel = tel ? c.now() : 0;
+    lock_.release(c);
+    if (tel) tel->section_fallback(c.tid(), t_acq, t_rel);
   }
 
   SpinLock lock_;
   ElisionPolicy policy_;
   ElisionStats stats_;
-  // Host-side adaptive-skip state (simulated threads are serialized by
-  // the scheduler token, so plain ints are race-free).
-  int skip_elision_ = 0;
-  int skip_base_ = 4;
-  int consecutive_hard_fallbacks_ = 0;
+  std::shared_ptr<TxPolicy> brain_;
 };
 
 /// Lockset elision (Section 5.2.1): replace the acquisition of a *set* of
@@ -235,16 +189,35 @@ class ElidedLockSet {
   const ElisionStats& stats() const { return stats_; }
 
  private:
+  // Pre-seam lockset elision ran neither the adaptive skip nor the capacity
+  // break (a set shares one retry loop across many object pairs, so
+  // per-section strikes say little about the site).
+  static constexpr TxSiteTraits kTraits{/*adaptive=*/false,
+                                        /*capacity_break=*/false};
+
+  TxPolicy& brain(Context& c) {
+    if (!brain_) {
+      brain_ = make_tx_policy(c.machine().config().tx_policy, policy_,
+                              kTraits);
+    }
+    return *brain_;
+  }
+
   template <typename F>
   void critical_impl(Context& c, std::vector<SpinLock*> locks, F&& f) {
+    TxPolicy& brain = this->brain(c);
+    // The set is identified by its first named lock (pre-sort, so the
+    // caller's primary lock names the site).
+    const sim::Addr site =
+        locks.empty() ? sim::kNullAddr : (*locks.begin())->word().addr();
     sim::Telemetry* tel = c.machine().telemetry();
-    if (tel && !locks.empty()) {
-      // The set is identified by its first named lock (pre-sort, so the
-      // caller's primary lock names the site).
-      tel->section_enter(c.tid(), (*locks.begin())->word().addr(),
-                         sim::LockKind::kLockset);
+    const bool report = tel && !locks.empty();
+    if (report) tel->section_enter(c.tid(), site, sim::LockKind::kLockset);
+    bool elide = brain.should_attempt(site, c.tid());
+    if (!elide && report) {
+      tel->policy_decision(c.tid(), sim::PolicyDecision::kSkip);
     }
-    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+    for (int attempt = 0; elide; ++attempt) {
       try {
         c.xbegin();
         // A single transactional begin subscribes every lock in the set —
@@ -256,25 +229,28 @@ class ElidedLockSet {
         f();
         c.xend();
         stats_.elided_commits++;
-        if (tel && !locks.empty()) tel->section_commit(c.tid());
+        brain.on_commit(site);
+        if (report) tel->section_commit(c.tid());
         return;
       } catch (const sim::TxAbort& a) {
         stats_.aborts++;
-        if (a.cause == sim::AbortCause::kExplicit &&
-            a.code == kAbortCodeLockBusy) {
-          if (policy_.spin_until_free) {
+        const TxDecision d = brain.on_abort(site, c.tid(), a, attempt);
+        if (report) tel->policy_decision(c.tid(), classify(d));
+        switch (d.action) {
+          case TxDecision::Action::kWaitForLock: {
             Context::LockWaitScope wait(c);
             for (SpinLock* l : locks) {
               while (l->word().load(c) != 0) c.compute(80);
             }
+            break;
           }
-          continue;
+          case TxDecision::Action::kBackoff:
+            c.tx_backoff(d.backoff);
+            break;
+          case TxDecision::Action::kNone:
+            break;
         }
-        if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
-        {
-          Context::LockWaitScope wait(c);
-          c.compute(policy_.conflict_backoff);
-        }
+        if (!d.retry) break;
       }
     }
     // Fallback: acquire all locks in canonical order. Deduplicate first —
@@ -282,6 +258,7 @@ class ElidedLockSet {
     // an object) may name the same lock twice, and acquiring a lock twice
     // would self-deadlock.
     stats_.fallback_acquires++;
+    if (elide) brain.on_fallback(site, c.tid());
     std::sort(locks.begin(), locks.end(),
               [](const SpinLock* a, const SpinLock* b) {
                 return a->word().addr() < b->word().addr();
@@ -297,11 +274,12 @@ class ElidedLockSet {
     for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
       (*it)->release(c);
     }
-    if (tel && !locks.empty()) tel->section_fallback(c.tid(), t_acq, t_rel);
+    if (report) tel->section_fallback(c.tid(), t_acq, t_rel);
   }
 
   ElisionPolicy policy_;
   ElisionStats stats_;
+  std::shared_ptr<TxPolicy> brain_;
 };
 
 }  // namespace tsxhpc::sync

@@ -10,10 +10,16 @@
 // behaviour of the first TSX parts); on a second failure the lock is
 // acquired for real. That fixed policy is exactly why the paper's library
 // uses the more flexible RTM interface (Section 3).
+//
+// Accordingly this lock is NOT a TxPolicy consumer: the hardwired
+// try-once-then-acquire below models hardware behaviour, so --policy= has no
+// effect on it (policy.h only supplies the shared abort-classification
+// helpers and the lock-busy code).
 #pragma once
 
 #include "sim/context.h"
 #include "sync/locks.h"
+#include "sync/policy.h"
 
 namespace tsxhpc::sync {
 

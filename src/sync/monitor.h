@@ -114,7 +114,8 @@ class TxMonitor {
       : scheme_(scheme),
         policy_(policy),
         busy_wait_spin_(busy_wait_spin),
-        mutex_(m) {}
+        mutex_(m),
+        brain_(make_tx_policy(m.config().tx_policy, policy, kTraits)) {}
 
   MonitorScheme scheme() const { return scheme_; }
   const ElisionStats& stats() const { return stats_; }
@@ -134,12 +135,29 @@ class TxMonitor {
  private:
   friend class MonitorOps;
 
+  // The monitor predates the adaptive skip and the per-section capacity
+  // break (its wait-restart loop would make consecutive-section counting
+  // meaningless); the paper policy preserves that.
+  static constexpr TxSiteTraits kTraits{/*adaptive=*/false,
+                                        /*capacity_break=*/false};
+
+  TxPolicy& brain(Context& c) {
+    if (!brain_) {
+      brain_ = make_tx_policy(c.machine().config().tx_policy, policy_,
+                              kTraits);
+    }
+    return *brain_;
+  }
+
   /// One attempt under the real lock. Returns true when the body completed
   /// (false: it waited and must restart). `fallback` marks attempts that
-  /// serialize after failed elision, for cycle accounting.
+  /// serialize after failed elision, for cycle accounting (and closes the
+  /// open telemetry section as a fallback slice).
   template <typename F>
   bool run_locked(Context& c, F& body, bool fallback = false) {
+    sim::Telemetry* tel = fallback ? c.machine().telemetry() : nullptr;
     mutex_.acquire(c);
+    const Cycles t_acq = tel ? c.now() : 0;
     try {
       MonitorOps ops(*this, c, /*transactional=*/false);
       if (fallback) {
@@ -148,9 +166,11 @@ class TxMonitor {
       } else {
         body(ops);
       }
+      if (tel) tel->section_fallback(c.tid(), t_acq, c.now());
       mutex_.release(c);
       return true;
     } catch (const detail::WaitToken& w) {
+      if (tel) tel->section_fallback(c.tid(), t_acq, c.now());
       mutex_.release(c);
       do_wait(c, w);
       return false;
@@ -161,7 +181,16 @@ class TxMonitor {
   /// completed, false when it waited (restart required).
   template <typename F>
   bool run_transactional(Context& c, F& body) {
-    for (int attempt = 0; attempt < policy_.max_retries; ++attempt) {
+    TxPolicy& brain = this->brain(c);
+    const sim::Addr site = mutex_.word().addr();
+    sim::Telemetry* tel = c.machine().telemetry();
+    if (tel) tel->section_enter(c.tid(), site, sim::LockKind::kMonitor);
+    if (!brain.should_attempt(site, c.tid())) {
+      if (tel) tel->policy_decision(c.tid(), sim::PolicyDecision::kSkip);
+      stats_.fallback_acquires++;
+      return run_locked(c, body, /*fallback=*/true);
+    }
+    for (int attempt = 0;; ++attempt) {
       try {
         c.xbegin();
         if (mutex_.word().load(c) != 0) c.xabort(kAbortCodeLockBusy);
@@ -169,44 +198,56 @@ class TxMonitor {
         body(ops);
         c.xend();
         stats_.elided_commits++;
+        brain.on_commit(site);
+        if (tel) tel->section_commit(c.tid());
         flush_signals(c, ops);
         return true;
       } catch (const detail::WaitToken& w) {
         // kTsxCond / kTsxBusyWait: wait() committed the (read-only) prefix
         // before throwing; we are no longer transactional.
         stats_.elided_commits++;
+        brain.on_commit(site);
+        if (tel) tel->section_commit(c.tid());
         do_wait(c, w);
         return false;
       } catch (const sim::TxAbort& a) {
         // Deferred signals die with the aborted attempt: each attempt owns
         // its MonitorOps instance, so nothing to clean up here.
         stats_.aborts++;
-        if (a.cause == sim::AbortCause::kExplicit) {
-          if (a.code == kAbortCodeCondVar) {
-            // kTsxAbort uses the paper's *generic* Section 3 retry policy:
-            // the fallback handler counts failed attempts without decoding
-            // the abort reason, so a condition-variable abort is retried
-            // like any other — re-executing the whole section and aborting
-            // again, up to max_retries. This wasted work is precisely why
-            // tsx.abort "drops drastically on netferret" (Section 6.2).
-            continue;
-          }
-          if (a.code == kAbortCodeLockBusy) {
-            if (policy_.spin_until_free) {
-              Context::LockWaitScope wait(c);
-              while (mutex_.word().load(c) != 0) c.compute(80);
-            }
-            continue;
-          }
+        TxDecision d;
+        if (a.cause == sim::AbortCause::kExplicit &&
+            a.code == kAbortCodeCondVar) {
+          // kTsxAbort uses the paper's *generic* Section 3 retry policy:
+          // the fallback handler counts failed attempts without decoding
+          // the abort reason, so a condition-variable abort is retried
+          // like any other — re-executing the whole section and aborting
+          // again, up to the attempt budget. This wasted work is precisely
+          // why tsx.abort "drops drastically on netferret" (Section 6.2).
+          // Monitor semantics, not retry policy: decided here, but it still
+          // burns an attempt and is recorded as a decision so the per-site
+          // counts keep reconciling with tx_aborts.
+          d = TxDecision::Retry(attempt + 1 < brain.max_attempts());
+        } else {
+          d = brain.on_abort(site, c.tid(), a, attempt);
         }
-        if (policy_.honor_retry_hint && !retry_may_succeed(a.cause)) break;
-        {
-          Context::LockWaitScope wait(c);
-          c.compute(policy_.conflict_backoff);
+        if (tel) tel->policy_decision(c.tid(), classify(d));
+        switch (d.action) {
+          case TxDecision::Action::kWaitForLock: {
+            Context::LockWaitScope wait(c);
+            while (mutex_.word().load(c) != 0) c.compute(80);
+            break;
+          }
+          case TxDecision::Action::kBackoff:
+            c.tx_backoff(d.backoff);
+            break;
+          case TxDecision::Action::kNone:
+            break;
         }
+        if (!d.retry) break;
       }
     }
     stats_.fallback_acquires++;
+    brain.on_fallback(site, c.tid());
     return run_locked(c, body, /*fallback=*/true);
   }
 
@@ -227,6 +268,7 @@ class TxMonitor {
   Cycles busy_wait_spin_ = 400;
   FutexMutex mutex_;
   ElisionStats stats_;
+  std::shared_ptr<TxPolicy> brain_;
 };
 
 inline void MonitorOps::wait(CondVar& cv) {

@@ -42,6 +42,9 @@ class Lock {
 };
 
 /// #pragma omp critical — one process-wide named lock, optionally elided.
+/// Elided sections delegate to ElidedLock::critical, so the shim consumes
+/// the machine's TxPolicy (retry/backoff/fallback and the adaptive skip)
+/// through that one path — it has no retry loop of its own.
 class Critical {
  public:
   Critical() = default;

@@ -66,6 +66,52 @@ TEST(OmpShim, CriticalMutualExclusion) {
   }
 }
 
+TEST(OmpShim, CriticalConsumesTheMachineTxPolicy) {
+  // The shim has no retry loop of its own: elided criticals delegate to
+  // ElidedLock, which takes its abort/retry/fallback decisions from the
+  // machine-selected TxPolicy. Drive every policy through a workload with
+  // conflicts (retries), an over-capacity section (fallback), and enough
+  // repetitions for the adaptive machinery to engage.
+  sim::Cycles paper_span = 0;
+  for (sim::TxPolicyKind kind :
+       {sim::TxPolicyKind::kPaper, sim::TxPolicyKind::kNoHint,
+        sim::TxPolicyKind::kExpoBackoff, sim::TxPolicyKind::kAdaptiveSite}) {
+    sim::MachineConfig mc;
+    mc.tx_policy = kind;
+    Machine m(mc);
+    Critical crit(m, /*elide=*/true);
+    auto counter = Shared<std::uint64_t>::alloc(m, 0);
+    const auto& cfg = m.config();
+    const std::size_t lines = cfg.l1_ways + 2;
+    const std::size_t stride = cfg.l1_sets() * cfg.line_bytes;
+    sim::Addr big = m.alloc(stride * lines, 64);
+    sim::RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
+      for (int i = 0; i < 50; ++i) {
+        if (i % 10 == 3 && c.tid() == 1) {
+          crit.run(c, [&] {  // cannot fit: must fall back under any policy
+            for (std::size_t j = 0; j < lines; ++j) {
+              c.store(big + j * stride, j);
+            }
+          });
+        } else {
+          crit.run(c, [&] { counter.store(c, counter.load(c) + 1); });
+        }
+      }
+    }});
+    EXPECT_EQ(counter.peek(m), 4u * 50u - 5u)
+        << "mutual exclusion under policy " << sim::to_string(kind);
+    EXPECT_GT(crit.stats().elided_commits, 0u) << sim::to_string(kind);
+    EXPECT_GT(crit.stats().fallback_acquires, 0u)
+        << "oversized sections must fall back under " << sim::to_string(kind);
+    if (kind == sim::TxPolicyKind::kPaper) {
+      paper_span = rs.makespan;
+    } else {
+      EXPECT_NE(rs.makespan, paper_span)
+          << sim::to_string(kind) << " must steer the shim differently";
+    }
+  }
+}
+
 TEST(OmpShim, Listing1DoublePathBehavesLikeALock) {
   // The paper's Listing 1: omp_test_lock fast path, omp_set_lock slow path.
   Machine m;

@@ -1,0 +1,215 @@
+// The TxPolicy seam's load-bearing guarantee: with --policy=paper (the
+// default), the refactored primitives reproduce the pre-seam telemetry
+// BIT FOR BIT. This test re-runs fig2_stamp and ablation_hierarchy in quick
+// mode and deep-compares their artifacts against goldens captured at the
+// commit before the seam was introduced (tests/golden/*_prerefactor.json).
+//
+// Exactly three schema-v3 -> v4 deltas are allowed, nothing else:
+//   - the schema string itself ("tsxhpc-telemetry-v3" -> "-v4"),
+//   - each counter block's new `backoff_cycles` sub-counter, whose cycles
+//     moved from the kLockWait bucket to kTxWasted (the refactor books
+//     post-conflict backoff as wasted transactional work, not lock waiting):
+//     old.lock_wait == new.lock_wait + backoff and
+//     old.tx_wasted + backoff == new.tx_wasted must reconcile exactly,
+//   - each lock site's new `policy` decision-count object.
+//
+// Invoked with the bench binaries and the golden directory as arguments
+// (plain add_test, not gtest_discover_tests — the binaries are build
+// products whose paths only CMake knows).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/json_parse.h"
+
+namespace tsxhpc::sim {
+namespace {
+
+std::string g_fig2_bin;
+std::string g_hier_bin;
+std::string g_golden_dir;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string describe(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return v.as_bool() ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+      return buf;
+    }
+    case JsonValue::Type::kString: return "\"" + v.as_string() + "\"";
+    case JsonValue::Type::kArray:
+      return "array[" + std::to_string(v.size()) + "]";
+    case JsonValue::Type::kObject:
+      return "object{" + std::to_string(v.members().size()) + "}";
+  }
+  return "?";
+}
+
+/// Deep comparison of a pre-seam (v3) value against a post-seam (v4) value,
+/// applying exactly the allowed deltas. Reports the first divergence path.
+/// `delta` is the counter block's backoff_cycles, threaded down into its
+/// `cycles` child where the lock_wait -> tx_wasted shift lives.
+class Comparator {
+ public:
+  bool equivalent(const JsonValue& oldv, const JsonValue& newv) {
+    diff_.clear();
+    return compare(oldv, newv, "$", 0);
+  }
+  const std::string& diff() const { return diff_; }
+
+ private:
+  bool mismatch(const std::string& path, const JsonValue& oldv,
+                const JsonValue& newv, const char* why) {
+    diff_ = path + ": " + why + " (old " + describe(oldv) + ", new " +
+            describe(newv) + ")";
+    return false;
+  }
+
+  bool compare(const JsonValue& oldv, const JsonValue& newv,
+               const std::string& path, std::uint64_t delta) {
+    if (path == "$.schema") {
+      if (oldv.as_string() != "tsxhpc-telemetry-v3" ||
+          newv.as_string() != "tsxhpc-telemetry-v4") {
+        return mismatch(path, oldv, newv, "unexpected schema pair");
+      }
+      return true;
+    }
+    if (oldv.type() != newv.type()) {
+      return mismatch(path, oldv, newv, "type differs");
+    }
+    switch (oldv.type()) {
+      case JsonValue::Type::kNull:
+        return true;
+      case JsonValue::Type::kBool:
+        if (oldv.as_bool() != newv.as_bool()) {
+          return mismatch(path, oldv, newv, "bool differs");
+        }
+        return true;
+      case JsonValue::Type::kNumber:
+        if (delta != 0 && ends_with(path, ".lock_wait")) {
+          if (oldv.as_u64() != newv.as_u64() + delta) {
+            return mismatch(path, oldv, newv,
+                            "lock_wait does not reconcile with backoff");
+          }
+          return true;
+        }
+        if (delta != 0 && ends_with(path, ".tx_wasted")) {
+          if (oldv.as_u64() + delta != newv.as_u64()) {
+            return mismatch(path, oldv, newv,
+                            "tx_wasted does not reconcile with backoff");
+          }
+          return true;
+        }
+        if (oldv.as_double() != newv.as_double()) {
+          return mismatch(path, oldv, newv, "number differs");
+        }
+        return true;
+      case JsonValue::Type::kString:
+        if (oldv.as_string() != newv.as_string()) {
+          return mismatch(path, oldv, newv, "string differs");
+        }
+        return true;
+      case JsonValue::Type::kArray: {
+        if (oldv.size() != newv.size()) {
+          return mismatch(path, oldv, newv, "array length differs");
+        }
+        for (std::size_t i = 0; i < oldv.size(); ++i) {
+          if (!compare(oldv.at(i), newv.at(i),
+                       path + "[" + std::to_string(i) + "]", 0)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case JsonValue::Type::kObject: {
+        // A v4 counter block carries the backoff sub-counter explaining the
+        // bucket shift inside its `cycles` child.
+        const std::uint64_t backoff = newv["backoff_cycles"].as_u64();
+        for (const auto& [key, oldchild] : oldv.members()) {
+          const std::uint64_t child_delta = key == "cycles" ? backoff : delta;
+          if (!compare(oldchild, newv[key], path + "." + key, child_delta)) {
+            return false;
+          }
+        }
+        for (const auto& [key, newchild] : newv.members()) {
+          if (key == "backoff_cycles" || key == "policy") continue;  // v4-only
+          if (!oldv.has(key) && !newchild.is_null()) {
+            diff_ = path + "." + key + ": unexpected new key";
+            return false;
+          }
+        }
+        return true;
+      }
+    }
+    return true;
+  }
+
+  std::string diff_;
+};
+
+void check_bench(const std::string& bin, const std::string& golden_name,
+                 const std::string& artifact_name) {
+  ASSERT_FALSE(bin.empty()) << "bench binary path not passed on the command "
+                               "line (run via ctest)";
+  const std::string cmd =
+      bin + " --quick --json=" + artifact_name + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::string err;
+  const std::string old_text = slurp(g_golden_dir + "/" + golden_name);
+  ASSERT_FALSE(old_text.empty()) << "missing golden " << golden_name;
+  const JsonValue oldv = JsonParser::parse(old_text, &err);
+  ASSERT_EQ(err, "") << golden_name;
+  const JsonValue newv = JsonParser::parse(slurp(artifact_name), &err);
+  ASSERT_EQ(err, "") << artifact_name;
+
+  Comparator cmp;
+  EXPECT_TRUE(cmp.equivalent(oldv, newv))
+      << "paper policy diverged from the pre-seam telemetry at "
+      << cmp.diff();
+}
+
+TEST(PolicyEquivalence, Fig2StampMatchesPreSeamTelemetry) {
+  check_bench(g_fig2_bin, "fig2_quick_prerefactor.json",
+              "policy_equiv_fig2.json");
+}
+
+TEST(PolicyEquivalence, AblationHierarchyMatchesPreSeamTelemetry) {
+  check_bench(g_hier_bin, "hierarchy_quick_prerefactor.json",
+              "policy_equiv_hierarchy.json");
+}
+
+}  // namespace
+}  // namespace tsxhpc::sim
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: policy_equivalence_test <fig2_stamp> "
+                 "<ablation_hierarchy> <golden_dir>\n");
+    return 2;
+  }
+  tsxhpc::sim::g_fig2_bin = argv[1];
+  tsxhpc::sim::g_hier_bin = argv[2];
+  tsxhpc::sim::g_golden_dir = argv[3];
+  return RUN_ALL_TESTS();
+}

@@ -97,6 +97,33 @@ TEST(Telemetry, RecordsLockSitesAndAttemptChains) {
   EXPECT_EQ(sections, 4u * 60u);
 }
 
+TEST(Telemetry, PolicyDecisionsReconcileWithAbortsAndFallbacks) {
+  Telemetry tel;
+  const RunStats rs = contended_run(&tel);
+  const RunRecord& r = tel.runs().at(0);
+  ASSERT_EQ(r.locks.size(), 1u);
+  const LockSiteStats& site = r.locks.begin()->second;
+  auto count = [&](PolicyDecision d) {
+    return site.policy_decisions[static_cast<std::size_t>(d)];
+  };
+  // Exactly one decision per abort...
+  EXPECT_EQ(count(PolicyDecision::kRetry) + count(PolicyDecision::kBackoff) +
+                count(PolicyDecision::kLockWait) +
+                count(PolicyDecision::kFallback),
+            site.tx_aborts);
+  // ...and every real acquisition is preceded by exactly one section-ending
+  // decision or one adaptive skip.
+  EXPECT_EQ(count(PolicyDecision::kFallback) + count(PolicyDecision::kSkip),
+            site.fallback_acquires);
+  EXPECT_GT(site.policy_decisions_total(), 0u);
+  // The backoff sub-counter never exceeds its bucket.
+  for (const ThreadStats& t : rs.threads) {
+    EXPECT_LE(t.backoff_cycles,
+              t.cycles_by_bucket[static_cast<std::size_t>(
+                  CycleBucket::kTxWasted)]);
+  }
+}
+
 TEST(Telemetry, AttemptRingDropsOldestWhenFull) {
   TelemetryOptions opt;
   opt.collect_attempts = true;
@@ -162,8 +189,10 @@ TEST(Telemetry, JsonAndTraceAreStructurallyValid) {
   contended_run(&tel, 4, 60, "validity");
   const std::string j = tel.json("telemetry_test");
   expect_balanced_json(j);
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v3\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v4\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"validity\""), std::string::npos);
+  EXPECT_NE(j.find("\"backoff_cycles\""), std::string::npos);
+  EXPECT_NE(j.find("\"policy\""), std::string::npos);
   const std::string t = tel.chrome_trace();
   expect_balanced_json(t);
   EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
