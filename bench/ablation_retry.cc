@@ -22,41 +22,63 @@ int main(int argc, char** argv) {
                     "elision policy sweep (Section 3 fallback handler "
                     "variants over the TxPolicy seam)");
   int threads = 4;
+  std::string workload_filter;
   io.args().add_int("threads", "STAMP thread count for the sweep", &threads);
+  io.args().add_string("workload",
+                       "run only this workload (clomp, genome, intruder or "
+                       "vacation)",
+                       &workload_filter);
   if (!io.parse()) return io.exit_code();
   const bool quick = io.quick();
 
   bench::banner(
       "Ablation: elision policy (Section 3 handler vs TxPolicy variants)");
 
-  const sim::TxPolicyKind policies[] = {
-      sim::TxPolicyKind::kPaper,
-      sim::TxPolicyKind::kNoHint,
-      sim::TxPolicyKind::kExpoBackoff,
-      sim::TxPolicyKind::kAdaptiveSite,
-  };
-  bench::Table table({"policy", "clomp(contended)", "genome", "intruder",
-                      "vacation", "geomean vs paper"});
+  // An explicit --policy= restricts the sweep to that policy; the sweep
+  // orchestrator pins one (workload, policy) pair per grid cell this way.
+  std::vector<sim::TxPolicyKind> policies;
+  for (sim::TxPolicyKind p :
+       {sim::TxPolicyKind::kPaper, sim::TxPolicyKind::kNoHint,
+        sim::TxPolicyKind::kExpoBackoff, sim::TxPolicyKind::kAdaptiveSite}) {
+    if (io.policy_name().empty() || p == io.tx_policy()) policies.push_back(p);
+  }
+  std::vector<std::string> workloads;
+  for (const char* name : {"clomp", "genome", "intruder", "vacation"}) {
+    if (workload_filter.empty() || workload_filter == name) {
+      workloads.push_back(name);
+    }
+  }
+  if (workloads.empty()) {
+    return io.args().fail("bad value for '--workload': '" + workload_filter +
+                          "' (expected clomp, genome, intruder or vacation)");
+  }
+  std::vector<std::string> headers{"policy"};
+  for (const std::string& w : workloads) {
+    headers.push_back(w == "clomp" ? "clomp(contended)" : w);
+  }
+  headers.push_back("geomean vs " + std::string(sim::to_string(policies[0])));
+  bench::Table table(headers);
 
-  // Baselines at --policy=paper (row 0).
+  // Baselines at the first policy in the sweep (row 0).
   std::vector<double> base;
   std::vector<std::vector<double>> rows;
   for (sim::TxPolicyKind p : policies) {
     const std::string pname = sim::to_string(p);
     std::vector<double> spans;
-    {
-      clomp::Config cfg;
-      cfg.zones_per_thread = quick ? 24 : 48;
-      cfg.scatters_per_zone = 4;
-      cfg.repetitions = quick ? 4 : 10;
-      cfg.cross_partition_fraction = 0.35;  // real conflicts
-      io.apply(cfg.machine);
-      cfg.machine.tx_policy = p;  // the sweep overrides any --policy= flag
-      cfg.run_label = "clomp/" + pname;
-      spans.push_back(
-          static_cast<double>(clomp::run(cfg, clomp::Scheme::kLargeTM).makespan));
-    }
-    for (const char* name : {"genome", "intruder", "vacation"}) {
+    for (const std::string& name : workloads) {
+      if (name == "clomp") {
+        clomp::Config cfg;
+        cfg.zones_per_thread = quick ? 24 : 48;
+        cfg.scatters_per_zone = 4;
+        cfg.repetitions = quick ? 4 : 10;
+        cfg.cross_partition_fraction = 0.35;  // real conflicts
+        io.apply(cfg.machine);
+        cfg.machine.tx_policy = p;  // the sweep overrides any --policy= flag
+        cfg.run_label = "clomp/" + pname;
+        spans.push_back(static_cast<double>(
+            clomp::run(cfg, clomp::Scheme::kLargeTM).makespan));
+        continue;
+      }
       for (const auto& w : stamp::all_workloads()) {
         if (w.name != name) continue;
         stamp::Config cfg;
@@ -65,7 +87,7 @@ int main(int argc, char** argv) {
         cfg.scale = quick ? 0.25 : 0.5;
         io.apply(cfg.machine);
         cfg.machine.tx_policy = p;
-        cfg.run_label = std::string(name) + "/" + pname;
+        cfg.run_label = name + "/" + pname;
         spans.push_back(static_cast<double>(w.fn(cfg).makespan));
       }
     }

@@ -132,6 +132,10 @@ class BenchIo {
   bool quick() const { return quick_; }
   sim::BackendKind backend() const { return backend_; }
   sim::TxPolicyKind tx_policy() const { return tx_policy_; }
+  /// Raw --policy= spelling; empty when the flag was not given. Benches that
+  /// sweep policies internally use this to honor an explicit restriction
+  /// (the sweep orchestrator pins one policy per grid cell this way).
+  const std::string& policy_name() const { return policy_name_; }
   const std::string& bench_name() const { return bench_name_; }
 
   /// Null unless --json or --trace was given. Assign to

@@ -19,17 +19,41 @@ int main(int argc, char** argv) {
   int threads = 0;
   std::string workload_filter;
   std::string scheme_filter;
+  bool ref = true;
   io.args().add_int("threads", "run only this thread count (0 = 1/2/4/8)",
                     &threads);
   io.args().add_string("workload", "run only this STAMP workload",
                        &workload_filter);
   io.args().add_string("scheme", "run only this TM scheme (sgl, tl2, tsx)",
                        &scheme_filter);
+  io.args().add_bool("ref",
+                     "run the 1-thread sgl reference and report speedups; "
+                     "--ref=0 skips it and reports raw makespans (sweep "
+                     "cells use this so each cell records only its own runs)",
+                     &ref);
   if (!io.parse()) return io.exit_code();
+  // A typo'd filter must fail loudly, not silently select zero runs: sweep
+  // cells pass these flags programmatically, and an empty cell artifact
+  // would otherwise sail through the orchestrator's validity check.
+  if (!workload_filter.empty()) {
+    bool known = false;
+    for (const auto& w : stamp::all_workloads()) known |= workload_filter == w.name;
+    if (!known) {
+      return io.args().fail("bad value for '--workload': '" + workload_filter +
+                            "' (not a STAMP workload)");
+    }
+  }
+  if (!scheme_filter.empty() && scheme_filter != "sgl" &&
+      scheme_filter != "tl2" && scheme_filter != "tsx") {
+    return io.args().fail("bad value for '--scheme': '" + scheme_filter +
+                          "' (expected sgl, tl2 or tsx)");
+  }
   const double scale = io.quick() ? 0.25 : 1.0;
 
-  bench::banner(
-      "Figure 2: STAMP, speedup over 1-thread sgl (higher is better)");
+  bench::banner(ref
+                    ? "Figure 2: STAMP, speedup over 1-thread sgl (higher is "
+                      "better)"
+                    : "Figure 2: STAMP, makespan in cycles (lower is better)");
 
   const int sweep[] = {1, 2, 4, 8};
   for (const auto& w : stamp::all_workloads()) {
@@ -38,11 +62,14 @@ int main(int argc, char** argv) {
     base.scale = scale;
     io.apply(base.machine);
 
-    stamp::Config sgl1 = base;
-    sgl1.backend = Backend::kSgl;
-    sgl1.threads = 1;
-    sgl1.run_label = std::string(w.name) + "/sgl/ref";
-    const double ref = static_cast<double>(w.fn(sgl1).makespan);
+    double ref_span = 0.0;
+    if (ref) {
+      stamp::Config sgl1 = base;
+      sgl1.backend = Backend::kSgl;
+      sgl1.threads = 1;
+      sgl1.run_label = std::string(w.name) + "/sgl/ref";
+      ref_span = static_cast<double>(w.fn(sgl1).makespan);
+    }
 
     bench::Table table({w.name, "sgl", "tl2", "tsx"});
     for (int t : sweep) {
@@ -61,9 +88,11 @@ int main(int argc, char** argv) {
         const stamp::Result r = w.fn(cfg);
         if (r.checksum == 0) {
           row.push_back("INVALID");
-        } else {
+        } else if (ref) {
           row.push_back(
-              bench::fmt(ref / static_cast<double>(r.makespan)));
+              bench::fmt(ref_span / static_cast<double>(r.makespan)));
+        } else {
+          row.push_back(std::to_string(r.makespan));
         }
       }
       table.add_row(row);

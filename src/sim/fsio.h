@@ -1,0 +1,46 @@
+// Tiny shared file I/O helpers for artifact producers and consumers.
+// Artifacts are written atomically — the bytes land in `<path>.tmp` and are
+// renamed into place — so a concurrently-polling sweep driver or a run killed
+// mid-write can never observe a torn JSON file: the destination path either
+// does not exist yet or holds a complete artifact.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tsxhpc::sim {
+
+/// Read a whole file into `out`; false on open/read error.
+inline bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = !std::ferror(f);
+  std::fclose(f);
+  return ok;
+}
+
+/// Write `content` to `path` via `<path>.tmp` + rename. On any failure the
+/// temp file is removed and `path` is left untouched.
+inline bool atomic_write_file(const std::string& path,
+                              const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (!ok) {
+    if (n != content.size()) std::fclose(f);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tsxhpc::sim

@@ -84,6 +84,15 @@ class JsonWriter {
   }
   void value(const char* v) { value(std::string_view(v)); }
 
+  /// Splice pre-serialized JSON bytes in as one value, verbatim. The sweep
+  /// merger uses this to embed per-cell telemetry artifacts without a
+  /// re-serialization round trip, so merged-artifact bytes cannot depend on
+  /// how the cells were sharded. The caller guarantees `json` is valid.
+  void raw_value(std::string_view json) {
+    comma_for_value();
+    out_ += json;
+  }
+
   /// Hex-formatted address value (lock sites, futex words).
   void value_hex(Addr a) {
     comma_for_value();

@@ -3,7 +3,11 @@
 // --report path both consume telemetry artifacts through it, so they
 // compute identical numbers). Deliberately small: no streaming, no
 // surrogate-pair decoding, numbers kept as raw text so 64-bit cycle
-// counters survive the round trip without a double conversion.
+// counters survive the round trip without a double conversion. The sweep
+// merger feeds it artifacts this process did not write, so malformed input
+// (truncation, bad escapes, duplicate keys, unescaped control bytes,
+// non-UTF-8 bytes) fails with an offset-located error rather than yielding
+// a silently wrong document.
 #pragma once
 
 #include <cstdint>
@@ -167,6 +171,11 @@ class JsonParser {
     for (;;) {
       skip_ws();
       std::string key = parse_string();
+      // Duplicate keys are always a writer bug; first-wins lookup would
+      // silently hide the second value, so fail loudly with the offset.
+      for (const auto& kv : v.obj_) {
+        if (kv.first == key) fail("duplicate object key");
+      }
       skip_ws();
       expect(':');
       v.obj_.emplace_back(std::move(key), value());
@@ -216,6 +225,29 @@ class JsonParser {
       pos_++;
       if (c == '"') return out;
       if (c != '\\') {
+        const unsigned char u = static_cast<unsigned char>(c);
+        // JSON requires control characters to be escaped, and the document
+        // to be UTF-8. The writer guarantees both; reject bytes that cannot
+        // have come from it (truncation, corruption, a foreign producer)
+        // with a located error instead of passing garbage downstream.
+        if (u < 0x20) fail("unescaped control character in string");
+        if (u >= 0x80) {
+          int tail;
+          if (u >= 0xc2 && u <= 0xdf) tail = 1;
+          else if (u >= 0xe0 && u <= 0xef) tail = 2;
+          else if (u >= 0xf0 && u <= 0xf4) tail = 3;
+          else fail("invalid UTF-8 byte in string");  // 0x80-0xC1, 0xF5-0xFF
+          out += c;
+          for (int i = 0; i < tail; ++i) {
+            const char cc = peek();
+            if ((static_cast<unsigned char>(cc) & 0xc0) != 0x80) {
+              fail("truncated UTF-8 sequence in string");
+            }
+            pos_++;
+            out += cc;
+          }
+          continue;
+        }
         out += c;
         continue;
       }

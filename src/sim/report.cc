@@ -243,17 +243,16 @@ std::string render_report(const JsonValue& doc, const ReportOptions& opt) {
   return out;
 }
 
-int render_diff(const JsonValue& base, const JsonValue& cur,
-                const DiffThresholds& thr, std::string& out) {
-  int regressions = 0;
-  appendf(out, "tsx_report diff: base bench=%s, current bench=%s\n",
-          base["bench"].as_string().c_str(),
-          cur["bench"].as_string().c_str());
-  appendf(out,
-          "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
-          thr.abort_rate_pp, thr.wasted_cycle_pp);
-  const JsonValue& cur_runs = cur["runs"];
-  const JsonValue& base_runs = base["runs"];
+namespace {
+
+/// Run-by-run comparison shared by the flat diff and the per-cell grid
+/// diff. A label present on one side only is a label-set mismatch and
+/// counts as a failure — "(skipped)" silently waved through sweeps that
+/// dropped runs. `where` prefixes every line ("" or "cell <label>: ").
+int diff_run_sets(const JsonValue& base_runs, const JsonValue& cur_runs,
+                  const DiffThresholds& thr, const std::string& where,
+                  std::string& out) {
+  int failures = 0;
   for (std::size_t i = 0; i < cur_runs.size(); ++i) {
     const JsonValue& c = cur_runs.at(i);
     const std::string& label = c["label"].as_string();
@@ -265,8 +264,11 @@ int render_diff(const JsonValue& base, const JsonValue& cur,
       }
     }
     if (!b) {
-      appendf(out, "run %s: no baseline run with this label (skipped)\n",
-              label.c_str());
+      appendf(out,
+              "%srun %s: MISMATCH — present in current but not in baseline "
+              "(label-set mismatch is a failure)\n",
+              where.c_str(), label.c_str());
+      failures++;
       continue;
     }
     const double abort_b = (*b)["totals"]["abort_rate_pct"].as_double();
@@ -278,18 +280,415 @@ int render_diff(const JsonValue& base, const JsonValue& cur,
     const bool abort_reg = abort_c - abort_b > thr.abort_rate_pp;
     const bool waste_reg = waste_c - waste_b > thr.wasted_cycle_pp;
     appendf(out,
-            "run %s: abort-rate %.2f%% -> %.2f%% (%+.2fpp)%s  "
+            "%srun %s: abort-rate %.2f%% -> %.2f%% (%+.2fpp)%s  "
             "wasted-cycles %.2f%% -> %.2f%% (%+.2fpp)%s  "
             "makespan %llu -> %llu\n",
-            label.c_str(), abort_b, abort_c, abort_c - abort_b,
+            where.c_str(), label.c_str(), abort_b, abort_c, abort_c - abort_b,
             abort_reg ? " REGRESSION" : "", waste_b, waste_c,
             waste_c - waste_b, waste_reg ? " REGRESSION" : "",
             static_cast<unsigned long long>(mk_b),
             static_cast<unsigned long long>(mk_c));
-    regressions += (abort_reg ? 1 : 0) + (waste_reg ? 1 : 0);
+    failures += (abort_reg ? 1 : 0) + (waste_reg ? 1 : 0);
   }
-  appendf(out, "%d regression(s)\n", regressions);
-  return regressions;
+  // The reverse direction: baseline runs the current artifact dropped.
+  for (std::size_t j = 0; j < base_runs.size(); ++j) {
+    const std::string& label = base_runs.at(j)["label"].as_string();
+    bool found = false;
+    for (std::size_t i = 0; i < cur_runs.size() && !found; ++i) {
+      found = cur_runs.at(i)["label"].as_string() == label;
+    }
+    if (!found) {
+      appendf(out,
+              "%srun %s: MISMATCH — present in baseline but missing from "
+              "current (label-set mismatch is a failure)\n",
+              where.c_str(), label.c_str());
+      failures++;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int render_diff(const JsonValue& base, const JsonValue& cur,
+                const DiffThresholds& thr, std::string& out) {
+  appendf(out, "tsx_report diff: base bench=%s, current bench=%s\n",
+          base["bench"].as_string().c_str(),
+          cur["bench"].as_string().c_str());
+  appendf(out,
+          "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
+          thr.abort_rate_pp, thr.wasted_cycle_pp);
+  const int failures = diff_run_sets(base["runs"], cur["runs"], thr, "", out);
+  appendf(out, "%d failure(s) (regressions or label-set mismatches)\n",
+          failures);
+  return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-grid artifacts (tsxhpc-sweep-v1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One cell's aggregate over every run embedded in its telemetry: counters
+/// and cycle buckets are summed (a cell whose bench records phases — e.g.
+/// vacation's low/high-contention pair — contributes both), makespans are
+/// summed (the phases run back to back), and rates are recomputed from the
+/// summed counts.
+struct CellMetrics {
+  std::uint64_t makespan = 0;
+  std::uint64_t tx_started = 0;
+  std::uint64_t tx_committed = 0;
+  std::uint64_t tx_aborted = 0;
+  std::uint64_t tx_cycles_committed = 0;
+  std::uint64_t tx_cycles_wasted = 0;
+  std::uint64_t buckets[6] = {};
+  std::uint64_t cycles_total = 0;
+  std::size_t runs = 0;
+
+  double abort_rate_pct() const {
+    return tx_started == 0 ? 0.0
+                           : 100.0 * static_cast<double>(tx_aborted) /
+                                 static_cast<double>(tx_started);
+  }
+  double wasted_cycle_pct() const {
+    const std::uint64_t tx = tx_cycles_committed + tx_cycles_wasted;
+    return tx == 0 ? 0.0
+                   : 100.0 * static_cast<double>(tx_cycles_wasted) /
+                         static_cast<double>(tx);
+  }
+  double bucket_pct(std::size_t b) const {
+    return cycles_total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(buckets[b]) /
+                                   static_cast<double>(cycles_total);
+  }
+};
+
+CellMetrics cell_metrics(const JsonValue& cell) {
+  CellMetrics m;
+  const JsonValue& runs = cell["telemetry"]["runs"];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const JsonValue& run = runs.at(i);
+    const JsonValue& totals = run["totals"];
+    m.makespan += run["makespan"].as_u64();
+    m.tx_started += totals["tx_started"].as_u64();
+    m.tx_committed += totals["tx_committed"].as_u64();
+    m.tx_aborted += totals["tx_aborted"].as_u64();
+    m.tx_cycles_committed += totals["tx_cycles_committed"].as_u64();
+    m.tx_cycles_wasted += totals["tx_cycles_wasted"].as_u64();
+    const JsonValue& cy = totals["cycles"];
+    for (std::size_t b = 0; b < 6; ++b) {
+      m.buckets[b] += cy[kBucketKeys[b]].as_u64();
+    }
+    m.cycles_total += cy["total"].as_u64();
+    m.runs++;
+  }
+  return m;
+}
+
+int axis_index(const JsonValue& axes, const std::string& name) {
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    if (axes.at(i)["axis"].as_string() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// "workload=genome/threads=4" for every axis except `skip` (-1 = none).
+std::string coords_label(const JsonValue& axes, const JsonValue& coords,
+                         int skip) {
+  std::string label;
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (static_cast<int>(a) == skip) continue;
+    const std::string& name = axes.at(a)["axis"].as_string();
+    if (!label.empty()) label += '/';
+    label += name + '=' + coords[name].as_string();
+  }
+  return label;
+}
+
+void render_scaling_curves(std::string& out, const JsonValue& doc) {
+  const JsonValue& axes = doc["axes"];
+  const int t_axis = axis_index(axes, "threads");
+  if (t_axis < 0) {
+    out += "  (no 'threads' axis: scaling curves not applicable)\n";
+    return;
+  }
+  const JsonValue& t_values = axes.at(static_cast<std::size_t>(t_axis))["values"];
+  // Group cells by the non-thread coordinates, preserving grid order.
+  struct Group {
+    std::string label;
+    std::vector<std::uint64_t> makespan;  // indexed by thread-value position
+  };
+  std::vector<Group> groups;
+  const JsonValue& cells = doc["cells"];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& cell = cells.at(i);
+    const std::string key = coords_label(axes, cell["coords"], t_axis);
+    Group* g = nullptr;
+    for (Group& cand : groups) {
+      if (cand.label == key) {
+        g = &cand;
+        break;
+      }
+    }
+    if (!g) {
+      groups.push_back(Group{key, std::vector<std::uint64_t>(t_values.size(), 0)});
+      g = &groups.back();
+    }
+    const std::string& tv =
+        cell["coords"][axes.at(static_cast<std::size_t>(t_axis))["axis"]
+                           .as_string()]
+            .as_string();
+    for (std::size_t p = 0; p < t_values.size(); ++p) {
+      if (t_values.at(p).as_string() == tv) {
+        g->makespan[p] = cell_metrics(cell).makespan;
+        break;
+      }
+    }
+  }
+  std::size_t wide = 24;
+  for (const Group& g : groups) wide = std::max(wide, g.label.size());
+  out += "  scaling curves (makespan by threads; speedup vs t=" +
+         t_values.at(0).as_string() + "):\n";
+  appendf(out, "    %-*s", static_cast<int>(wide), "cell group");
+  for (std::size_t p = 0; p < t_values.size(); ++p) {
+    appendf(out, "  %12s", ("t=" + t_values.at(p).as_string()).c_str());
+  }
+  for (std::size_t p = 1; p < t_values.size(); ++p) {
+    appendf(out, "  %8s", ("x@" + t_values.at(p).as_string()).c_str());
+  }
+  out += '\n';
+  for (const Group& g : groups) {
+    appendf(out, "    %-*s", static_cast<int>(wide), g.label.c_str());
+    for (std::size_t p = 0; p < g.makespan.size(); ++p) {
+      appendf(out, "  %12llu", static_cast<unsigned long long>(g.makespan[p]));
+    }
+    for (std::size_t p = 1; p < g.makespan.size(); ++p) {
+      const double speedup =
+          g.makespan[p] == 0 ? 0.0
+                             : static_cast<double>(g.makespan[0]) /
+                                   static_cast<double>(g.makespan[p]);
+      appendf(out, "  %8.2f", speedup);
+    }
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+bool is_sweep_doc(const JsonValue& doc) {
+  return doc.is_object() && doc["cells"].is_array() &&
+         doc["schema"].as_string() == "tsxhpc-sweep-v1";
+}
+
+std::string render_sweep_report(const JsonValue& doc) {
+  std::string out;
+  const JsonValue& axes = doc["axes"];
+  const JsonValue& cells = doc["cells"];
+  appendf(out, "tsx_report sweep: %s bench=%s scale=%s schema=%s cells=%zu\n",
+          doc["sweep"].as_string().c_str(), doc["bench"].as_string().c_str(),
+          doc["scale"].as_string().c_str(), doc["schema"].as_string().c_str(),
+          cells.size());
+  out += "  grid: ";
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    if (a > 0) out += " x ";
+    appendf(out, "%s(%zu)", axes.at(a)["axis"].as_string().c_str(),
+            axes.at(a)["values"].size());
+  }
+  out += "\n\n";
+
+  std::size_t wide = 24;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    wide = std::max(wide, cells.at(i)["cell"].as_string().size());
+  }
+  appendf(out, "  %-*s  %4s  %12s  %11s  %11s\n", static_cast<int>(wide),
+          "cell", "runs", "makespan", "abort-rate", "wasted-cyc");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& cell = cells.at(i);
+    const CellMetrics m = cell_metrics(cell);
+    appendf(out, "  %-*s  %4zu  %12llu  %10.2f%%  %10.2f%%\n",
+            static_cast<int>(wide), cell["cell"].as_string().c_str(), m.runs,
+            static_cast<unsigned long long>(m.makespan), m.abort_rate_pct(),
+            m.wasted_cycle_pct());
+  }
+  out += '\n';
+  render_scaling_curves(out, doc);
+  return out;
+}
+
+bool render_sweep_pivot(const JsonValue& doc, const std::string& axis_a,
+                        const std::string& axis_b, const std::string& metric,
+                        std::string& out) {
+  const JsonValue& axes = doc["axes"];
+  const int ia = axis_index(axes, axis_a);
+  const int ib = axis_index(axes, axis_b);
+  if (ia < 0 || ib < 0 || ia == ib) {
+    out += "pivot: need two distinct axes of this grid (have:";
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      out += ' ' + axes.at(a)["axis"].as_string();
+    }
+    out += ")\n";
+    return false;
+  }
+  int bucket = -1;
+  for (std::size_t b = 0; b < 6; ++b) {
+    if (metric == kBucketKeys[b]) bucket = static_cast<int>(b);
+  }
+  if (bucket < 0 && metric != "abort-rate" && metric != "wasted" &&
+      metric != "makespan" && metric != "commits") {
+    out += "pivot: unknown metric '" + metric +
+           "' (abort-rate, wasted, makespan, commits, or a cycle bucket: "
+           "work, tx_committed, tx_wasted, lock_wait, fallback, mem_stall)\n";
+    return false;
+  }
+  const JsonValue& va = axes.at(static_cast<std::size_t>(ia))["values"];
+  const JsonValue& vb = axes.at(static_cast<std::size_t>(ib))["values"];
+  std::vector<double> sum(va.size() * vb.size(), 0.0);
+  std::vector<std::size_t> count(va.size() * vb.size(), 0);
+  const JsonValue& cells = doc["cells"];
+  std::size_t averaged_over = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& cell = cells.at(i);
+    const JsonValue& coords = cell["coords"];
+    std::size_t pa = va.size(), pb = vb.size();
+    const std::string& cva = coords[axis_a].as_string();
+    const std::string& cvb = coords[axis_b].as_string();
+    for (std::size_t p = 0; p < va.size(); ++p) {
+      if (va.at(p).as_string() == cva) pa = p;
+    }
+    for (std::size_t p = 0; p < vb.size(); ++p) {
+      if (vb.at(p).as_string() == cvb) pb = p;
+    }
+    if (pa == va.size() || pb == vb.size()) continue;
+    const CellMetrics m = cell_metrics(cell);
+    double v = 0.0;
+    if (bucket >= 0) {
+      v = m.bucket_pct(static_cast<std::size_t>(bucket));
+    } else if (metric == "abort-rate") {
+      v = m.abort_rate_pct();
+    } else if (metric == "wasted") {
+      v = m.wasted_cycle_pct();
+    } else if (metric == "makespan") {
+      v = static_cast<double>(m.makespan);
+    } else {  // commits
+      v = static_cast<double>(m.tx_committed);
+    }
+    sum[pa * vb.size() + pb] += v;
+    count[pa * vb.size() + pb]++;
+  }
+  for (std::size_t k = 0; k < count.size(); ++k) {
+    averaged_over = std::max(averaged_over, count[k]);
+  }
+  appendf(out, "  pivot %s[rows] x %s[cols], metric=%s%s:\n", axis_a.c_str(),
+          axis_b.c_str(), metric.c_str(),
+          averaged_over > 1 ? " (mean over remaining axes)" : "");
+  std::size_t wide = axis_a.size();
+  for (std::size_t p = 0; p < va.size(); ++p) {
+    wide = std::max(wide, va.at(p).as_string().size());
+  }
+  appendf(out, "    %-*s", static_cast<int>(wide), axis_a.c_str());
+  for (std::size_t p = 0; p < vb.size(); ++p) {
+    appendf(out, "  %12s", vb.at(p).as_string().c_str());
+  }
+  out += '\n';
+  for (std::size_t pa = 0; pa < va.size(); ++pa) {
+    appendf(out, "    %-*s", static_cast<int>(wide),
+            va.at(pa).as_string().c_str());
+    for (std::size_t pb = 0; pb < vb.size(); ++pb) {
+      const std::size_t k = pa * vb.size() + pb;
+      if (count[k] == 0) {
+        appendf(out, "  %12s", "-");
+      } else if (metric == "makespan" || metric == "commits") {
+        appendf(out, "  %12.0f", sum[k] / static_cast<double>(count[k]));
+      } else {
+        appendf(out, "  %11.2f%%", sum[k] / static_cast<double>(count[k]));
+      }
+    }
+    out += '\n';
+  }
+  return true;
+}
+
+int render_sweep_diff(const JsonValue& base, const JsonValue& cur,
+                      const DiffThresholds& thr, std::string& out) {
+  int failures = 0;
+  appendf(out, "tsx_report sweep diff: base=%s (bench=%s), current=%s (bench=%s)\n",
+          base["sweep"].as_string().c_str(), base["bench"].as_string().c_str(),
+          cur["sweep"].as_string().c_str(), cur["bench"].as_string().c_str());
+  appendf(out, "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
+          thr.abort_rate_pp, thr.wasted_cycle_pp);
+  // The grids must describe the same axes with the same value lists (order
+  // included — expansion order names the cells).
+  const JsonValue& base_axes = base["axes"];
+  const JsonValue& cur_axes = cur["axes"];
+  if (base_axes.size() != cur_axes.size()) {
+    appendf(out, "AXIS MISMATCH: baseline has %zu axes, current has %zu\n",
+            base_axes.size(), cur_axes.size());
+    failures++;
+  } else {
+    for (std::size_t a = 0; a < base_axes.size(); ++a) {
+      const JsonValue& ba = base_axes.at(a);
+      const JsonValue& ca = cur_axes.at(a);
+      if (ba["axis"].as_string() != ca["axis"].as_string()) {
+        appendf(out, "AXIS MISMATCH: axis %zu is '%s' in baseline, '%s' in "
+                     "current\n",
+                a, ba["axis"].as_string().c_str(),
+                ca["axis"].as_string().c_str());
+        failures++;
+        continue;
+      }
+      const JsonValue& bv = ba["values"];
+      const JsonValue& cv = ca["values"];
+      bool same = bv.size() == cv.size();
+      for (std::size_t p = 0; same && p < bv.size(); ++p) {
+        same = bv.at(p).as_string() == cv.at(p).as_string();
+      }
+      if (!same) {
+        appendf(out, "AXIS MISMATCH: axis '%s' value lists differ\n",
+                ba["axis"].as_string().c_str());
+        failures++;
+      }
+    }
+  }
+  const JsonValue& base_cells = base["cells"];
+  const JsonValue& cur_cells = cur["cells"];
+  for (std::size_t i = 0; i < cur_cells.size(); ++i) {
+    const JsonValue& c = cur_cells.at(i);
+    const std::string& label = c["cell"].as_string();
+    const JsonValue* b = nullptr;
+    for (std::size_t j = 0; j < base_cells.size(); ++j) {
+      if (base_cells.at(j)["cell"].as_string() == label) {
+        b = &base_cells.at(j);
+        break;
+      }
+    }
+    if (!b) {
+      appendf(out,
+              "cell %s: MISMATCH — present in current but not in baseline\n",
+              label.c_str());
+      failures++;
+      continue;
+    }
+    failures += diff_run_sets((*b)["telemetry"]["runs"],
+                              c["telemetry"]["runs"], thr,
+                              "cell " + label + ": ", out);
+  }
+  for (std::size_t j = 0; j < base_cells.size(); ++j) {
+    const std::string& label = base_cells.at(j)["cell"].as_string();
+    bool found = false;
+    for (std::size_t i = 0; i < cur_cells.size() && !found; ++i) {
+      found = cur_cells.at(i)["cell"].as_string() == label;
+    }
+    if (!found) {
+      appendf(out,
+              "cell %s: MISMATCH — present in baseline but missing from "
+              "current\n",
+              label.c_str());
+      failures++;
+    }
+  }
+  appendf(out, "%d failure(s) (regressions or grid mismatches)\n", failures);
+  return failures;
 }
 
 }  // namespace tsxhpc::sim

@@ -1,9 +1,9 @@
-// Human-readable analysis of a tsxhpc-telemetry-v3 artifact: the abort-cause
-// tree, top conflicting lines with object attribution, per-thread cycle
-// accounting, and per-lock-site elision economics. Both consumers — the
-// tools/tsx_report CLI (from a JSON file) and bench --report (from the
-// in-process Telemetry, serialized and re-parsed) — go through this one
-// code path, so the numbers they print are identical by construction.
+// Human-readable analysis of tsxhpc artifacts: per-run telemetry reports
+// (tsxhpc-telemetry-v*) and grid views over merged sweep artifacts
+// (tsxhpc-sweep-v1). Both consumers — the tools/tsx_report CLI (from a JSON
+// file) and bench --report (from the in-process Telemetry, serialized and
+// re-parsed) — go through this one code path, so the numbers they print are
+// identical by construction.
 #pragma once
 
 #include <string>
@@ -25,14 +25,41 @@ struct DiffThresholds {
 /// True if `doc` looks like a telemetry artifact this report understands.
 bool is_telemetry_doc(const JsonValue& doc);
 
+/// True if `doc` is a merged tsxhpc-sweep-v1 grid artifact.
+bool is_sweep_doc(const JsonValue& doc);
+
 /// Render the report for one parsed artifact.
 std::string render_report(const JsonValue& doc, const ReportOptions& opt = {});
 
 /// Compare `cur` against `base` run-by-run (matched by label). Appends the
-/// comparison to `out` and returns the number of regressions: runs where
-/// the abort rate or the wasted-cycle fraction grew by more than the
-/// threshold.
+/// comparison to `out` and returns the number of failures: regressions
+/// (abort rate or wasted-cycle fraction grew past a threshold) plus
+/// label-set mismatches — a run present on one side only is a failure, not
+/// a skip, so an artifact that silently drops runs cannot pass the gate.
 int render_diff(const JsonValue& base, const JsonValue& cur,
                 const DiffThresholds& thr, std::string& out);
+
+/// Render the grid view of a sweep artifact: the axes, a per-cell summary
+/// table, and — when the grid has a "threads" axis — makespan/speedup
+/// scaling curves per combination of the remaining axes.
+std::string render_sweep_report(const JsonValue& doc);
+
+/// Append a two-axis pivot table of `metric` over the grid to `out`: rows
+/// are `axis_a` values, columns `axis_b` values; cells averaging over any
+/// remaining axes. Metrics: abort-rate, wasted, makespan, commits, or a
+/// cycle bucket (work, tx_committed, tx_wasted, lock_wait, fallback,
+/// mem_stall) as a percentage of total cycles. False (with a message
+/// appended) on an unknown axis or metric.
+bool render_sweep_pivot(const JsonValue& doc, const std::string& axis_a,
+                        const std::string& axis_b, const std::string& metric,
+                        std::string& out);
+
+/// Compare two sweep artifacts cell-by-cell. Axis-set or cell-label-set
+/// mismatch (missing/extra cell, differing axis names or value lists) is a
+/// failure; matching cells diff their embedded runs with the same
+/// thresholds and label-set rules as render_diff. Returns the failure
+/// count.
+int render_sweep_diff(const JsonValue& base, const JsonValue& cur,
+                      const DiffThresholds& thr, std::string& out);
 
 }  // namespace tsxhpc::sim

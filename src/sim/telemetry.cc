@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/fsio.h"
 #include "sim/json.h"
 
 namespace tsxhpc::sim {
@@ -752,25 +753,16 @@ std::string Telemetry::chrome_trace() const {
   return w.take();
 }
 
-namespace {
-bool write_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) return false;
-  const std::size_t n =
-      std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = n == content.size() && std::fclose(f) == 0;
-  if (n != content.size()) std::fclose(f);
-  return ok;
-}
-}  // namespace
-
+// Artifact writes go through <path>.tmp + rename (sim/fsio.h): a sweep
+// driver polling the path, or a run interrupted mid-write, can never see a
+// torn JSON file.
 bool Telemetry::write_json(const std::string& path,
                            const std::string& bench_name) const {
-  return write_file(path, json(bench_name));
+  return atomic_write_file(path, json(bench_name));
 }
 
 bool Telemetry::write_chrome_trace(const std::string& path) const {
-  return write_file(path, chrome_trace());
+  return atomic_write_file(path, chrome_trace());
 }
 
 }  // namespace tsxhpc::sim

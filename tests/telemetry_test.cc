@@ -51,6 +51,23 @@ TEST(Telemetry, ExportsAreByteIdenticalAcrossRuns) {
   EXPECT_GT(a.runs()[0].stats.total().tx_committed, 0u);
 }
 
+TEST(Telemetry, FileExportsAreAtomicRenames) {
+  Telemetry tel;
+  contended_run(&tel, 2, 20, "atomic");
+  const std::string path = ::testing::TempDir() + "telemetry_test_atomic.json";
+  ASSERT_TRUE(tel.write_json(path, "telemetry_test"));
+  // write_json stages to <path>.tmp and renames into place: the artifact
+  // exists with the full contents, the staging file does not.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  EXPECT_EQ(std::fopen((path + ".tmp").c_str(), "r"), nullptr);
+  std::remove(path.c_str());
+  // A failing write (unwritable directory) reports false and leaves neither
+  // the artifact nor a stray .tmp behind.
+  EXPECT_FALSE(tel.write_json("/nonexistent-dir/t.json", "telemetry_test"));
+}
+
 TEST(Telemetry, AttachingDoesNotPerturbSimulatedTiming) {
   Telemetry tel;
   const RunStats with = contended_run(&tel);

@@ -1,37 +1,33 @@
-// tsx_report: offline analyzer for tsxhpc-telemetry JSON artifacts.
+// tsx_report: offline analyzer for tsxhpc telemetry and sweep-grid JSON
+// artifacts.
 //
 //   tsx_report <artifact.json>            print the abort-diagnosis report
+//                                         (or the grid view for a
+//                                         tsxhpc-sweep-v1 artifact)
+//   tsx_report --pivot=axisA,axisB [--metric=M] <sweep.json>
+//                                         two-axis pivot table over a grid
 //   tsx_report --diff <base.json> <cur.json> [--max-abort-rate-pp=X]
 //                                         [--max-wasted-pp=X]
-//                                         compare two artifacts; exit 1 when
-//                                         the abort rate or the wasted-cycle
-//                                         fraction regresses past a threshold
+//                                         compare two artifacts; exit 1 on a
+//                                         regression past a threshold or any
+//                                         label/axis/cell-set mismatch.
+//                                         Grid artifacts diff cell-by-cell.
 //   tsx_report --top=N <artifact.json>    show N conflict lines (default 10)
 //
-// Exit codes: 0 ok, 1 regression(s) found (diff mode), 2 usage or I/O error.
+// Exit codes: 0 ok, 1 failure(s) found (diff mode), 2 usage or I/O error.
 #include <cstdio>
 #include <string>
 
 #include "bench/args.h"
+#include "sim/fsio.h"
 #include "sim/json_parse.h"
 #include "sim/report.h"
 
 namespace {
 
-bool read_file(const std::string& path, std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return false;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
-  const bool ok = !std::ferror(f);
-  std::fclose(f);
-  return ok;
-}
-
 bool load_doc(const std::string& path, tsxhpc::sim::JsonValue& doc) {
   std::string text;
-  if (!read_file(path, text)) {
+  if (!tsxhpc::sim::read_file(path, text)) {
     std::fprintf(stderr, "tsx_report: cannot read %s\n", path.c_str());
     return false;
   }
@@ -42,8 +38,10 @@ bool load_doc(const std::string& path, tsxhpc::sim::JsonValue& doc) {
                  err.c_str());
     return false;
   }
-  if (!tsxhpc::sim::is_telemetry_doc(doc)) {
-    std::fprintf(stderr, "tsx_report: %s is not a tsxhpc-telemetry artifact\n",
+  if (!tsxhpc::sim::is_telemetry_doc(doc) && !tsxhpc::sim::is_sweep_doc(doc)) {
+    std::fprintf(stderr,
+                 "tsx_report: %s is neither a tsxhpc-telemetry nor a "
+                 "tsxhpc-sweep artifact\n",
                  path.c_str());
     return false;
   }
@@ -53,25 +51,44 @@ bool load_doc(const std::string& path, tsxhpc::sim::JsonValue& doc) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  tsxhpc::bench::Args args("tsx_report",
-                           "analyze/diff tsxhpc-telemetry JSON artifacts");
-  bool diff = false;
+  tsxhpc::bench::Args args(
+      "tsx_report", "analyze/diff tsxhpc telemetry and sweep JSON artifacts");
+  bool diff = false, cli_markdown = false;
   std::size_t top = 10;
   tsxhpc::sim::DiffThresholds thr;
-  std::string path0, path1;
-  args.add_bool("diff", "compare two artifacts; exit 1 on regression", &diff);
+  std::string path0, path1, pivot, metric = "abort-rate";
+  args.add_bool("diff", "compare two artifacts; exit 1 on regression or "
+                        "label/axis-set mismatch", &diff);
   args.add_size("top", "conflict lines to show in the report", &top);
+  args.add_string("pivot",
+                  "sweep grids: render a two-axis pivot table, e.g. "
+                  "--pivot=scheme,threads", &pivot);
+  args.add_string("metric",
+                  "pivot metric: abort-rate, wasted, makespan, commits, or "
+                  "a cycle bucket (work, tx_committed, tx_wasted, lock_wait, "
+                  "fallback, mem_stall)", &metric);
   args.add_double("max-abort-rate-pp",
                   "diff: allowed abort-rate increase (percentage points)",
                   &thr.abort_rate_pp);
   args.add_double("max-wasted-pp",
                   "diff: allowed wasted-cycle increase (percentage points)",
                   &thr.wasted_cycle_pp);
-  args.add_positional("artifact", "telemetry artifact (diff: the baseline)",
-                      &path0, true);
+  args.add_bool("cli-markdown",
+                "print the flag table as markdown and exit (the "
+                "EXPERIMENTS.md CLI reference is generated from this)",
+                &cli_markdown);
+  args.add_positional("artifact", "telemetry/sweep artifact (diff: the "
+                                  "baseline)", &path0, false);
   args.add_positional("current", "second artifact (diff mode only)", &path1,
                       false);
   if (!args.parse(argc, argv)) return args.exit_code();
+  if (cli_markdown) {
+    std::printf("### `tsx_report`\n\n%s", args.markdown().c_str());
+    return 0;
+  }
+  if (path0.empty()) {
+    return args.fail("missing required argument <artifact>");
+  }
 
   if (diff) {
     if (path1.empty()) {
@@ -79,19 +96,48 @@ int main(int argc, char** argv) {
     }
     tsxhpc::sim::JsonValue base, cur;
     if (!load_doc(path0, base) || !load_doc(path1, cur)) return 2;
+    const bool base_sweep = tsxhpc::sim::is_sweep_doc(base);
+    const bool cur_sweep = tsxhpc::sim::is_sweep_doc(cur);
+    if (base_sweep != cur_sweep) {
+      std::fprintf(stderr,
+                   "tsx_report: cannot diff a sweep grid against a flat "
+                   "telemetry artifact (%s vs %s)\n",
+                   path0.c_str(), path1.c_str());
+      return 2;
+    }
     std::string out;
-    const int regressions = tsxhpc::sim::render_diff(base, cur, thr, out);
+    const int failures =
+        base_sweep ? tsxhpc::sim::render_sweep_diff(base, cur, thr, out)
+                   : tsxhpc::sim::render_diff(base, cur, thr, out);
     std::fputs(out.c_str(), stdout);
-    return regressions > 0 ? 1 : 0;
+    return failures > 0 ? 1 : 0;
   }
 
   if (!path1.empty()) {
     return args.fail("exactly one artifact expected (or pass --diff)");
   }
-  tsxhpc::sim::ReportOptions opt;
-  opt.top_lines = top;
   tsxhpc::sim::JsonValue doc;
   if (!load_doc(path0, doc)) return 2;
+  if (!pivot.empty()) {
+    if (!tsxhpc::sim::is_sweep_doc(doc)) {
+      return args.fail("--pivot needs a tsxhpc-sweep-v1 grid artifact");
+    }
+    const std::size_t comma = pivot.find(',');
+    if (comma == std::string::npos) {
+      return args.fail("--pivot wants two axis names: --pivot=axisA,axisB");
+    }
+    std::string out;
+    const bool ok = tsxhpc::sim::render_sweep_pivot(
+        doc, pivot.substr(0, comma), pivot.substr(comma + 1), metric, out);
+    std::fputs(out.c_str(), stdout);
+    return ok ? 0 : 2;
+  }
+  if (tsxhpc::sim::is_sweep_doc(doc)) {
+    std::fputs(tsxhpc::sim::render_sweep_report(doc).c_str(), stdout);
+    return 0;
+  }
+  tsxhpc::sim::ReportOptions opt;
+  opt.top_lines = top;
   std::fputs(tsxhpc::sim::render_report(doc, opt).c_str(), stdout);
   return 0;
 }
