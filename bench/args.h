@@ -51,6 +51,13 @@ class Args {
                   std::string* out) {
     add(name, help, out->empty() ? "" : *out, Kind::kString, out);
   }
+  /// String flag whose value is optional: bare `--name` assigns
+  /// `bare_value`, `--name=v` assigns v (tsx_report's `--sets[=level]`).
+  void add_opt_string(const std::string& name, const std::string& help,
+                      std::string* out, const std::string& bare_value) {
+    add(name, help, out->empty() ? "" : *out, Kind::kOptString, out);
+    flags_.back().bare_value = bare_value;
+  }
 
   /// Bare (non `--`) argument, filled in declaration order.
   void add_positional(const std::string& name, const std::string& help,
@@ -100,6 +107,10 @@ class Args {
         return error("unknown flag '--" + name + "'");
       }
       if (eq == std::string::npos) {
+        if (f->kind == Kind::kOptString) {
+          *static_cast<std::string*>(f->out) = f->bare_value;
+          continue;
+        }
         if (f->kind != Kind::kBool) {
           return error("flag '--" + name + "' requires a value (--" + name +
                        "=...)");
@@ -148,7 +159,9 @@ class Args {
     u += "\nflags:\n";
     for (const Flag& f : flags_) {
       std::string left = "--" + f.name;
-      if (f.kind != Kind::kBool) {
+      if (f.kind == Kind::kOptString) {
+        left += std::string("[=<") + type_name(f.kind) + ">]";
+      } else if (f.kind != Kind::kBool) {
         left += std::string("=<") + type_name(f.kind) + ">";
       }
       std::string right = f.help;
@@ -169,7 +182,9 @@ class Args {
     std::string md = "| flag | default | description |\n|---|---|---|\n";
     for (const Flag& f : flags_) {
       std::string spelled = "`--" + f.name;
-      if (f.kind != Kind::kBool) {
+      if (f.kind == Kind::kOptString) {
+        spelled += std::string("[=<") + type_name(f.kind) + ">]";
+      } else if (f.kind != Kind::kBool) {
         spelled += std::string("=<") + type_name(f.kind) + ">";
       }
       spelled += "`";
@@ -180,7 +195,7 @@ class Args {
   }
 
  private:
-  enum class Kind { kBool, kInt, kSize, kDouble, kString };
+  enum class Kind { kBool, kInt, kSize, kDouble, kString, kOptString };
 
   struct Flag {
     std::string name;
@@ -188,6 +203,7 @@ class Args {
     std::string def;
     Kind kind;
     void* out;
+    std::string bare_value;  // kOptString only: value a bare `--name` assigns
   };
   struct Positional {
     std::string name;
@@ -198,7 +214,7 @@ class Args {
 
   void add(const std::string& name, const std::string& help,
            const std::string& def, Kind kind, void* out) {
-    flags_.push_back(Flag{name, help, def, kind, out});
+    flags_.push_back(Flag{name, help, def, kind, out, {}});
   }
 
   Flag* find(const std::string& name) {
@@ -234,6 +250,7 @@ class Args {
         return true;
       }
       case Kind::kString:
+      case Kind::kOptString:
         *static_cast<std::string*>(f.out) = v;
         return true;
     }
@@ -247,6 +264,7 @@ class Args {
       case Kind::kSize: return "n";
       case Kind::kDouble: return "float";
       case Kind::kString: return "str";
+      case Kind::kOptString: return "str";
     }
     return "?";
   }

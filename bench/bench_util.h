@@ -79,6 +79,19 @@ class BenchIo {
                    &llc_bytes_);
     args_.add_size("llc-ways", "LLC associativity (0 = model default)",
                    &llc_ways_);
+    args_.add_bool("set-stats",
+                   "record per-cache-set counters (telemetry v5 set_stats "
+                   "block: fills, evictions, back-invalidations, capacity "
+                   "dooms per set)",
+                   &set_stats_);
+    args_.add_size("sample-interval",
+                   "initial virtual-time sampling interval in cycles "
+                   "(0 = telemetry default)",
+                   &sample_interval_);
+    args_.add_size("max-samples",
+                   "interval-series bucket cap before merge-and-double "
+                   "(0 = telemetry default)",
+                   &max_samples_);
   }
 
   /// The underlying parser, for bench-specific flag declarations.
@@ -109,6 +122,10 @@ class BenchIo {
     if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
+      if (sample_interval_ != 0) {
+        opt.sample_interval = static_cast<sim::Cycles>(sample_interval_);
+      }
+      if (max_samples_ != 0) opt.max_samples = max_samples_;
       telemetry_ = std::make_unique<sim::Telemetry>(opt);
     }
     return true;
@@ -127,6 +144,7 @@ class BenchIo {
     if (l1_ways_ != 0) mc.l1_ways = static_cast<std::uint32_t>(l1_ways_);
     if (llc_bytes_ != 0) mc.llc_bytes = static_cast<std::uint32_t>(llc_bytes_);
     if (llc_ways_ != 0) mc.llc_ways = static_cast<std::uint32_t>(llc_ways_);
+    mc.set_stats = set_stats_;
   }
 
   bool quick() const { return quick_; }
@@ -198,6 +216,9 @@ class BenchIo {
   std::size_t l1_ways_ = 0;
   std::size_t llc_bytes_ = 0;
   std::size_t llc_ways_ = 0;
+  bool set_stats_ = false;
+  std::size_t sample_interval_ = 0;
+  std::size_t max_samples_ = 0;
   sim::BackendKind backend_ = sim::default_backend();
   sim::TxPolicyKind tx_policy_ = sim::TxPolicyKind::kPaper;
   std::unique_ptr<sim::Telemetry> telemetry_;

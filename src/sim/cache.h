@@ -44,6 +44,24 @@ struct CacheTouch {
   std::uint16_t evicted_sharers = 0;
 };
 
+/// Per-set event counters (telemetry v5). One instance per set, enabled on
+/// demand via CacheLevel::enable_set_stats() so the default path stays free.
+/// The same struct serves both levels; fields that do not apply to a level
+/// (e.g. xfers at L1, write dooms at LLC) simply stay zero. The *charging*
+/// happens in MemorySystem — which knows which level served an access and
+/// which doom belongs to which set — the CacheLevel only owns the storage,
+/// keyed by its own set indexing.
+struct SetCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;  ///< == fills: every miss allocates at this level
+  std::uint64_t evictions = 0;
+  std::uint64_t xfers = 0;              ///< LLC only: cross-core transfers
+  std::uint64_t back_invalidations = 0;  ///< L1 only: inclusion victims
+  std::uint64_t doom_draws = 0;   ///< LLC only: read-evict abort lotteries
+  std::uint64_t capacity_write_dooms = 0;  ///< L1 only, charged at rollback
+  std::uint64_t capacity_read_dooms = 0;   ///< LLC only, charged at rollback
+};
+
 class CacheLevel {
  public:
   /// One resident line. The transactional marks are used by L1 instances,
@@ -114,9 +132,15 @@ class CacheLevel {
     return const_cast<CacheLevel*>(this)->find(line) != nullptr;
   }
 
-  /// Remote write: drop our copy (coherence invalidation).
-  void invalidate(Addr line) {
-    if (Entry* e = find(line)) e->valid = false;
+  /// Remote write: drop our copy (coherence invalidation). Returns whether
+  /// a resident copy was actually dropped, so callers distinguishing
+  /// back-invalidations (inclusion) from no-ops can count them.
+  bool invalidate(Addr line) {
+    if (Entry* e = find(line)) {
+      e->valid = false;
+      return true;
+    }
+    return false;
   }
 
   /// Clear transactional marks owned by `tid` (on commit or abort). Aborts
@@ -149,11 +173,29 @@ class CacheLevel {
     return static_cast<std::size_t>(sets_) * ways_;
   }
 
- private:
   std::uint32_t set_of(Addr line) const {
     // Lines are already addr / line_bytes; index by low bits.
     return static_cast<std::uint32_t>(line) & (sets_ - 1);
   }
+
+  /// Allocate (or zero) the per-set counter table. Idempotent; called by
+  /// MemorySystem at region entry when MachineConfig::set_stats is on.
+  void reset_set_stats() { set_stats_.assign(sets_, SetCounters{}); }
+  bool set_stats_enabled() const { return !set_stats_.empty(); }
+  /// Mutable per-set counters for `set`; only valid after reset_set_stats().
+  SetCounters& set_stats(std::uint32_t set) { return set_stats_[set]; }
+  const std::vector<SetCounters>& set_stats() const { return set_stats_; }
+
+  /// End-of-run occupancy snapshot: valid resident lines per set (0..ways).
+  std::vector<std::uint32_t> occupancy_by_set() const {
+    std::vector<std::uint32_t> occ(sets_, 0);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].valid) ++occ[i / ways_];
+    }
+    return occ;
+  }
+
+ private:
 
   /// LRU victim within the set; prefers invalid ways.
   Entry* victim(Addr line) {
@@ -170,6 +212,7 @@ class CacheLevel {
   std::uint32_t ways_;
   std::uint64_t tick_ = 0;
   std::vector<Entry> entries_;
+  std::vector<SetCounters> set_stats_;  // empty unless set-stats is enabled
 };
 
 }  // namespace tsxhpc::sim

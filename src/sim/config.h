@@ -171,6 +171,12 @@ struct MachineConfig {
   /// owned; null (the default) disables all recording.
   Telemetry* telemetry = nullptr;
 
+  /// Record per-cache-set counters (telemetry v5 `set_stats` block): per-set
+  /// fills/hits/evictions/back-invalidations plus capacity-doom attribution,
+  /// and per-object set spans. Off by default: the charging adds a counter
+  /// bump per access, and the artifact grows by O(sets) per run.
+  bool set_stats = false;
+
   int num_hw_threads() const { return num_cores * smt_per_core; }
 
   /// Core hosting hardware thread t under the configured affinity policy.

@@ -81,6 +81,16 @@ class SharedHeap {
 
   const std::vector<Region>& regions() const { return regions_; }
 
+  /// First region registered under `name`, or null. Lets tests and reports
+  /// recover a named object's extent (and therefore its expected set span)
+  /// without re-threading base/size through the workload.
+  const Region* region_named(std::string_view name) const {
+    for (const Region& r : regions_) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  }
+
   // Raw, *untimed* value access. The Context routes all timed accesses here
   // after running the coherence/transaction machinery. Tests and workload
   // setup phases may use these directly for initialization.

@@ -1,6 +1,50 @@
 #include "sim/machine.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/telemetry.h"
+
 namespace tsxhpc::sim {
+
+namespace {
+
+/// Snapshot one CacheLevel's per-set counters + end-of-run occupancy.
+LevelSetStats snapshot_level(std::string name, const CacheLevel& lvl) {
+  LevelSetStats s;
+  s.level = std::move(name);
+  s.sets = lvl.sets();
+  s.ways = lvl.ways();
+  s.counters = lvl.set_stats();
+  s.occupancy = lvl.occupancy_by_set();
+  return s;
+}
+
+/// Named-object -> set attribution: a contiguous line range maps onto a
+/// wrapped span of `sets` consecutive set indices (pure geometry — identical
+/// for every L1 instance, so it is computed once per level kind).
+NamedRegionRec attribute_region(const SharedHeap::Region& reg,
+                                const MachineConfig& cfg) {
+  NamedRegionRec o;
+  o.name = reg.name;
+  o.base = reg.base;
+  o.bytes = reg.end - reg.base;
+  const Addr first_line = cfg.line_of(reg.base);
+  const Addr last_line = cfg.line_of(reg.end - 1);
+  o.lines = last_line - first_line + 1;
+  const auto span = [&](std::uint32_t sets, std::uint32_t& start,
+                        std::uint32_t& covered) {
+    start = static_cast<std::uint32_t>(first_line) & (sets - 1);
+    covered = static_cast<std::uint32_t>(
+        o.lines < sets ? o.lines : static_cast<std::uint64_t>(sets));
+  };
+  span(cfg.l1_sets(), o.l1_set_start, o.l1_sets_covered);
+  span(cfg.llc_sets(), o.llc_set_start, o.llc_sets_covered);
+  return o;
+}
+
+}  // namespace
 
 Machine::Machine(MachineConfig cfg) : cfg_(cfg) {
   stats_.resize(cfg_.num_hw_threads());
@@ -26,6 +70,9 @@ RunStats Machine::run(const RunSpec& spec) {
 
   for (auto& s : stats_) s = ThreadStats{};
   mem_->reset_all_tx();
+  // Per-set counters cover one run, like ThreadStats — cache *contents*
+  // stay warm across runs, the counters do not.
+  if (mem_->set_stats_enabled()) mem_->reset_set_stats();
   futex_.clear();
 
   engine_ = std::make_unique<Engine>(cfg_, n);
@@ -57,6 +104,22 @@ RunStats Machine::run(const RunSpec& spec) {
   for (ThreadId t = 0; t < n; ++t) rs.threads[t].end_cycle = engine_->end_clock(t);
   rs.makespan = engine_->makespan();
   engine_.reset();
+  if (telemetry_ && mem_->set_stats_enabled()) {
+    std::vector<LevelSetStats> levels;
+    levels.reserve(static_cast<std::size_t>(cfg_.num_cores) + 1);
+    for (int c = 0; c < cfg_.num_cores; ++c) {
+      levels.push_back(
+          snapshot_level("l1.c" + std::to_string(c), mem_->l1_of_core(c)));
+    }
+    levels.push_back(snapshot_level("llc", mem_->llc()));
+    std::vector<NamedRegionRec> objects;
+    objects.reserve(mem_->heap().regions().size());
+    for (const SharedHeap::Region& reg : mem_->heap().regions()) {
+      objects.push_back(attribute_region(reg, cfg_));
+    }
+    telemetry_->record_set_stats(std::move(levels), std::move(objects),
+                                 cfg_.line_bytes);
+  }
   if (telemetry_) telemetry_->end_run(rs);
   return rs;
 }

@@ -48,6 +48,15 @@ MemorySystem::MemorySystem(const MachineConfig& cfg,
     l1_.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);
   }
   tx_.resize(cfg_.num_hw_threads());
+  set_stats_ = cfg_.set_stats;
+  // Allocate the per-set tables up front so the charge sites never race a
+  // missing reset (Machine::run re-zeros them at each region entry).
+  if (set_stats_) reset_set_stats();
+}
+
+void MemorySystem::reset_set_stats() {
+  for (CacheLevel& l1 : l1_) l1.reset_set_stats();
+  llc_.reset_set_stats();
 }
 
 void MemorySystem::check_alignment(Addr a, unsigned size) const {
@@ -174,8 +183,10 @@ void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
     if (l1_[core_of(r)].contains(line)) {
       stats_[r].tx_read_lines_evicted++;
     }
-    if (cfg_.read_evict_abort_prob > 0.0 && read_evict_dooms(line)) {
-      if (doom(r, AbortCause::kCapacityRead, evicted_addr, /*aggressor=*/-1,
+    if (cfg_.read_evict_abort_prob > 0.0) {
+      if (set_stats_) llc_.set_stats(llc_.set_of(line)).doom_draws++;
+      if (read_evict_dooms(line) &&
+          doom(r, AbortCause::kCapacityRead, evicted_addr, /*aggressor=*/-1,
                /*is_write=*/false) &&
           tel_) {
         tel_->on_capacity(r, evicted_addr, /*read_line=*/true,
@@ -193,7 +204,13 @@ void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
     cores |= static_cast<std::uint16_t>(1u << touch.evicted_dirty_core);
   }
   for (int c = 0; c < cfg_.num_cores; ++c) {
-    if (cores & (1u << c)) l1_[c].invalidate(line);
+    if ((cores & (1u << c)) && l1_[c].invalidate(line) && set_stats_) {
+      // Only count copies actually dropped: the sharer mask can
+      // over-approximate. Coherence invalidations (update_directory) are
+      // deliberately not counted here — back-invalidation pressure is the
+      // inclusion-driven component.
+      l1_[c].set_stats(l1_[c].set_of(line)).back_invalidations++;
+    }
   }
 }
 
@@ -223,9 +240,15 @@ AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
   ThreadStats& st = stats_[t];
   st.mem_accesses++;
 
-  CacheTouch l1t = l1_[core].touch(line, t, tx_write, tx_read);
+  CacheLevel& l1 = l1_[core];
+  SetCounters* l1set =
+      set_stats_ ? &l1.set_stats(l1.set_of(line)) : nullptr;
+
+  CacheTouch l1t = l1.touch(line, t, tx_write, tx_read);
   if (l1t.evicted) {
     st.l1_evictions++;
+    // The victim lives in the same L1 set as the fill that displaced it.
+    if (l1set) l1set->evictions++;
     on_l1_eviction(l1t);
   }
 
@@ -241,8 +264,12 @@ AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
     r.latency = cfg_.lat_l1_hit;
     r.level = MemLevel::kL1;
     st.l1_hits++;
+    if (l1set) l1set->hits++;
   } else {
     st.l1_misses++;
+    if (l1set) l1set->misses++;  // every L1 miss allocated in this set
+    SetCounters* llcset =
+        set_stats_ ? &llc_.set_stats(llc_.set_of(line)) : nullptr;
     if (e != nullptr) {
       // Served on-chip: a transfer from another core's L1 (the directory
       // says who has it and how) or a plain LLC hit.
@@ -250,14 +277,17 @@ AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
         r.latency = cfg_.lat_xfer_dirty;
         r.level = MemLevel::kXfer;
         st.xfers_in++;
+        if (llcset) llcset->xfers++;
       } else if ((e->sharers & ~(1u << core)) != 0) {
         r.latency = cfg_.lat_xfer_clean;
         r.level = MemLevel::kXfer;
         st.xfers_in++;
+        if (llcset) llcset->xfers++;
       } else {
         r.latency = cfg_.lat_llc_hit;
         r.level = MemLevel::kLlc;
         st.llc_hits++;
+        if (llcset) llcset->hits++;
       }
       llc_.promote(e);
     } else {
@@ -266,10 +296,12 @@ AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
       r.latency = cfg_.lat_mem;
       r.level = MemLevel::kDram;
       st.llc_misses++;
+      if (llcset) llcset->misses++;
       CacheTouch fill = llc_.touch(line, t, /*tx_write=*/false,
                                    /*tx_read=*/false);
       if (fill.evicted) {
         st.llc_evictions++;
+        if (llcset) llcset->evictions++;
         on_llc_eviction(fill);
       }
       e = llc_.find(line);
@@ -392,6 +424,20 @@ void MemorySystem::tx_end(ThreadId t) {
 void MemorySystem::tx_rollback(ThreadId t, AbortCause cause) {
   TxState& tx = tx_[t];
   if (!tx.active) throw SimError("rollback outside a transaction");
+  // Per-set capacity attribution is charged here — next to the
+  // tx_aborted[cause] increment it must reconcile with — not at doom time:
+  // a doomed transaction can still roll back under a different cause (an
+  // explicit abort racing the doom), in which case neither counter moves,
+  // keeping sum(per-set dooms) == tx_aborted[capacity class] exact.
+  if (set_stats_ && tx.doom_line != kNullAddr) {
+    const Addr line = line_of(tx.doom_line);
+    if (cause == AbortCause::kCapacityWrite) {
+      CacheLevel& l1 = l1_[core_of(t)];
+      l1.set_stats(l1.set_of(line)).capacity_write_dooms++;
+    } else if (cause == AbortCause::kCapacityRead) {
+      llc_.set_stats(llc_.set_of(line)).capacity_read_dooms++;
+    }
+  }
   clear_tx_registry(t);
   l1_[core_of(t)].clear_tx_marks(t, /*invalidate_writes=*/true);
   tx.reset();

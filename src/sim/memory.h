@@ -142,6 +142,14 @@ class MemorySystem {
   /// Abandon any in-flight transactions (run teardown after an error).
   void reset_all_tx();
 
+  /// Zero (and, on first use, allocate) the per-set counter tables of every
+  /// level. Machine::run calls this at region entry when
+  /// MachineConfig::set_stats is on, mirroring the ThreadStats reset, so
+  /// per-set counters cover exactly one run even though cache *contents*
+  /// stay warm across runs.
+  void reset_set_stats();
+  bool set_stats_enabled() const { return set_stats_; }
+
   /// Telemetry sink for conflict events (null = off). Not owned.
   void set_telemetry(Telemetry* tel) { tel_ = tel; }
 
@@ -224,6 +232,10 @@ class MemorySystem {
   // Monotone counter feeding the deterministic read-evict abort hash.
   std::uint64_t evict_events_ = 0;
   Telemetry* tel_ = nullptr;
+  // Cached MachineConfig::set_stats: when true, every charge site above also
+  // bumps the matching CacheLevel::set_stats() counter (tables are lazily
+  // allocated by reset_set_stats()).
+  bool set_stats_ = false;
 };
 
 }  // namespace tsxhpc::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 namespace tsxhpc::sim {
 
@@ -308,6 +309,23 @@ int diff_run_sets(const JsonValue& base_runs, const JsonValue& cur_runs,
   return failures;
 }
 
+/// Comparing artifacts across telemetry schema revisions silently hides (or
+/// invents) fields, so a schema-version mismatch is a loud counted failure
+/// naming both versions — the fix is refreshing the stale side, never a
+/// partial comparison. Used for flat diffs and per-cell embedded telemetry.
+int diff_schemas(const JsonValue& base, const JsonValue& cur,
+                 const std::string& where, std::string& out) {
+  const std::string& sb = base["schema"].as_string();
+  const std::string& sc = cur["schema"].as_string();
+  if (sb == sc) return 0;
+  appendf(out,
+          "%sschema: MISMATCH — baseline is '%s' but current is '%s' "
+          "(cross-schema comparison is a failure; refresh the stale "
+          "artifact)\n",
+          where.c_str(), sb.c_str(), sc.c_str());
+  return 1;
+}
+
 }  // namespace
 
 int render_diff(const JsonValue& base, const JsonValue& cur,
@@ -318,10 +336,150 @@ int render_diff(const JsonValue& base, const JsonValue& cur,
   appendf(out,
           "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
           thr.abort_rate_pp, thr.wasted_cycle_pp);
-  const int failures = diff_run_sets(base["runs"], cur["runs"], thr, "", out);
-  appendf(out, "%d failure(s) (regressions or label-set mismatches)\n",
+  int failures = diff_schemas(base, cur, "", out);
+  failures += diff_run_sets(base["runs"], cur["runs"], thr, "", out);
+  appendf(out, "%d failure(s) (regressions, schema or label-set mismatches)\n",
           failures);
   return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Per-set heatmaps (telemetry v5 `set_stats` block)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 10-step density ramp; 0 maps to ' ' so cold sets stay visually silent.
+char density_glyph(std::uint64_t v, std::uint64_t max) {
+  static const char kRamp[] = " .:-=+*#%@";
+  if (v == 0) return kRamp[0];
+  if (max == 0) return kRamp[1];
+  std::size_t idx = 1 + static_cast<std::size_t>((v * 8) / max);
+  if (idx > 9) idx = 9;
+  return kRamp[idx];
+}
+
+std::vector<std::uint64_t> set_column(const JsonValue& level,
+                                      const char* key) {
+  const JsonValue& arr = level[key];
+  std::vector<std::uint64_t> v(arr.size(), 0);
+  for (std::size_t i = 0; i < arr.size(); ++i) v[i] = arr.at(i).as_u64();
+  return v;
+}
+
+void render_density_row(std::string& out, const char* name,
+                        const std::vector<std::uint64_t>& v) {
+  std::uint64_t max = 0, total = 0;
+  for (std::uint64_t x : v) {
+    total += x;
+    if (x > max) max = x;
+  }
+  appendf(out, "    %-10s |", name);
+  for (std::uint64_t x : v) out.push_back(density_glyph(x, max));
+  appendf(out, "| total=%llu max=%llu\n",
+          static_cast<unsigned long long>(total),
+          static_cast<unsigned long long>(max));
+}
+
+/// Does the (wrapped) span [start, start+covered) of a level with `sets`
+/// sets contain `set`?
+bool span_covers(std::uint64_t start, std::uint64_t covered,
+                 std::uint64_t sets, std::uint64_t set) {
+  if (covered >= sets) return true;
+  return (set + sets - start) % sets < covered;
+}
+
+bool level_matches(const std::string& name, const std::string& filter) {
+  if (filter == "all" || filter.empty()) return true;
+  if (filter == "l1") return name.rfind("l1.", 0) == 0;
+  return name == filter;
+}
+
+}  // namespace
+
+bool render_set_heatmaps(const JsonValue& doc, const std::string& level_filter,
+                         std::string& out) {
+  bool any_block = false;
+  bool any_level = false;
+  const JsonValue& runs = doc["runs"];
+  for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+    const JsonValue& run = runs.at(ri);
+    const JsonValue& ss = run["set_stats"];
+    if (!ss.is_object()) continue;
+    any_block = true;
+    appendf(out, "\nrun %s: per-set heatmaps (line_bytes=%llu)\n",
+            run["label"].as_string().c_str(),
+            static_cast<unsigned long long>(ss["line_bytes"].as_u64()));
+    const JsonValue& levels = ss["levels"];
+    const JsonValue& objects = ss["objects"];
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const JsonValue& lv = levels.at(li);
+      const std::string& name = lv["level"].as_string();
+      if (!level_matches(name, level_filter)) continue;
+      any_level = true;
+      const std::uint64_t sets = lv["sets"].as_u64();
+      appendf(out, "  level %s: %llu sets x %llu ways\n", name.c_str(),
+              static_cast<unsigned long long>(sets),
+              static_cast<unsigned long long>(lv["ways"].as_u64()));
+      const auto occupancy = set_column(lv, "occupancy");
+      const auto evictions = set_column(lv, "evictions");
+      const auto back_inv = set_column(lv, "back_invalidations");
+      const auto w_dooms = set_column(lv, "capacity_write_dooms");
+      const auto r_dooms = set_column(lv, "capacity_read_dooms");
+      std::vector<std::uint64_t> dooms(sets, 0);
+      for (std::size_t s = 0; s < dooms.size(); ++s) {
+        dooms[s] = w_dooms[s] + r_dooms[s];
+      }
+      render_density_row(out, "occupancy", occupancy);
+      render_density_row(out, "evictions", evictions);
+      std::uint64_t bi_total = 0;
+      for (std::uint64_t x : back_inv) bi_total += x;
+      if (bi_total != 0) render_density_row(out, "back-inv", back_inv);
+      render_density_row(out, "dooms", dooms);
+      // Hottest sets by eviction pressure + capacity dooms, with the named
+      // objects whose span covers each (the "which object overflows which
+      // set" attribution the placement work needs).
+      const bool is_llc = name == "llc";
+      std::vector<std::size_t> order(dooms.size());
+      for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const std::uint64_t sa = evictions[a] + dooms[a];
+                         const std::uint64_t sb = evictions[b] + dooms[b];
+                         return sa > sb;
+                       });
+      for (std::size_t k = 0; k < order.size() && k < 4; ++k) {
+        const std::size_t s = order[k];
+        if (evictions[s] + dooms[s] == 0) break;
+        appendf(out, "    hot set %3zu: evictions=%llu dooms=%llu",
+                s, static_cast<unsigned long long>(evictions[s]),
+                static_cast<unsigned long long>(dooms[s]));
+        std::string names;
+        for (std::size_t oi = 0; oi < objects.size(); ++oi) {
+          const JsonValue& o = objects.at(oi);
+          const std::uint64_t start =
+              is_llc ? o["llc_set_start"].as_u64() : o["l1_set_start"].as_u64();
+          const std::uint64_t covered = is_llc ? o["llc_sets_covered"].as_u64()
+                                               : o["l1_sets_covered"].as_u64();
+          if (!span_covers(start, covered, sets, s)) continue;
+          if (!names.empty()) names += ", ";
+          names += o["name"].as_string();
+        }
+        appendf(out, "  objects: %s\n", names.empty() ? "-" : names.c_str());
+      }
+    }
+  }
+  if (!any_block) {
+    appendf(out, "no set_stats block in this artifact — re-run the bench "
+                 "with --set-stats (telemetry v5)\n");
+    return false;
+  }
+  if (!any_level) {
+    appendf(out, "no cache level matches --sets=%s (use all, l1, llc, or an "
+                 "instance like l1.c0)\n", level_filter.c_str());
+    return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -617,6 +775,7 @@ int render_sweep_diff(const JsonValue& base, const JsonValue& cur,
           cur["sweep"].as_string().c_str(), cur["bench"].as_string().c_str());
   appendf(out, "thresholds: abort-rate +%.2fpp, wasted-cycles +%.2fpp\n",
           thr.abort_rate_pp, thr.wasted_cycle_pp);
+  failures += diff_schemas(base, cur, "", out);
   // The grids must describe the same axes with the same value lists (order
   // included — expansion order names the cells).
   const JsonValue& base_axes = base["axes"];
@@ -669,6 +828,10 @@ int render_sweep_diff(const JsonValue& base, const JsonValue& cur,
       failures++;
       continue;
     }
+    // Embedded telemetry rides verbatim per cell, so a schema bump shows up
+    // here (the grid wrapper stays tsxhpc-sweep-v1 across telemetry bumps).
+    failures += diff_schemas((*b)["telemetry"], c["telemetry"],
+                             "cell " + label + ": ", out);
     failures += diff_run_sets((*b)["telemetry"]["runs"],
                               c["telemetry"]["runs"], thr,
                               "cell " + label + ": ", out);

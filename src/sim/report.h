@@ -39,6 +39,22 @@ std::string render_report(const JsonValue& doc, const ReportOptions& opt = {});
 int render_diff(const JsonValue& base, const JsonValue& cur,
                 const DiffThresholds& thr, std::string& out);
 
+/// Render terminal per-set heatmaps from a v5 artifact's `set_stats` block:
+/// per-level occupancy, eviction-pressure and capacity-abort density rows
+/// (one glyph per set), plus the named objects spanning the hottest sets.
+/// `level_filter` selects levels: "all", "l1" (every L1 instance), "llc",
+/// or an exact instance name like "l1.c0". Returns false — with an
+/// explanatory message appended — when the artifact has no set_stats block
+/// (run without --set-stats) or the filter matches no level.
+bool render_set_heatmaps(const JsonValue& doc, const std::string& level_filter,
+                         std::string& out);
+
+/// Self-contained HTML dashboard (report_html.cc): inline CSS + SVG, zero
+/// external dependencies, deterministic bytes. Telemetry artifacts get
+/// per-run set heatmaps (when present), interval time series and per-site
+/// policy tables; sweep artifacts additionally get scaling curves.
+std::string render_html(const JsonValue& doc);
+
 /// Render the grid view of a sweep artifact: the axes, a per-cell summary
 /// table, and — when the grid has a "threads" axis — makespan/speedup
 /// scaling curves per combination of the remaining axes.

@@ -132,6 +132,15 @@ class SharedArray {
   }
 
   std::size_t size() const { return n_; }
+  std::size_t bytes() const { return n_ * sizeof(T); }
+  /// Distinct cache lines the array spans under `line_bytes` — the object's
+  /// geometry footprint, matched against the telemetry v5 set-attribution
+  /// block by tests and reports.
+  std::size_t lines(std::uint32_t line_bytes) const {
+    if (n_ == 0) return 0;
+    return static_cast<std::size_t>((base_ + bytes() - 1) / line_bytes -
+                                    base_ / line_bytes + 1);
+  }
   Addr addr(std::size_t i) const { return base_ + i * sizeof(T); }
   Shared<T> at(std::size_t i) const {
     if (i >= n_) throw SimError("SharedArray index out of range");

@@ -95,16 +95,41 @@ void Telemetry::begin_run(int num_threads,
   next_section_id_ = 0;
   last_l1_hits_ = 0;
   last_l1_misses_ = 0;
+  last_llc_misses_ = 0;
+  last_mem_stall_ = 0;
   hold_since_.clear();
 }
 
 void Telemetry::end_run(const RunStats& rs) {
   RunRecord* r = cur();
   if (!r) return;
+  // Flush the tail of the v5 memory-pressure columns (deltas accrued since
+  // the last sampling event) into the final bucket, so each column sums
+  // exactly to its run total (the CI sample-sum invariant). The v4 l1
+  // columns deliberately keep their unflushed semantics: their recorded
+  // values are frozen by the v4-era goldens, which the policy-equivalence
+  // test holds to "new keys only". A run with no sampling events at all
+  // keeps an empty series (nothing to flush into).
+  if (!r->samples.empty()) {
+    const ThreadStats tot = rs.total();
+    IntervalSample& last = r->samples.back();
+    last.llc_misses += tot.llc_misses - last_llc_misses_;
+    last.mem_stall += tot.bucket(CycleBucket::kMemStall) - last_mem_stall_;
+  }
   r->stats = rs;
   r->complete = true;
   open_run_ = false;
   live_stats_ = nullptr;
+}
+
+void Telemetry::record_set_stats(std::vector<LevelSetStats> levels,
+                                 std::vector<NamedRegionRec> objects,
+                                 std::uint32_t line_bytes) {
+  RunRecord* r = cur();
+  if (!r) return;
+  r->set_stats = std::move(levels);
+  r->set_objects = std::move(objects);
+  r->line_bytes = line_bytes;
 }
 
 void Telemetry::abandon_run() {
@@ -144,16 +169,23 @@ IntervalSample& Telemetry::bucket(RunRecord& r, Cycles at) {
 
 void Telemetry::sample_l1(RunRecord& r, Cycles at) {
   if (!live_stats_) return;
-  std::uint64_t hits = 0, misses = 0;
+  std::uint64_t hits = 0, misses = 0, llc_misses = 0;
+  Cycles mem_stall = 0;
   for (const auto& s : *live_stats_) {
     hits += s.l1_hits;
     misses += s.l1_misses;
+    llc_misses += s.llc_misses;
+    mem_stall += s.bucket(CycleBucket::kMemStall);
   }
   IntervalSample& b = bucket(r, at);
   b.l1_hits += hits - last_l1_hits_;
   b.l1_misses += misses - last_l1_misses_;
+  b.llc_misses += llc_misses - last_llc_misses_;
+  b.mem_stall += mem_stall - last_mem_stall_;
   last_l1_hits_ = hits;
   last_l1_misses_ = misses;
+  last_llc_misses_ = llc_misses;
+  last_mem_stall_ = mem_stall;
 }
 
 void Telemetry::push_attempt(RunRecord& r, const AttemptRec& rec) {
@@ -452,7 +484,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v4");
+  w.kv("schema", "tsxhpc-telemetry-v5");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -588,6 +620,10 @@ std::string Telemetry::json(const std::string& bench_name) const {
     column("fallbacks", [](const IntervalSample& s) { return s.fallbacks; });
     column("l1_hits", [](const IntervalSample& s) { return s.l1_hits; });
     column("l1_misses", [](const IntervalSample& s) { return s.l1_misses; });
+    // v5 memory-pressure columns; end_run flushes their tail so each sums
+    // exactly to the run total.
+    column("llc_misses", [](const IntervalSample& s) { return s.llc_misses; });
+    column("mem_stall", [](const IntervalSample& s) { return s.mem_stall; });
     w.end_object();
 
     w.key("conflicts");
@@ -645,6 +681,72 @@ std::string Telemetry::json(const std::string& bench_name) const {
     w.end_array();
     w.kv("capacity_lines_total",
          static_cast<std::uint64_t>(r.capacity_lines.size()));
+
+    // Per-set accounting (v5). Omitted entirely when the run was recorded
+    // without MachineConfig::set_stats, so default artifacts only change by
+    // the documented schema-string/sample-column deltas.
+    if (!r.set_stats.empty()) {
+      w.key("set_stats");
+      w.begin_object();
+      w.kv("line_bytes", static_cast<std::uint64_t>(r.line_bytes));
+      w.key("levels");
+      w.begin_array();
+      for (const LevelSetStats& lv : r.set_stats) {
+        w.begin_object();
+        w.kv("level", lv.level);
+        w.kv("sets", static_cast<std::uint64_t>(lv.sets));
+        w.kv("ways", static_cast<std::uint64_t>(lv.ways));
+        auto set_column = [&](const char* key, auto get) {
+          w.key(key);
+          w.begin_array();
+          for (const SetCounters& c : lv.counters) w.value(get(c));
+          w.end_array();
+        };
+        set_column("hits", [](const SetCounters& c) { return c.hits; });
+        set_column("misses", [](const SetCounters& c) { return c.misses; });
+        set_column("evictions",
+                   [](const SetCounters& c) { return c.evictions; });
+        set_column("xfers", [](const SetCounters& c) { return c.xfers; });
+        set_column("back_invalidations",
+                   [](const SetCounters& c) { return c.back_invalidations; });
+        set_column("doom_draws",
+                   [](const SetCounters& c) { return c.doom_draws; });
+        set_column("capacity_write_dooms", [](const SetCounters& c) {
+          return c.capacity_write_dooms;
+        });
+        set_column("capacity_read_dooms", [](const SetCounters& c) {
+          return c.capacity_read_dooms;
+        });
+        {
+          w.key("occupancy");
+          w.begin_array();
+          for (std::uint32_t o : lv.occupancy) {
+            w.value(static_cast<std::uint64_t>(o));
+          }
+          w.end_array();
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.key("objects");
+      w.begin_array();
+      for (const NamedRegionRec& o : r.set_objects) {
+        w.begin_object();
+        w.kv("name", o.name);
+        w.kv_hex("base", o.base);
+        w.kv("bytes", o.bytes);
+        w.kv("lines", o.lines);
+        w.kv("l1_set_start", static_cast<std::uint64_t>(o.l1_set_start));
+        w.kv("l1_sets_covered",
+             static_cast<std::uint64_t>(o.l1_sets_covered));
+        w.kv("llc_set_start", static_cast<std::uint64_t>(o.llc_set_start));
+        w.kv("llc_sets_covered",
+             static_cast<std::uint64_t>(o.llc_sets_covered));
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
 
     w.key("futexes");
     w.begin_array();

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/cache.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -185,6 +186,12 @@ struct IntervalSample {
   std::uint64_t fallbacks = 0;
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;
+  // v5 memory-pressure columns. Unlike the l1 columns (whose tail between
+  // the last sampling event and run end is never flushed — frozen v4
+  // semantics), these are flushed into the final bucket at end_run, so each
+  // column sums exactly to its run total (CI-checked).
+  std::uint64_t llc_misses = 0;
+  Cycles mem_stall = 0;
 
   void merge(const IntervalSample& o) {
     tx_started += o.tx_started;
@@ -193,7 +200,35 @@ struct IntervalSample {
     fallbacks += o.fallbacks;
     l1_hits += o.l1_hits;
     l1_misses += o.l1_misses;
+    llc_misses += o.llc_misses;
+    mem_stall += o.mem_stall;
   }
+};
+
+/// Per-set counters of one cache level, snapshotted at end of run (schema
+/// v5, present only when MachineConfig::set_stats is on). `level` names the
+/// instance ("l1.c0".."l1.cN" / "llc"); `occupancy` is the end-of-run valid
+/// line count per set (0..ways).
+struct LevelSetStats {
+  std::string level;
+  std::uint32_t sets = 0;
+  std::uint32_t ways = 0;
+  std::vector<SetCounters> counters;
+  std::vector<std::uint32_t> occupancy;
+};
+
+/// One named allocation's geometry footprint: which contiguous line range it
+/// occupies and the (wrapped) set span it maps to at each level. Computed
+/// at export from the registry + geometry — a pure function, no counters.
+struct NamedRegionRec {
+  std::string name;
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t lines = 0;
+  std::uint32_t l1_set_start = 0;   // first_line % l1_sets
+  std::uint32_t l1_sets_covered = 0;  // min(lines, l1_sets)
+  std::uint32_t llc_set_start = 0;
+  std::uint32_t llc_sets_covered = 0;
 };
 
 /// Power-of-two-bucket histogram: bucket 0 holds value 0, bucket i holds
@@ -266,6 +301,13 @@ struct RunRecord {
   std::vector<IntervalSample> samples;
   Cycles sample_interval = 0;
 
+  /// Per-set accounting (v5). Empty unless MachineConfig::set_stats was on
+  /// for the run; the exporter omits the block entirely when empty so
+  /// ungated artifacts do not change shape.
+  std::vector<LevelSetStats> set_stats;
+  std::vector<NamedRegionRec> set_objects;
+  std::uint32_t line_bytes = 0;  // geometry context for the set block
+
   /// Attempts in chronological (ring-unrolled) order.
   std::vector<AttemptRec> attempts_in_order() const;
   std::vector<BlockedSlice> blocked_in_order() const;
@@ -288,6 +330,13 @@ class Telemetry {
   void end_run(const RunStats& rs);
   /// Discard the open run record (engine teardown path).
   void abandon_run();
+
+  /// Attach the per-set snapshot to the open run (called by Machine just
+  /// before end_run when MachineConfig::set_stats is on). No-op when no run
+  /// is open.
+  void record_set_stats(std::vector<LevelSetStats> levels,
+                        std::vector<NamedRegionRec> objects,
+                        std::uint32_t line_bytes);
 
   // --- Hooks (called with the scheduler token held) -----------------------
 
@@ -337,7 +386,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v4), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v5), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices
@@ -378,6 +427,8 @@ class Telemetry {
   std::uint32_t next_section_id_ = 0;
   std::uint64_t last_l1_hits_ = 0;
   std::uint64_t last_l1_misses_ = 0;
+  std::uint64_t last_llc_misses_ = 0;
+  Cycles last_mem_stall_ = 0;
   std::map<std::pair<Addr, ThreadId>, Cycles> hold_since_;
 };
 

@@ -53,12 +53,14 @@ std::string parse_spec_error(const std::string& text) {
 }
 
 /// A minimal but report-compatible tsxhpc-telemetry-v4 artifact with one run.
+/// `schema` overrides the version string for cross-schema diff tests.
 std::string make_telemetry(const std::string& label, std::uint64_t makespan,
-                           double abort_rate_pct, double wasted_pct) {
+                           double abort_rate_pct, double wasted_pct,
+                           const std::string& schema = "tsxhpc-telemetry-v4") {
   JsonWriter w;
   w.begin_object();
   w.key("schema");
-  w.value("tsxhpc-telemetry-v4");
+  w.value(schema);
   w.key("bench");
   w.value("fig2_stamp");
   w.key("runs");
@@ -317,6 +319,42 @@ TEST(SweepDiff, EmbeddedRunRegressionIsAFailure) {
   std::string out;
   EXPECT_EQ(render_sweep_diff(base, cur, DiffThresholds{}, out), 1) << out;
   EXPECT_NE(out.find("scheme=tsx/threads=1"), std::string::npos) << out;
+}
+
+TEST(RenderDiff, SchemaMismatchIsACountedFailureNamingBothVersions) {
+  // A v4 baseline diffed against a v5 artifact (or any schema pair) must be
+  // a loud, counted failure — never a silent pass on a stale baseline.
+  const JsonValue base =
+      parse_ok(make_telemetry("a", 1000, 5.0, 10.0, "tsxhpc-telemetry-v4"));
+  const JsonValue cur =
+      parse_ok(make_telemetry("a", 1000, 5.0, 10.0, "tsxhpc-telemetry-v5"));
+  std::string out;
+  EXPECT_EQ(render_diff(base, cur, DiffThresholds{}, out), 1) << out;
+  EXPECT_NE(out.find("MISMATCH"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v4"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v5"), std::string::npos) << out;
+  // Reverse direction fails identically; same schema passes.
+  out.clear();
+  EXPECT_EQ(render_diff(cur, base, DiffThresholds{}, out), 1) << out;
+  out.clear();
+  EXPECT_EQ(render_diff(cur, cur, DiffThresholds{}, out), 0) << out;
+}
+
+TEST(SweepDiff, EmbeddedSchemaMismatchIsAPerCellFailure) {
+  const SweepSpec spec = parse_spec_ok(kSpecText);
+  const JsonValue base = make_grid(spec, [](const SweepCell& c, std::size_t) {
+    return make_telemetry(c.label, 1000, 5.0, 10.0, "tsxhpc-telemetry-v4");
+  });
+  const JsonValue cur = make_grid(spec, [](const SweepCell& c, std::size_t) {
+    return make_telemetry(c.label, 1000, 5.0, 10.0, "tsxhpc-telemetry-v5");
+  });
+  std::string out;
+  // Every cell embeds a mismatched telemetry schema: one failure per cell,
+  // each naming both versions.
+  EXPECT_EQ(render_sweep_diff(base, cur, DiffThresholds{}, out), 6) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v4"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v5"), std::string::npos) << out;
+  EXPECT_NE(out.find("scheme=tsx/threads=4"), std::string::npos) << out;
 }
 
 TEST(RenderDiff, LabelSetMismatchFailsBothDirections) {

@@ -206,14 +206,35 @@ TEST(Telemetry, JsonAndTraceAreStructurallyValid) {
   contended_run(&tel, 4, 60, "validity");
   const std::string j = tel.json("telemetry_test");
   expect_balanced_json(j);
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v4\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v5\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"validity\""), std::string::npos);
   EXPECT_NE(j.find("\"backoff_cycles\""), std::string::npos);
   EXPECT_NE(j.find("\"policy\""), std::string::npos);
+  EXPECT_NE(j.find("\"llc_misses\""), std::string::npos);
+  EXPECT_NE(j.find("\"mem_stall\""), std::string::npos);
   const std::string t = tel.chrome_trace();
   expect_balanced_json(t);
   EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(t.find("\"txn commit\""), std::string::npos);
+}
+
+TEST(Telemetry, V5SampleColumnsSumToRunTotals) {
+  // The v5 interval columns (llc_misses, mem_stall) get an end_run tail
+  // flush into the last bucket, so each column sums exactly to the run
+  // total. (The v4 l1 columns deliberately keep their frozen, unflushed
+  // semantics — goldens depend on those bytes.)
+  Telemetry tel;
+  const RunStats rs = contended_run(&tel, 4, 60, "sums");
+  const RunRecord& r = tel.runs().at(0);
+  ASSERT_FALSE(r.samples.empty());
+  std::uint64_t llc = 0, stall = 0;
+  for (const IntervalSample& s : r.samples) {
+    llc += s.llc_misses;
+    stall += s.mem_stall;
+  }
+  const ThreadStats tot = rs.total();
+  EXPECT_EQ(llc, tot.llc_misses);
+  EXPECT_EQ(stall, tot.bucket(CycleBucket::kMemStall));
 }
 
 TEST(PerfReport, GoldenSmallCounters) {

@@ -13,6 +13,13 @@
 //                                         label/axis/cell-set mismatch.
 //                                         Grid artifacts diff cell-by-cell.
 //   tsx_report --top=N <artifact.json>    show N conflict lines (default 10)
+//   tsx_report --sets[=level] <artifact.json>
+//                                         per-set heatmaps from a v5
+//                                         artifact's set_stats block
+//                                         (level: all, l1, llc, l1.c0, ...)
+//   tsx_report --html=<out.html> <artifact.json>
+//                                         write a self-contained HTML
+//                                         dashboard (inline CSS/SVG)
 //
 // Exit codes: 0 ok, 1 failure(s) found (diff mode), 2 usage or I/O error.
 #include <cstdio>
@@ -56,7 +63,7 @@ int main(int argc, char** argv) {
   bool diff = false, cli_markdown = false;
   std::size_t top = 10;
   tsxhpc::sim::DiffThresholds thr;
-  std::string path0, path1, pivot, metric = "abort-rate";
+  std::string path0, path1, pivot, metric = "abort-rate", sets, html;
   args.add_bool("diff", "compare two artifacts; exit 1 on regression or "
                         "label/axis-set mismatch", &diff);
   args.add_size("top", "conflict lines to show in the report", &top);
@@ -67,6 +74,13 @@ int main(int argc, char** argv) {
                   "pivot metric: abort-rate, wasted, makespan, commits, or "
                   "a cycle bucket (work, tx_committed, tx_wasted, lock_wait, "
                   "fallback, mem_stall)", &metric);
+  args.add_opt_string("sets",
+                      "print per-set heatmaps from a v5 artifact's set_stats "
+                      "block; optionally select a level (all, l1, llc, or an "
+                      "instance like l1.c0)", &sets, "all");
+  args.add_string("html",
+                  "write a self-contained HTML dashboard (inline CSS/SVG, no "
+                  "external assets) to this path", &html);
   args.add_double("max-abort-rate-pp",
                   "diff: allowed abort-rate increase (percentage points)",
                   &thr.abort_rate_pp);
@@ -118,6 +132,25 @@ int main(int argc, char** argv) {
   }
   tsxhpc::sim::JsonValue doc;
   if (!load_doc(path0, doc)) return 2;
+  if (!html.empty()) {
+    const std::string page = tsxhpc::sim::render_html(doc);
+    if (!tsxhpc::sim::atomic_write_file(html, page)) {
+      std::fprintf(stderr, "tsx_report: cannot write %s\n", html.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu bytes)\n", html.c_str(), page.size());
+    if (sets.empty()) return 0;
+  }
+  if (!sets.empty()) {
+    if (!tsxhpc::sim::is_telemetry_doc(doc)) {
+      return args.fail("--sets needs a telemetry artifact (sweep grids embed "
+                       "per-cell telemetry; report those individually)");
+    }
+    std::string out;
+    const bool ok = tsxhpc::sim::render_set_heatmaps(doc, sets, out);
+    std::fputs(out.c_str(), stdout);
+    return ok ? 0 : 2;
+  }
   if (!pivot.empty()) {
     if (!tsxhpc::sim::is_sweep_doc(doc)) {
       return args.fail("--pivot needs a tsxhpc-sweep-v1 grid artifact");
