@@ -64,6 +64,10 @@ class BenchIo {
                      "elision retry/backoff/fallback policy: paper, no-hint, "
                      "expo-backoff or adaptive-site (default: paper)",
                      &policy_name_);
+    args_.add_string("alloc",
+                     "named-allocation placement strategy: bump, slab, color "
+                     "or adversarial (default: bump)",
+                     &alloc_name_);
     args_.add_bool("cli-markdown",
                    "print the flag table as markdown and exit (the "
                    "EXPERIMENTS.md CLI reference is generated from this)",
@@ -119,6 +123,12 @@ class BenchIo {
                  "adaptive-site)");
       return false;
     }
+    if (!alloc_name_.empty() &&
+        !sim::alloc_strategy_from_string(alloc_name_, alloc_strategy_)) {
+      args_.fail("bad value for '--alloc': '" + alloc_name_ +
+                 "' (expected bump, slab, color or adversarial)");
+      return false;
+    }
     if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
@@ -140,6 +150,7 @@ class BenchIo {
     mc.telemetry = telemetry_.get();
     mc.backend = backend_;
     mc.tx_policy = tx_policy_;
+    mc.alloc_strategy = alloc_strategy_;
     if (l1_bytes_ != 0) mc.l1_bytes = static_cast<std::uint32_t>(l1_bytes_);
     if (l1_ways_ != 0) mc.l1_ways = static_cast<std::uint32_t>(l1_ways_);
     if (llc_bytes_ != 0) mc.llc_bytes = static_cast<std::uint32_t>(llc_bytes_);
@@ -154,6 +165,11 @@ class BenchIo {
   /// sweep policies internally use this to honor an explicit restriction
   /// (the sweep orchestrator pins one policy per grid cell this way).
   const std::string& policy_name() const { return policy_name_; }
+  sim::AllocStrategyKind alloc_strategy() const { return alloc_strategy_; }
+  /// Raw --alloc= spelling; empty when the flag was not given. Like
+  /// policy_name(), benches that sweep strategies internally use this to
+  /// honor an explicit restriction (one strategy per sweep grid cell).
+  const std::string& alloc_name() const { return alloc_name_; }
   const std::string& bench_name() const { return bench_name_; }
 
   /// Null unless --json or --trace was given. Assign to
@@ -212,6 +228,7 @@ class BenchIo {
   std::string trace_path_;
   std::string backend_name_;
   std::string policy_name_;
+  std::string alloc_name_;
   std::size_t l1_bytes_ = 0;
   std::size_t l1_ways_ = 0;
   std::size_t llc_bytes_ = 0;
@@ -221,6 +238,7 @@ class BenchIo {
   std::size_t max_samples_ = 0;
   sim::BackendKind backend_ = sim::default_backend();
   sim::TxPolicyKind tx_policy_ = sim::TxPolicyKind::kPaper;
+  sim::AllocStrategyKind alloc_strategy_ = sim::AllocStrategyKind::kBump;
   std::unique_ptr<sim::Telemetry> telemetry_;
 };
 

@@ -21,9 +21,9 @@ Result run_canneal(const Config& cfg) {
 
   // Element locations, each with a version counter: [loc, version] pairs.
   auto loc =
-      SharedArray<std::uint64_t>::alloc_named(m, "canneal/loc", n_elements, 0);
+      SharedArray<std::uint64_t>::alloc(m, {.name = "canneal/loc"}, n_elements, 0);
   auto ver =
-      SharedArray<std::uint64_t>::alloc_named(m, "canneal/ver", n_elements, 0);
+      SharedArray<std::uint64_t>::alloc(m, {.name = "canneal/ver"}, n_elements, 0);
   for (std::size_t i = 0; i < n_elements; ++i) loc.at(i).init(m, i);
   sync::ElidedLock elided(m, cfg.policy);
 

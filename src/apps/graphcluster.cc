@@ -21,7 +21,7 @@ Result run_graphcluster(const Config& cfg) {
 
   // Per-vertex state, padded to a cache line (as SSCA2's vertex records
   // are): [0]=cluster id, [1]=cut-cost accumulator.
-  auto vstate = SharedArray<std::uint64_t>::alloc_named(m, "graphcluster/vstate", n_vertices * 8, 0);
+  auto vstate = SharedArray<std::uint64_t>::alloc(m, {.name = "graphcluster/vstate"}, n_vertices * 8, 0);
   auto cluster_at = [&](std::size_t v) { return vstate.at(v * 8); };
   auto cutcost_at = [&](std::size_t v) { return vstate.at(v * 8 + 1); };
   std::vector<sync::SpinLock> locks;

@@ -20,7 +20,7 @@ Result run_histogram(const Config& cfg) {
   const std::size_t n_items = scaled(cfg.scale, 262144, 512);
   const std::size_t gran = cfg.gran != 0 ? cfg.gran : 8;
 
-  auto bins = SharedArray<std::uint64_t>::alloc_named(m, "histogram/bins", n_bins, 0);
+  auto bins = SharedArray<std::uint64_t>::alloc(m, {.name = "histogram/bins"}, n_bins, 0);
   sync::ElidedLock elided(m, cfg.policy);
 
   // Input pixels (host-side, read-only).

@@ -23,7 +23,7 @@ Result run_nufft(const Config& cfg) {
   const std::size_t n_locks = 64;
   const std::size_t gran = cfg.gran != 0 ? cfg.gran : 4;
 
-  auto grid_re = SharedArray<double>::alloc_named(m, "nufft/grid", grid, 0.0);
+  auto grid_re = SharedArray<double>::alloc(m, {.name = "nufft/grid"}, grid, 0.0);
   std::vector<sync::SpinLock> locks;
   locks.reserve(n_locks);
   for (std::size_t i = 0; i < n_locks; ++i) locks.emplace_back(m);

@@ -25,7 +25,7 @@ Result run_physics(const Config& cfg) {
 
   // Per-object accumulated force (3 components, padded to a line by
   // allocation order) and per-object locks.
-  auto force = SharedArray<double>::alloc_named(m, "physics/force", n_objects * 8, 0.0);
+  auto force = SharedArray<double>::alloc(m, {.name = "physics/force"}, n_objects * 8, 0.0);
   std::vector<sync::SpinLock> locks;
   locks.reserve(n_objects);
   for (std::size_t i = 0; i < n_objects; ++i) locks.emplace_back(m);

@@ -19,7 +19,7 @@ Result run_ua(const Config& cfg) {
   constexpr std::size_t kAddsPerPoint = 4;  // Listing 2: ig1..ig4
   const std::size_t gran = cfg.gran != 0 ? cfg.gran : 4;
 
-  auto tmor = SharedArray<double>::alloc_named(m, "ua/tmor", n_mortars, 0.0);
+  auto tmor = SharedArray<double>::alloc(m, {.name = "ua/tmor"}, n_mortars, 0.0);
   sync::ElidedLock elided(m, cfg.policy);
 
   // Host-side inputs: per-point mortar indices and contribution values.

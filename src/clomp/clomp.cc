@@ -30,8 +30,8 @@ namespace {
 /// coordinate arrays (packed, as in the original benchmark's zone arrays).
 struct Mesh {
   Mesh(Machine& m, const Config& cfg, int total_zones)
-      : values(SharedArray<std::uint64_t>::alloc_named(m, "clomp/values", total_zones, 0)),
-        coords(SharedArray<std::uint64_t>::alloc_named(m, "clomp/coords", total_zones, 0)) {
+      : values(SharedArray<std::uint64_t>::alloc(m, {.name = "clomp/values"}, total_zones, 0)),
+        coords(SharedArray<std::uint64_t>::alloc(m, {.name = "clomp/coords"}, total_zones, 0)) {
     sim::Xoshiro256 rng(cfg.seed);
     const int per_thread = cfg.zones_per_thread;
     targets.resize(total_zones);

@@ -88,10 +88,11 @@ class TxArena {
 
   Addr bump(Pool& pool, std::size_t bytes) {
     if (bytes >= kChunkBytes) {
-      return m_.heap().allocate_named("txarena", bytes, 64);
+      return m_.heap().allocate({.name = "txarena", .bytes = bytes, .align = 64});
     }
     if (pool.chunk_left < bytes) {
-      pool.chunk = m_.heap().allocate_named("txarena", kChunkBytes, 64);
+      pool.chunk = m_.heap().allocate(
+          {.name = "txarena", .bytes = kChunkBytes, .align = 64});
       pool.chunk_left = kChunkBytes;
     }
     const Addr a = pool.chunk;

@@ -26,7 +26,7 @@ class TmHashMap {
     if ((buckets & (buckets - 1)) != 0) {
       throw sim::SimError("TmHashMap bucket count must be a power of two");
     }
-    buckets_ = m.alloc_named("hashmap/buckets", buckets * 8, 64);
+    buckets_ = m.alloc({.name = "hashmap/buckets", .bytes = buckets * 8});
     for (std::size_t i = 0; i < buckets; ++i) {
       m.heap().write_word(buckets_ + i * 8, 0, 8);
     }

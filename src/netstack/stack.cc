@@ -7,10 +7,10 @@ namespace tsxhpc::netstack {
 SocketBuffer::SocketBuffer(Machine& m, sync::TxMonitor& /*monitor*/,
                            std::size_t capacity)
     : capacity_(capacity),
-      data_(m.alloc_named("sockbuf/data", capacity, 64)),
-      head_(sim::Shared<std::uint64_t>::alloc_named(m, "sockbuf/head", 0)),
-      tail_(sim::Shared<std::uint64_t>::alloc_named(m, "sockbuf/tail", 0)),
-      eof_(sim::Shared<std::uint32_t>::alloc_named(m, "sockbuf/eof", 0)),
+      data_(m.alloc({.name = "sockbuf/data", .bytes = capacity})),
+      head_(sim::Shared<std::uint64_t>::alloc(m, {.name = "sockbuf/head"}, 0)),
+      tail_(sim::Shared<std::uint64_t>::alloc(m, {.name = "sockbuf/tail"}, 0)),
+      eof_(sim::Shared<std::uint32_t>::alloc(m, {.name = "sockbuf/eof"}, 0)),
       not_empty_(m),
       not_full_(m) {
   if (capacity % 8 != 0) {
@@ -52,16 +52,16 @@ NetStack::NetStack(Machine& m, sync::MonitorScheme scheme,
                    int num_connections, std::size_t socket_bytes,
                    sync::ElisionPolicy policy)
     : monitor_(m, scheme, policy),
-      next_slot_(sim::Shared<std::uint64_t>::alloc_named(m, "netstack/next_slot", 0)),
+      next_slot_(sim::Shared<std::uint64_t>::alloc(m, {.name = "netstack/next_slot"}, 0)),
       accept_head_(
-          sim::Shared<std::uint64_t>::alloc_named(m, "netstack/accept", 0)),
+          sim::Shared<std::uint64_t>::alloc(m, {.name = "netstack/accept"}, 0)),
       accept_tail_(
-          sim::Shared<std::uint64_t>::alloc_named(m, "netstack/accept", 0)),
-      accept_queue_(sim::SharedArray<std::uint64_t>::alloc_named(
-          m, "netstack/accept_queue",
+          sim::Shared<std::uint64_t>::alloc(m, {.name = "netstack/accept"}, 0)),
+      accept_queue_(sim::SharedArray<std::uint64_t>::alloc(
+          m, {.name = "netstack/accept_queue"},
           static_cast<std::size_t>(num_connections), 0)),
       listener_open_(
-          sim::Shared<std::uint32_t>::alloc_named(m, "netstack/listener", 1)),
+          sim::Shared<std::uint32_t>::alloc(m, {.name = "netstack/listener"}, 1)),
       accept_cv_(m) {
   conns_.reserve(num_connections);
   for (int i = 0; i < num_connections; ++i) {

@@ -21,9 +21,9 @@ Result run_apriori(const Config& cfg) {
   // Candidate pair-support counters, bucketed: support[bucket][slot].
   constexpr std::size_t kSlots = 8;
   auto support =
-      SharedArray<std::uint64_t>::alloc_named(m, "apriori/buckets", n_buckets * kSlots, 0);
+      SharedArray<std::uint64_t>::alloc(m, {.name = "apriori/buckets"}, n_buckets * kSlots, 0);
   // Expansion count per bucket: models hash-tree node splits (mallocs).
-  auto expansions = SharedArray<std::uint64_t>::alloc_named(m, "apriori/expansions", n_buckets, 0);
+  auto expansions = SharedArray<std::uint64_t>::alloc(m, {.name = "apriori/expansions"}, n_buckets, 0);
 
   // Input baskets (host-side, read-only).
   std::vector<std::array<std::uint16_t, kBasketLen>> baskets(n_baskets);
@@ -34,7 +34,7 @@ Result run_apriori(const Config& cfg) {
     }
   }
 
-  auto next = Shared<std::uint64_t>::alloc_named(m, "apriori/next", 0);
+  auto next = Shared<std::uint64_t>::alloc(m, {.name = "apriori/next"}, 0);
   Result r = run_region(cfg, m, [&](Context& c) {
     for (;;) {
       const std::uint64_t i = next.fetch_add(c, 1);

@@ -16,7 +16,7 @@ Result run_fluidanimate(const Config& cfg) {
   CsRunner cs(m, cfg, n_cells);
 
   // Per-cell force accumulators (3 components + density).
-  auto force = SharedArray<std::uint64_t>::alloc_named(m, "fluid/force", n_cells * 4, 0);
+  auto force = SharedArray<std::uint64_t>::alloc(m, {.name = "fluid/force"}, n_cells * 4, 0);
 
   // Particle -> cell assignment (host-side; rebinning not modeled).
   std::vector<std::uint32_t> cell_of(n_particles);
@@ -27,7 +27,7 @@ Result run_fluidanimate(const Config& cfg) {
 
   const std::uint64_t total_items =
       static_cast<std::uint64_t>(timesteps) * n_particles;
-  auto next = Shared<std::uint64_t>::alloc_named(m, "fluid/next", 0);
+  auto next = Shared<std::uint64_t>::alloc(m, {.name = "fluid/next"}, 0);
   Result r = run_region(cfg, m, [&](Context& c) {
     for (;;) {
       const std::uint64_t b = next.fetch_add(c, 16);

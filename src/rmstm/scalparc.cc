@@ -15,8 +15,8 @@ Result run_scalparc(const Config& cfg) {
   CsRunner cs(m, cfg, n_nodes);
 
   // Per-node class histograms and record counts.
-  auto hist = SharedArray<std::uint64_t>::alloc_named(m, "scalparc/hist", n_nodes * n_classes, 0);
-  auto node_count = SharedArray<std::uint64_t>::alloc_named(m, "scalparc/node_count", n_nodes, 0);
+  auto hist = SharedArray<std::uint64_t>::alloc(m, {.name = "scalparc/hist"}, n_nodes * n_classes, 0);
+  auto node_count = SharedArray<std::uint64_t>::alloc(m, {.name = "scalparc/node_count"}, n_nodes, 0);
 
   // Records: (attribute value, class label), host-side input.
   std::vector<std::pair<std::uint32_t, std::uint8_t>> records(n_records);
@@ -26,7 +26,7 @@ Result run_scalparc(const Config& cfg) {
            static_cast<std::uint8_t>(rng.next_below(n_classes))};
   }
 
-  auto next = Shared<std::uint64_t>::alloc_named(m, "scalparc/next", 0);
+  auto next = Shared<std::uint64_t>::alloc(m, {.name = "scalparc/next"}, 0);
   Result r = run_region(cfg, m, [&](Context& c) {
     for (;;) {
       const std::uint64_t b = next.fetch_add(c, 8);

@@ -17,9 +17,9 @@ Result run_utilitymine(const Config& cfg) {
 
   // Per-item utility accumulators (the shared table).
   auto utility =
-      SharedArray<std::uint64_t>::alloc_named(m, "utility/utility", n_items, 0);
+      SharedArray<std::uint64_t>::alloc(m, {.name = "utility/utility"}, n_items, 0);
   auto twu =
-      SharedArray<std::uint64_t>::alloc_named(m, "utility/twu", n_items, 0);
+      SharedArray<std::uint64_t>::alloc(m, {.name = "utility/twu"}, n_items, 0);
 
   struct Entry {
     std::uint16_t item;
@@ -34,7 +34,7 @@ Result run_utilitymine(const Config& cfg) {
     }
   }
 
-  auto next = Shared<std::uint64_t>::alloc_named(m, "utility/next", 0);
+  auto next = Shared<std::uint64_t>::alloc(m, {.name = "utility/next"}, 0);
   Result r = run_region(cfg, m, [&](Context& c) {
     for (;;) {
       const std::uint64_t i = next.fetch_add(c, 1);

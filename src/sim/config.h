@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/alloc.h"
 #include "sim/backend.h"
 #include "sim/types.h"
 
@@ -159,6 +160,10 @@ struct MachineConfig {
   /// *brain* (sync::TxPolicy); the per-primitive numbers still come from
   /// each workload's sync::ElisionPolicy.
   TxPolicyKind tx_policy = TxPolicyKind::kPaper;
+  /// Placement strategy for named shared-heap allocations (the benches'
+  /// --alloc= flag; see sim/alloc.h). kBump is bit-for-bit the historic
+  /// layout — every committed telemetry baseline assumes it.
+  AllocStrategyKind alloc_strategy = AllocStrategyKind::kBump;
   /// Stack bytes per fiber (fiber backend only). Fibers do not grow their
   /// stacks on demand the way OS threads do; raise this for workloads with
   /// deep recursion.

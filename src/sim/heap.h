@@ -2,10 +2,13 @@
 // the *values* of shared memory. All inter-thread-visible data in a workload
 // lives here so that the cache / conflict models see every access.
 //
-// Allocations can be *named* (allocate_named): the heap keeps a sorted
-// region registry mapping address ranges back to workload data structures,
-// which is what lets conflict and capacity telemetry say "this abort came
-// from `vacation.relations`" instead of printing a bare line address.
+// Allocations go through the unified allocate(AllocSpec) entry point
+// (sim/alloc.h). A *named* spec registers the address range in the region
+// registry mapping ranges back to workload data structures — which is what
+// lets conflict and capacity telemetry say "this abort came from
+// `vacation.relations`" instead of printing a bare line address — and is
+// placed by the attached AllocStrategy (bump / slab / color / adversarial).
+// Anonymous allocations always take the plain bump path.
 #pragma once
 
 #include <algorithm>
@@ -13,15 +16,20 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "sim/alloc.h"
 #include "sim/types.h"
 
 namespace tsxhpc::sim {
 
-/// Bump-allocated shared address space. Address 0 is reserved (null); the
-/// first allocation starts at one full cache line to keep line indices
-/// nonzero. Backing storage grows on demand; addresses are stable offsets.
+/// Shared address space with pluggable placement for named allocations.
+/// Address 0 is reserved (null); the first allocation starts at one full
+/// cache line to keep line indices nonzero. Backing storage grows on demand;
+/// addresses are stable offsets. With no strategy attached (or the bump
+/// strategy), every allocation is a monotone bump — bit-for-bit the layout
+/// all committed telemetry baselines were recorded against.
 class SharedHeap {
  public:
   explicit SharedHeap(std::uint32_t line_bytes = 64)
@@ -29,15 +37,41 @@ class SharedHeap {
     mem_.resize(1 << 20);
   }
 
-  /// Allocate `bytes` with the given alignment (power of two).
-  Addr allocate(std::size_t bytes, std::size_t align = 8) {
-    if (bytes == 0) bytes = 1;
-    Addr a = (brk_ + (align - 1)) & ~static_cast<Addr>(align - 1);
-    brk_ = a + bytes;
-    if (brk_ + line_bytes_ > mem_.size()) {
-      mem_.resize(next_pow2(brk_ + line_bytes_));
+  /// Attach the placement strategy for named allocations (null = bump).
+  /// MemorySystem installs the MachineConfig::alloc_strategy choice at
+  /// construction, before any workload allocates.
+  void set_strategy(std::unique_ptr<AllocStrategy> strategy) {
+    strategy_ = std::move(strategy);
+  }
+  AllocStrategyKind strategy_kind() const {
+    return strategy_ ? strategy_->kind() : AllocStrategyKind::kBump;
+  }
+
+  /// The unified allocation entry point. A named spec is placed by the
+  /// attached strategy and registered for telemetry attribution; an
+  /// anonymous spec is bump-placed. align 0 falls back to 8 (the historic
+  /// SharedHeap default; Machine::alloc upgrades its own default to a full
+  /// cache line before forwarding).
+  Addr allocate(const AllocSpec& spec) {
+    const std::size_t bytes = spec.bytes == 0 ? 1 : spec.bytes;
+    const std::size_t align = spec.align == 0 ? 8 : spec.align;
+    Addr a;
+    if (strategy_ && !spec.name.empty()) {
+      AllocSpec normalized = spec;
+      normalized.bytes = bytes;
+      normalized.align = align;
+      a = strategy_->place(*this, normalized);
+    } else {
+      a = bump_place(bytes, align);
     }
+    if (!spec.name.empty()) register_region(spec.name, a, bytes);
     return a;
+  }
+
+  /// Allocate `bytes` with the given alignment (power of two). Anonymous:
+  /// never strategy-placed, never registered.
+  Addr allocate(std::size_t bytes, std::size_t align = 8) {
+    return allocate(AllocSpec{{}, bytes, align, AllocHint::kAuto});
   }
 
   /// Allocate starting on a fresh cache line (avoids false sharing).
@@ -45,18 +79,15 @@ class SharedHeap {
     return allocate(bytes, line_bytes_);
   }
 
-  /// Allocate and register the range under `name` so conflict/capacity
-  /// telemetry can attribute line addresses back to this object.
+  /// Deprecated one-PR shim for the pre-AllocSpec spelling; forwards to
+  /// allocate(AllocSpec). Will be removed next PR — migrate to
+  /// `allocate({.name = ..., .bytes = ..., .align = ...})`.
   Addr allocate_named(std::string_view name, std::size_t bytes,
                       std::size_t align = 8) {
-    const Addr a = allocate(bytes, align);
-    // The bump allocator is monotone, so regions_ stays sorted by base.
-    regions_.push_back(Region{a, a + (bytes == 0 ? 1 : bytes),
-                              std::string(name)});
-    return a;
+    return allocate(AllocSpec{name, bytes, align, AllocHint::kAuto});
   }
 
-  /// A named allocation registered via allocate_named.
+  /// A named allocation registered via a named allocate(AllocSpec).
   struct Region {
     Addr base = 0;
     Addr end = 0;  // one past the last byte
@@ -79,17 +110,46 @@ class SharedHeap {
     return r ? std::string_view(r->name) : std::string_view();
   }
 
+  /// Registered regions, sorted by base address. Under the bump strategy
+  /// this coincides with registration order; slab/color issue addresses out
+  /// of order, so consumers must not read this as an allocation timeline.
   const std::vector<Region>& regions() const { return regions_; }
 
-  /// First region registered under `name`, or null. Lets tests and reports
-  /// recover a named object's extent (and therefore its expected set span)
-  /// without re-threading base/size through the workload.
+  /// First region *registered* under `name`, or null — an O(1) name-index
+  /// lookup, so tsx_report --sets object attribution stays cheap on heaps
+  /// with thousands of named regions. Lets tests and reports recover a named
+  /// object's extent (and therefore its expected set span) without
+  /// re-threading base/size through the workload.
   const Region* region_named(std::string_view name) const {
-    for (const Region& r : regions_) {
-      if (r.name == name) return &r;
-    }
-    return nullptr;
+    auto it = name_index_.find(std::string(name));
+    return it == name_index_.end() ? nullptr : region_of(it->second);
   }
+
+  // --- Low-level carving API (AllocStrategy implementations only) ---------
+
+  /// Monotone bump carve: the historic allocate() formula, shared by the
+  /// anonymous path and the bump strategy so the two can never diverge.
+  Addr bump_place(std::size_t bytes, std::size_t align) {
+    Addr a = (brk_ + (align - 1)) & ~static_cast<Addr>(align - 1);
+    brk_ = a + bytes;
+    ensure_capacity(brk_);
+    return a;
+  }
+
+  /// Carve `bytes` at exactly `at` (which the caller owns: either at/beyond
+  /// the bump frontier, or inside a chunk it previously carved). Advances
+  /// the frontier past the range when it extends it.
+  Addr place_at(Addr at, std::size_t bytes) {
+    if (at == kNullAddr) throw SimError("place_at: null address");
+    if (at + bytes > brk_) brk_ = at + bytes;
+    ensure_capacity(brk_);
+    return at;
+  }
+
+  /// Current bump frontier (the next bump allocation starts at or above
+  /// this). Strategies use it to pick target addresses that stay clear of
+  /// already-issued ranges.
+  Addr brk() const { return brk_; }
 
   // Raw, *untimed* value access. The Context routes all timed accesses here
   // after running the coherence/transaction machinery. Tests and workload
@@ -120,6 +180,25 @@ class SharedHeap {
   std::uint32_t line_bytes() const { return line_bytes_; }
 
  private:
+  /// Insert into the registry keeping it sorted by base — slab and color
+  /// issue addresses out of order, and region_of's binary search silently
+  /// returns wrong regions on an unsorted registry (the historic bump-only
+  /// code relied on monotone allocation for sortedness).
+  void register_region(std::string_view name, Addr base, std::size_t bytes) {
+    Region reg{base, base + bytes, std::string(name)};
+    auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), base,
+        [](Addr x, const Region& r) { return x < r.base; });
+    name_index_.emplace(reg.name, base);  // first registration wins
+    regions_.insert(it, std::move(reg));
+  }
+
+  void ensure_capacity(Addr limit) {
+    if (limit + line_bytes_ > mem_.size()) {
+      mem_.resize(next_pow2(limit + line_bytes_));
+    }
+  }
+
   void check(Addr a, std::size_t n) const {
     // Allow access up to the end of the last allocated cache line: the
     // transactional write buffer merges at word granularity and may read
@@ -141,7 +220,11 @@ class SharedHeap {
   std::uint32_t line_bytes_;
   Addr brk_;
   std::vector<std::uint8_t> mem_;
-  std::vector<Region> regions_;  // sorted by base (bump alloc is monotone)
+  std::vector<Region> regions_;  // sorted by base (kept so on insert)
+  // name -> base of the first region registered under that name; resolved
+  // through region_of so Region pointers never dangle across inserts.
+  std::unordered_map<std::string, Addr> name_index_;
+  std::unique_ptr<AllocStrategy> strategy_;  // null = bump
 };
 
 }  // namespace tsxhpc::sim

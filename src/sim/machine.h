@@ -43,17 +43,27 @@ class Machine {
   SharedHeap& heap() { return mem_->heap(); }
   FutexTable& futex() { return futex_; }
 
-  /// Allocate shared memory (cache-line aligned by default to avoid
-  /// accidental false sharing; pass align explicitly to study it).
-  Addr alloc(std::size_t bytes, std::size_t align = 64) {
-    return heap().allocate(bytes, align);
+  /// The unified allocation entry point (see sim/alloc.h). A named spec is
+  /// placed by the configured AllocStrategy and registered so telemetry
+  /// attributes conflict/capacity aborts on its lines back to `spec.name`;
+  /// an anonymous spec is bump-placed. align 0 defaults to one cache line
+  /// (avoids accidental false sharing; set align explicitly to study it).
+  Addr alloc(AllocSpec spec) {
+    if (spec.align == 0) spec.align = 64;
+    return heap().allocate(spec);
   }
 
-  /// Named allocation: telemetry attributes conflict/capacity aborts on
-  /// these lines back to `name` (see SharedHeap::allocate_named).
+  /// Anonymous allocation (cache-line aligned by default).
+  Addr alloc(std::size_t bytes, std::size_t align = 64) {
+    return alloc(AllocSpec{{}, bytes, align, AllocHint::kAuto});
+  }
+
+  /// Deprecated one-PR shim for the pre-AllocSpec spelling; forwards to
+  /// alloc(AllocSpec). Will be removed next PR — migrate to
+  /// `alloc({.name = ..., .bytes = ...})`.
   Addr alloc_named(std::string_view name, std::size_t bytes,
                    std::size_t align = 64) {
-    return heap().allocate_named(name, bytes, align);
+    return alloc(AllocSpec{name, bytes, align, AllocHint::kAuto});
   }
 
   /// Run one parallel region. Statistics are reset at region entry; returns

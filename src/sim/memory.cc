@@ -43,6 +43,13 @@ MemorySystem::MemorySystem(const MachineConfig& cfg,
       static_cast<std::size_t>(cfg_.l1_sets()) * cfg_.l1_ways) {
     throw SimError("LLC must be at least as large as one L1 (inclusive)");
   }
+  // Install the configured placement strategy before any workload
+  // allocates; the strategy steers against the same set geometry the
+  // capacity model charges (write sets = L1, read sets = LLC).
+  heap_.set_strategy(make_alloc_strategy(
+      cfg_.alloc_strategy,
+      AllocGeometry{cfg_.line_bytes, cfg_.l1_sets(), cfg_.l1_ways,
+                    cfg_.llc_sets(), cfg_.llc_ways}));
   l1_.reserve(cfg_.num_cores);
   for (int c = 0; c < cfg_.num_cores; ++c) {
     l1_.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);

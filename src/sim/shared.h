@@ -47,17 +47,24 @@ class Shared {
 
   /// Allocate a fresh, cache-line-aligned cell and initialize it (untimed).
   static Shared alloc(Machine& m, T init = T{}) {
-    Shared s(m.alloc(sizeof(T), 64));
+    return alloc(m, AllocSpec{}, init);
+  }
+
+  /// Allocate per `spec` through the unified Machine::alloc(AllocSpec)
+  /// entry point; spec.bytes is filled from T. A named spec registers the
+  /// cell for telemetry conflict/capacity attribution:
+  ///   Shared<std::uint64_t>::alloc(m, {.name = "work_counter"});
+  static Shared alloc(Machine& m, AllocSpec spec, T init = T{}) {
+    spec.bytes = sizeof(T);
+    Shared s(m.alloc(spec));
     s.init(m, init);
     return s;
   }
 
-  /// Like alloc, but registers the cell under `name` for telemetry
-  /// conflict/capacity attribution.
+  /// Deprecated one-PR shim; forwards to alloc(m, {.name = name}, init).
+  /// Will be removed next PR.
   static Shared alloc_named(Machine& m, std::string_view name, T init = T{}) {
-    Shared s(m.alloc_named(name, sizeof(T), 64));
-    s.init(m, init);
-    return s;
+    return alloc(m, AllocSpec{name}, init);
   }
 
   Addr addr() const { return a_; }
@@ -117,18 +124,27 @@ class SharedArray {
   SharedArray(Addr base, std::size_t n) : base_(base), n_(n) {}
 
   static SharedArray alloc(Machine& m, std::size_t n, T init = T{}) {
-    SharedArray arr(m.alloc(n * sizeof(T), 64), n);
+    return alloc(m, AllocSpec{}, n, init);
+  }
+
+  /// Allocate per `spec` through the unified Machine::alloc(AllocSpec)
+  /// entry point; spec.bytes is filled from n. A named spec registers the
+  /// array for telemetry conflict/capacity attribution:
+  ///   SharedArray<double>::alloc(m, {.name = "kmeans/accum",
+  ///                                  .hint = sim::AllocHint::kHot}, n);
+  static SharedArray alloc(Machine& m, AllocSpec spec, std::size_t n,
+                           T init = T{}) {
+    spec.bytes = n * sizeof(T);
+    SharedArray arr(m.alloc(spec), n);
     for (std::size_t i = 0; i < n; ++i) arr.at(i).init(m, init);
     return arr;
   }
 
-  /// Like alloc, but registers the array under `name` for telemetry
-  /// conflict/capacity attribution.
+  /// Deprecated one-PR shim; forwards to alloc(m, {.name = name}, n, init).
+  /// Will be removed next PR.
   static SharedArray alloc_named(Machine& m, std::string_view name,
                                  std::size_t n, T init = T{}) {
-    SharedArray arr(m.alloc_named(name, n * sizeof(T), 64), n);
-    for (std::size_t i = 0; i < n; ++i) arr.at(i).init(m, init);
-    return arr;
+    return alloc(m, AllocSpec{name}, n, init);
   }
 
   std::size_t size() const { return n_; }

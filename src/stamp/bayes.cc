@@ -19,13 +19,13 @@ Result run_bayes(const Config& cfg) {
   // multiple L1s' worth of lines.
   const std::size_t stats_words = scaled(cfg.scale, 8192 * 8, 1024);
 
-  auto stats_table = SharedArray<std::uint64_t>::alloc_named(m, "bayes/stats", stats_words, 0);
+  auto stats_table = SharedArray<std::uint64_t>::alloc(m, {.name = "bayes/stats"}, stats_words, 0);
   for (std::size_t i = 0; i < stats_words; i += 7) {
     stats_table.at(i).init(m, i * 2654435761u % 1000);
   }
   // Adjacency matrix (n_vars^2) and per-variable cached scores.
-  auto adj = SharedArray<std::uint64_t>::alloc_named(m, "bayes/adj", n_vars * n_vars, 0);
-  auto score = SharedArray<std::uint64_t>::alloc_named(m, "bayes/score", n_vars, 1000000);
+  auto adj = SharedArray<std::uint64_t>::alloc(m, {.name = "bayes/adj"}, n_vars * n_vars, 0);
+  auto score = SharedArray<std::uint64_t>::alloc(m, {.name = "bayes/score"}, n_vars, 1000000);
   std::uint64_t accepted_total = 0;
 
   WorkCounter work(m, n_moves, 2);

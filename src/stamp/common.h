@@ -57,7 +57,8 @@ class WorkCounter {
  public:
   WorkCounter(Machine& m, std::uint64_t total, std::uint64_t chunk = 8)
       : total_(total), chunk_(chunk),
-        next_(Shared<std::uint64_t>::alloc_named(m, "work_counter", 0)) {}
+        next_(Shared<std::uint64_t>::alloc(
+            m, {.name = "work_counter", .hint = sim::AllocHint::kHot}, 0)) {}
 
   /// Returns [begin, end) or false when exhausted.
   bool next(Context& c, std::uint64_t& begin, std::uint64_t& end) {

@@ -27,7 +27,7 @@ Result run_genome(const Config& cfg) {
   containers::TmHashMap segments(m, arena, 2048);   // dedup set
   containers::TmHashMap links(m, arena, 2048);      // seg -> successor
   sim::Addr seg_data =
-      m.alloc_named("genome/segments", n_unique * kSegmentBytes, 64);
+      m.alloc({.name = "genome/segments", .bytes = n_unique * kSegmentBytes});
   {
     Xoshiro256 init_rng(cfg.seed * 7 + 1);
     for (std::size_t i = 0; i < n_unique * kSegmentBytes / 8; ++i) {
@@ -46,8 +46,8 @@ Result run_genome(const Config& cfg) {
 
   WorkCounter dedup_work(m, n_segments, 16);
   WorkCounter chain_work(m, n_unique, 16);
-  auto phase_flag = Shared<std::uint32_t>::alloc_named(m, "genome/phase", 0);
-  auto arrived = Shared<std::uint32_t>::alloc_named(m, "genome/phase", 0);
+  auto phase_flag = Shared<std::uint32_t>::alloc(m, {.name = "genome/phase"}, 0);
+  auto arrived = Shared<std::uint32_t>::alloc(m, {.name = "genome/phase"}, 0);
 
   Result r = run_region(cfg, m, rt, [&](Context& c, TmThread& t) {
     // --- Phase 1: deduplicate segments into the hash set. ---

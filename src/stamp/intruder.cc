@@ -22,8 +22,8 @@ Result run_intruder(const Config& cfg) {
   containers::TmQueue detector(m, arena);
   // flow id -> fragments seen so far.
   containers::TmHashMap assembly(m, arena, 512);
-  auto flows_done = Shared<std::uint64_t>::alloc_named(m, "intruder/flows_done", 0);
-  auto attacks = Shared<std::uint64_t>::alloc_named(m, "intruder/attacks", 0);
+  auto flows_done = Shared<std::uint64_t>::alloc(m, {.name = "intruder/flows_done"}, 0);
+  auto attacks = Shared<std::uint64_t>::alloc(m, {.name = "intruder/attacks"}, 0);
 
   // Seed the capture queue with all fragments in shuffled order.
   std::vector<std::uint64_t> frags;

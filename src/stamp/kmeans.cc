@@ -33,17 +33,19 @@ Result run_kmeans(const Config& cfg) {
 
   // Shared state: center positions (read in the assignment step), center
   // accumulators + member counts (transactionally updated).
-  auto centers = SharedArray<double>::alloc_named(m, "kmeans/centers", k * kDims, 0.0);
-  auto accum = SharedArray<double>::alloc_named(m, "kmeans/accum", k * kDims, 0.0);
-  auto counts = SharedArray<std::uint64_t>::alloc_named(m, "kmeans/counts", k, 0);
+  auto centers = SharedArray<double>::alloc(m, {.name = "kmeans/centers"}, k * kDims, 0.0);
+  auto accum = SharedArray<double>::alloc(
+      m, {.name = "kmeans/accum", .hint = sim::AllocHint::kHot}, k * kDims,
+      0.0);
+  auto counts = SharedArray<std::uint64_t>::alloc(m, {.name = "kmeans/counts"}, k, 0);
   for (std::size_t j = 0; j < k; ++j) {
     for (std::size_t d = 0; d < kDims; ++d) {
       centers.at(j * kDims + d).init(m, points[j * 7 % n_points][d]);
     }
   }
 
-  auto barrier_word = Shared<std::uint32_t>::alloc_named(m, "kmeans/barrier", 0);
-  auto barrier_arrived = Shared<std::uint32_t>::alloc_named(m, "kmeans/barrier", 0);
+  auto barrier_word = Shared<std::uint32_t>::alloc(m, {.name = "kmeans/barrier"}, 0);
+  auto barrier_arrived = Shared<std::uint32_t>::alloc(m, {.name = "kmeans/barrier"}, 0);
   auto spin_barrier = [&](Context& c) {
     const std::uint32_t sense = barrier_word.load(c);
     if (barrier_arrived.fetch_add(c, 1) + 1 ==

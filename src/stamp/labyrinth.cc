@@ -30,7 +30,7 @@ Result run_labyrinth(const Config& cfg) {
   const std::size_t n_paths = scaled(cfg.scale, 48, 4);
 
   // 0 = free, otherwise the claiming path id.
-  auto grid = SharedArray<std::uint64_t>::alloc_named(m, "labyrinth/grid", cells, 0);
+  auto grid = SharedArray<std::uint64_t>::alloc(m, {.name = "labyrinth/grid"}, cells, 0);
   std::uint64_t routed_total = 0, failed_total = 0;
 
   // Work list of (src, dst) pairs.

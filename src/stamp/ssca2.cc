@@ -16,9 +16,8 @@ Result run_ssca2(const Config& cfg) {
   constexpr std::size_t kMaxDegree = 32;
 
   // Per-vertex degree counts and fixed-capacity neighbor slot arrays.
-  auto degree = SharedArray<std::uint64_t>::alloc_named(m, "ssca2/degree", n_vertices, 0);
-  auto slots = SharedArray<std::uint64_t>::alloc_named(
-      m, "ssca2/slots", n_vertices * kMaxDegree, 0);
+  auto degree = SharedArray<std::uint64_t>::alloc(m, {.name = "ssca2/degree"}, n_vertices, 0);
+  auto slots = SharedArray<std::uint64_t>::alloc(m, {.name = "ssca2/slots"}, n_vertices * kMaxDegree, 0);
 
   // Pre-generate the edge list (Kernel 1's input tuples).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;

@@ -41,9 +41,8 @@ class Tl2Space {
   Tl2Space(Machine& m, std::size_t stripes = 1 << 16, unsigned shift = 3)
       : shift_(shift),
         mask_(stripes - 1),
-        clock_(sim::Shared<std::uint64_t>::alloc_named(m, "tl2/clock", 2)),
-        locks_(sim::SharedArray<std::uint64_t>::alloc_named(
-            m, "tl2/stripes", stripes, 2)) {
+        clock_(sim::Shared<std::uint64_t>::alloc(m, {.name = "tl2/clock"}, 2)),
+        locks_(sim::SharedArray<std::uint64_t>::alloc(m, {.name = "tl2/stripes"}, stripes, 2)) {
     if ((stripes & (stripes - 1)) != 0) {
       throw sim::SimError("TL2 stripe count must be a power of two");
     }

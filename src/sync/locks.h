@@ -22,7 +22,7 @@ class SpinLock {
  public:
   SpinLock() = default;
   explicit SpinLock(Machine& m)
-      : word_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/spin", 0)) {}
+      : word_(sim::Shared<std::uint32_t>::alloc(m, {.name = "lock/spin"}, 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
@@ -74,9 +74,9 @@ class TicketLock {
  public:
   TicketLock() = default;
   explicit TicketLock(Machine& m)
-      : next_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/ticket", 0)),
+      : next_(sim::Shared<std::uint32_t>::alloc(m, {.name = "lock/ticket"}, 0)),
         serving_(
-            sim::Shared<std::uint32_t>::alloc_named(m, "lock/ticket", 0)) {}
+            sim::Shared<std::uint32_t>::alloc(m, {.name = "lock/ticket"}, 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
@@ -114,7 +114,7 @@ class FutexMutex {
  public:
   FutexMutex() = default;
   explicit FutexMutex(Machine& m)
-      : word_(sim::Shared<std::uint32_t>::alloc_named(m, "lock/futex", 0)) {}
+      : word_(sim::Shared<std::uint32_t>::alloc(m, {.name = "lock/futex"}, 0)) {}
 
   void acquire(Context& c) {
     sim::Telemetry* tel = c.machine().telemetry();
@@ -180,8 +180,8 @@ class Barrier {
   Barrier(Machine& m, int parties, bool blocking = false)
       : parties_(parties),
         blocking_(blocking),
-        arrived_(sim::Shared<std::uint32_t>::alloc_named(m, "barrier", 0)),
-        sense_(sim::Shared<std::uint32_t>::alloc_named(m, "barrier", 0)) {}
+        arrived_(sim::Shared<std::uint32_t>::alloc(m, {.name = "barrier"}, 0)),
+        sense_(sim::Shared<std::uint32_t>::alloc(m, {.name = "barrier"}, 0)) {}
 
   void wait(Context& c) {
     const std::uint32_t my_sense = sense_.load(c);

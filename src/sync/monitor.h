@@ -49,7 +49,7 @@ class CondVar {
  public:
   CondVar() = default;
   explicit CondVar(Machine& m)
-      : seq_(sim::Shared<std::uint32_t>::alloc_named(m, "condvar", 0)) {}
+      : seq_(sim::Shared<std::uint32_t>::alloc(m, {.name = "condvar"}, 0)) {}
   sim::Shared<std::uint32_t> seq() const { return seq_; }
 
  private:

@@ -1,0 +1,247 @@
+// The placement-aware allocation subsystem (sim/alloc.h): the unified
+// allocate(AllocSpec) entry point, the four AllocStrategy implementations,
+// and the SharedHeap region registry they stress. The load-bearing
+// guarantees: every strategy is a pure function of the allocation sequence
+// (deterministic across backends and repeat runs); bump is bit-for-bit the
+// historic layout, so an explicit --alloc=bump machine produces telemetry
+// byte-identical to a default one; color spreads wrap-multiple siblings
+// across cache sets where bump stacks them; adversarial stacks every base
+// in set 0; and the registry survives the out-of-order addresses slab
+// issues (the sorted-insert fix for region_of's binary search).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/shared.h"
+#include "sim/telemetry.h"
+
+namespace tsxhpc::sim {
+namespace {
+
+MachineConfig cfg_with(AllocStrategyKind s) {
+  MachineConfig cfg;
+  cfg.alloc_strategy = s;
+  return cfg;
+}
+
+// A mixed allocation sequence: named, anonymous, re-used names, explicit
+// alignment, hints, and a multi-wrap array.
+std::vector<Addr> layout_sequence(Machine& m) {
+  std::vector<Addr> a;
+  a.push_back(m.alloc({.name = "alpha", .bytes = 4096}));
+  a.push_back(m.alloc(100));
+  a.push_back(m.alloc({.name = "beta", .bytes = 96, .align = 32}));
+  a.push_back(m.alloc({.name = "alpha", .bytes = 4096}));
+  a.push_back(m.alloc({.name = "hot", .bytes = 256, .hint = AllocHint::kHot}));
+  a.push_back(
+      m.alloc({.name = "cold", .bytes = 8192, .hint = AllocHint::kCold}));
+  a.push_back(m.alloc({.name = "gamma", .bytes = 64 * 64 * 3}));
+  return a;
+}
+
+TEST(AllocStrategy, LayoutIsDeterministicAcrossBackendsAndRuns) {
+  for (AllocStrategyKind s :
+       {AllocStrategyKind::kBump, AllocStrategyKind::kSlab,
+        AllocStrategyKind::kColor, AllocStrategyKind::kAdversarial}) {
+    std::vector<std::vector<Addr>> layouts;
+    for (BackendKind b : {BackendKind::kFiber, BackendKind::kThread}) {
+      MachineConfig cfg = cfg_with(s);
+      cfg.backend = b;
+      Machine m(cfg);
+      layouts.push_back(layout_sequence(m));
+    }
+    EXPECT_EQ(layouts[0], layouts[1]) << to_string(s);
+    MachineConfig cfg = cfg_with(s);
+    Machine again(cfg);
+    EXPECT_EQ(layout_sequence(again), layouts[0]) << to_string(s);
+  }
+}
+
+TEST(AllocStrategy, DeprecatedSpellingsMatchAllocSpec) {
+  // The three pre-AllocSpec spellings are one-PR shims; until they go they
+  // must be address-for-address equivalent to the unified entry point.
+  Machine a;  // default config: bump strategy
+  Machine b(cfg_with(AllocStrategyKind::kBump));
+  EXPECT_EQ(a.alloc_named("x", 640), b.alloc({.name = "x", .bytes = 640}));
+  EXPECT_EQ(a.heap().allocate_named("y", 96, 16),
+            b.heap().allocate({.name = "y", .bytes = 96, .align = 16}));
+  auto sa = Shared<std::uint64_t>::alloc_named(a, "z", 7);
+  auto sb = Shared<std::uint64_t>::alloc(b, {.name = "z"}, 7);
+  EXPECT_EQ(sa.addr(), sb.addr());
+  EXPECT_EQ(sa.peek(a), sb.peek(b));
+  auto va = SharedArray<std::uint32_t>::alloc_named(a, "w", 10, 3);
+  auto vb = SharedArray<std::uint32_t>::alloc(b, {.name = "w"}, 10, 3);
+  EXPECT_EQ(va.base(), vb.base());
+  EXPECT_EQ(va.at(9).peek(a), vb.at(9).peek(b));
+}
+
+// A small transactional workload whose telemetry (incl. the v5 set_stats
+// block) covers layout-sensitive counters end to end.
+std::string telemetry_dump(const MachineConfig& base) {
+  Telemetry tel;
+  MachineConfig cfg = base;
+  cfg.telemetry = &tel;
+  cfg.set_stats = true;
+  Machine m(cfg);
+  // Two arrays of exactly one set wrap each: bump stacks their bases in one
+  // set, color rotates the second — so the set_objects block (and any
+  // layout-sensitive counter) distinguishes the strategies.
+  auto cells = SharedArray<std::uint64_t>::alloc(m, {.name = "cells"}, 512, 0);
+  auto cells2 =
+      SharedArray<std::uint64_t>::alloc(m, {.name = "cells2"}, 512, 0);
+  RunSpec spec;
+  spec.threads = 2;
+  spec.label = "ident";
+  spec.body = [&](Context& c) {
+    for (int i = 0; i < 20; ++i) {
+      try {
+        c.xbegin();
+        for (int k = 0; k < 8; ++k) {
+          const std::size_t idx = (c.tid() * 37 + i * 11 + k) % 512;
+          auto cell = cells.at(idx);
+          cell.store(c, cell.load(c) + cells2.at(idx).load(c) + 1);
+        }
+        c.xend();
+      } catch (const TxAbort&) {
+      }
+    }
+  };
+  m.run(spec);
+  return tel.json("alloc_ident");
+}
+
+TEST(AllocStrategy, ExplicitBumpTelemetryByteIdenticalToDefault) {
+  // --alloc=bump must be indistinguishable from not passing the flag — this
+  // is what keeps every committed baseline valid under the new subsystem.
+  const std::string dflt = telemetry_dump(MachineConfig{});
+  const std::string bump = telemetry_dump(cfg_with(AllocStrategyKind::kBump));
+  EXPECT_EQ(dflt, bump);
+  // And color genuinely moves the layout (the dump includes set_objects):
+  EXPECT_NE(telemetry_dump(cfg_with(AllocStrategyKind::kColor)), dflt);
+}
+
+TEST(AllocStrategy, ColorSpreadsWrapMultipleBasesAcrossSets) {
+  // Sibling arrays sized a whole set wrap are the pathological case: bump
+  // puts every base in one set; color must rotate them apart. Verified
+  // against the telemetry v5 object footprints, not just the raw addresses.
+  for (AllocStrategyKind s :
+       {AllocStrategyKind::kBump, AllocStrategyKind::kColor}) {
+    Telemetry tel;
+    MachineConfig cfg = cfg_with(s);
+    cfg.telemetry = &tel;
+    cfg.set_stats = true;
+    Machine m(cfg);
+    const std::size_t wrap =
+        static_cast<std::size_t>(cfg.llc_sets()) * cfg.line_bytes;
+    std::vector<Addr> bases;
+    for (int i = 0; i < 10; ++i) {
+      bases.push_back(
+          m.alloc({.name = "arr" + std::to_string(i), .bytes = wrap}));
+    }
+    RunSpec spec;
+    spec.threads = 1;
+    spec.label = std::string("spread/") + to_string(s);
+    spec.body = [&](Context& c) { (void)c.load(bases[0]); };
+    m.run(spec);
+
+    const RunRecord& r = tel.runs().at(0);
+    std::set<std::uint32_t> l1_starts, llc_starts;
+    int found = 0;
+    for (const NamedRegionRec& o : r.set_objects) {
+      if (o.name.rfind("arr", 0) != 0) continue;
+      ++found;
+      EXPECT_EQ(o.lines, wrap / cfg.line_bytes);
+      EXPECT_EQ(o.llc_sets_covered, cfg.llc_sets());  // a full wrap each
+      l1_starts.insert(o.l1_set_start);
+      llc_starts.insert(o.llc_set_start);
+    }
+    ASSERT_EQ(found, 10);
+    if (s == AllocStrategyKind::kBump) {
+      // All ten bases collide in one set at both levels.
+      EXPECT_EQ(l1_starts.size(), 1u);
+      EXPECT_EQ(llc_starts.size(), 1u);
+    } else {
+      // Pairwise distinct base sets at both levels (default geometry has
+      // equal set counts, so L1 spreading follows the LLC coloring).
+      EXPECT_EQ(l1_starts.size(), 10u);
+      EXPECT_EQ(llc_starts.size(), 10u);
+    }
+  }
+}
+
+TEST(AllocStrategy, AdversarialPacksEveryBaseInSetZero) {
+  MachineConfig cfg = cfg_with(AllocStrategyKind::kAdversarial);
+  Machine m(cfg);
+  for (int i = 0; i < 12; ++i) {
+    const Addr a =
+        m.alloc({.name = "obj" + std::to_string(i), .bytes = 5 * 64});
+    const Addr line = a / cfg.line_bytes;
+    EXPECT_EQ(a % cfg.line_bytes, 0u);
+    EXPECT_EQ(line % cfg.l1_sets(), 0u) << i;
+    EXPECT_EQ(line % cfg.llc_sets(), 0u) << i;
+  }
+}
+
+TEST(AllocHeap, RegistryStaysSortedUnderOutOfOrderPlacement) {
+  // Slab genuinely issues descending addresses: the second "a" lands inside
+  // the first chunk, below the "b" chunk allocated in between. The historic
+  // registry appended in registration order, which silently broke
+  // region_of's binary search for exactly this sequence.
+  Machine m(cfg_with(AllocStrategyKind::kSlab));
+  const Addr a0 = m.alloc({.name = "a", .bytes = 64});
+  const Addr b0 = m.alloc({.name = "b", .bytes = 64});
+  const Addr a1 = m.alloc({.name = "a", .bytes = 64});
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, b0);  // registered out of address order
+
+  const auto& regs = m.heap().regions();
+  ASSERT_EQ(regs.size(), 3u);
+  for (std::size_t i = 1; i < regs.size(); ++i) {
+    EXPECT_LT(regs[i - 1].base, regs[i].base);
+  }
+  ASSERT_NE(m.heap().region_of(a1), nullptr);
+  EXPECT_EQ(m.heap().region_of(a1)->name, "a");
+  EXPECT_EQ(m.heap().region_of(a1)->base, a1);
+  ASSERT_NE(m.heap().region_of(b0), nullptr);
+  EXPECT_EQ(m.heap().region_of(b0)->name, "b");
+  EXPECT_EQ(m.heap().name_of(a1 + 16), "a");
+  EXPECT_EQ(m.heap().region_of(b0 + 64), nullptr);  // past the last region
+}
+
+TEST(AllocHeap, NameIndexFindsFirstRegistration) {
+  Machine m;
+  std::vector<Addr> bases;
+  for (int i = 0; i < 100; ++i) {
+    bases.push_back(
+        m.alloc({.name = "obj" + std::to_string(i), .bytes = 24}));
+  }
+  const Addr dup = m.alloc({.name = "obj7", .bytes = 24});
+  EXPECT_NE(dup, bases[7]);
+  for (int i = 0; i < 100; ++i) {
+    const SharedHeap::Region* r =
+        m.heap().region_named("obj" + std::to_string(i));
+    ASSERT_NE(r, nullptr) << i;
+    EXPECT_EQ(r->base, bases[i]) << i;  // first registration wins
+  }
+  EXPECT_EQ(m.heap().region_named("nope"), nullptr);
+}
+
+TEST(AllocSpec, StrategyNamesRoundTrip) {
+  for (AllocStrategyKind s :
+       {AllocStrategyKind::kBump, AllocStrategyKind::kSlab,
+        AllocStrategyKind::kColor, AllocStrategyKind::kAdversarial}) {
+    AllocStrategyKind out = AllocStrategyKind::kBump;
+    EXPECT_TRUE(alloc_strategy_from_string(to_string(s), out));
+    EXPECT_EQ(out, s);
+  }
+  AllocStrategyKind out = AllocStrategyKind::kColor;
+  EXPECT_FALSE(alloc_strategy_from_string("first-fit", out));
+  EXPECT_EQ(out, AllocStrategyKind::kColor);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace tsxhpc::sim

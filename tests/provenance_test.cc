@@ -32,7 +32,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
   MachineConfig cfg;
   cfg.telemetry = &tel;
   Machine m(cfg);
-  auto cell = Shared<std::uint64_t>::alloc_named(m, "pingpong/cell", 0);
+  auto cell = Shared<std::uint64_t>::alloc(m, {.name = "pingpong/cell"}, 0);
 
   const RunStats rs = m.run({.threads = 2, .body = [&](Context& c) {
     if (c.tid() == 0) {
@@ -116,7 +116,7 @@ TEST(Provenance, PingPongAttributesLineObjectAndAggressor) {
   MachineConfig cfg2;
   cfg2.telemetry = &tel2;
   Machine m2(cfg2);
-  auto cell2 = Shared<std::uint64_t>::alloc_named(m2, "pingpong/cell", 0);
+  auto cell2 = Shared<std::uint64_t>::alloc(m2, {.name = "pingpong/cell"}, 0);
   m2.run({.threads = 2, .body = [&](Context& c) {
     if (c.tid() == 0) {
       for (int i = 0; i < 8; ++i) {

@@ -70,7 +70,7 @@ RunStats contended_run(Telemetry* tel, BackendKind backend = default_backend(),
   cfg.backend = backend;
   Machine m(cfg);
   sync::ElidedLock lock(m);
-  auto cells = SharedArray<std::uint64_t>::alloc_named(m, "cells", 512);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, {.name = "cells"}, 512);
   RunStats rs = m.run({.threads = 4, .body = [&](Context& c) {
     for (int i = 0; i < 40; ++i) {
       lock.critical(c, [&] {
@@ -139,7 +139,7 @@ TEST(SetStats, WriteCapacityDoomChargedToTheOverflowingL1Set) {
   cfg.set_stats = true;
   Machine m(cfg);
   const Addr base =
-      m.alloc_named("probe", 32 * kSetStrideLines * cfg.line_bytes, 64);
+      m.alloc({.name = "probe", .bytes = 32 * kSetStrideLines * cfg.line_bytes});
   m.run({.threads = 1, .body = [&](Context& c) {
     try {
       c.xbegin();
@@ -188,7 +188,7 @@ TEST(SetStats, ReadCapacityDoomAndDrawsChargedToTheLlcSet) {
   cfg.read_evict_abort_prob = 1.0;
   Machine m(cfg);
   const Addr base =
-      m.alloc_named("probe", 32 * kSetStrideLines * cfg.line_bytes, 64);
+      m.alloc({.name = "probe", .bytes = 32 * kSetStrideLines * cfg.line_bytes});
   m.run({.threads = 1, .body = [&](Context& c) {
     try {
       c.xbegin();
@@ -271,9 +271,10 @@ TEST(SetStats, NamedObjectSetAttributionMatchesAddressLayout) {
   Machine m(cfg);
   // `wide` spans more lines than there are sets: covers every set, in both
   // levels. `narrow` spans exactly 3 lines starting at a known set.
-  auto wide = SharedArray<std::uint64_t>::alloc_named(
-      m, "wide", 2 * kSetStrideLines * cfg.line_bytes / sizeof(std::uint64_t));
-  const Addr narrow = m.alloc_named("narrow", 3 * cfg.line_bytes, 64);
+  auto wide = SharedArray<std::uint64_t>::alloc(
+      m, {.name = "wide"},
+      2 * kSetStrideLines * cfg.line_bytes / sizeof(std::uint64_t));
+  const Addr narrow = m.alloc({.name = "narrow", .bytes = 3 * cfg.line_bytes});
   (void)wide;
   m.run({.threads = 1, .body = [&](Context& c) { (void)c.load(narrow); }});
 
@@ -340,7 +341,7 @@ TEST(SetStats, HeatmapRendererShowsTargetedObjectAndGatesOnV5Block) {
   cfg.set_stats = true;
   Machine m(cfg);
   const Addr base =
-      m.alloc_named("adversary", 32 * kSetStrideLines * cfg.line_bytes, 64);
+      m.alloc({.name = "adversary", .bytes = 32 * kSetStrideLines * cfg.line_bytes});
   m.run({.threads = 1, .body = [&](Context& c) {
     for (std::size_t i = 0; i < 12; ++i) {
       c.store(base + i * kSetStrideLines * cfg.line_bytes, i);
