@@ -116,10 +116,10 @@ int main(int argc, char** argv) {
   int threads = 4;
   std::string workload_filter;
   io.args().add_int("threads", "STAMP thread count for the sweep", &threads);
-  io.args().add_string("workload",
-                       "run only this workload (multiarray, objects, "
-                       "vacation, genome or kmeans)",
-                       &workload_filter);
+  io.args().add_choice("workload", "run only this workload",
+                       &workload_filter,
+                       {"multiarray", "objects", "vacation", "genome",
+                        "kmeans"});
   if (!io.parse()) return io.exit_code();
   const bool quick = io.quick();
 
@@ -144,11 +144,6 @@ int main(int argc, char** argv) {
     if (workload_filter.empty() || workload_filter == name) {
       workloads.push_back(name);
     }
-  }
-  if (workloads.empty()) {
-    return io.args().fail("bad value for '--workload': '" + workload_filter +
-                          "' (expected multiarray, objects, vacation, genome "
-                          "or kmeans)");
   }
 
   std::vector<std::string> headers{"alloc"};

@@ -24,10 +24,9 @@ int main(int argc, char** argv) {
   int threads = 4;
   std::string workload_filter;
   io.args().add_int("threads", "STAMP thread count for the sweep", &threads);
-  io.args().add_string("workload",
-                       "run only this workload (clomp, genome, intruder or "
-                       "vacation)",
-                       &workload_filter);
+  io.args().add_choice("workload", "run only this workload",
+                       &workload_filter,
+                       {"clomp", "genome", "intruder", "vacation"});
   if (!io.parse()) return io.exit_code();
   const bool quick = io.quick();
 
@@ -47,10 +46,6 @@ int main(int argc, char** argv) {
     if (workload_filter.empty() || workload_filter == name) {
       workloads.push_back(name);
     }
-  }
-  if (workloads.empty()) {
-    return io.args().fail("bad value for '--workload': '" + workload_filter +
-                          "' (expected clomp, genome, intruder or vacation)");
   }
   std::vector<std::string> headers{"policy"};
   for (const std::string& w : workloads) {

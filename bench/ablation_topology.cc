@@ -1,0 +1,167 @@
+// Ablation: thread/data mapping on a many-core NUMA topology. Sweeps the
+// --map= policy against LLC slice counts and thread counts (up to 64 cores)
+// on a multi-socket machine and reports makespan, abort rate and
+// interconnect traffic per cell.
+//
+// The workload is pair-sharing: threads t and t^1 transactionally update a
+// region their pair owns (plus a private streaming region that generates
+// DRAM traffic). Under --map=compact a pair lands on one socket, so its
+// dirty-line ping-pong stays on-package; under --map=scatter the pair
+// straddles the socket interconnect — every forwarded line pays
+// lat_hop_socket, transactions hold their window open longer, and the
+// makespan and abort rate shift. --map=sharing-aware additionally homes DRAM
+// lines on the first-touching socket, which converts the private streams'
+// remote DRAM fills into local ones.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+
+using namespace tsxhpc;
+using sim::Context;
+using sim::Machine;
+
+namespace {
+
+struct CellResult {
+  sim::Cycles makespan = 0;
+  double abort_pct = 0;
+  std::uint64_t slice_hops = 0;
+  std::uint64_t socket_hops = 0;
+  double hop_cycle_pct = 0;  // hop cycles as % of total cycles
+};
+
+CellResult run_cell(bench::BenchIo& io, sim::MapPolicy map, int sockets,
+                    int slices, int threads, int iters) {
+  sim::MachineConfig cfg;
+  io.apply(cfg);
+  // One core per simulated thread: the scaling axis is cores, not SMT.
+  cfg.num_cores = threads;
+  cfg.smt_per_core = 1;
+  cfg.topology.num_sockets = sockets;
+  cfg.topology.llc_slices = slices;
+  cfg.topology.map = map;
+  Machine m(cfg);
+
+  constexpr int kPairLines = 16;   // transactionally shared per pair
+  constexpr int kPrivLines = 256;  // private stream (16 KB: spills the L1)
+  std::vector<sim::Addr> pair_base(threads);
+  std::vector<sim::Addr> priv_base(threads);
+  for (int t = 0; t < threads; t += 2) {
+    const sim::Addr a =
+        m.alloc({"pair" + std::to_string(t / 2), kPairLines * 64ull, 64});
+    pair_base[t] = a;
+    if (t + 1 < threads) pair_base[t + 1] = a;
+  }
+  for (int t = 0; t < threads; ++t) {
+    priv_base[t] = m.alloc({"priv" + std::to_string(t), kPrivLines * 64ull, 64});
+  }
+
+  sim::RunSpec spec;
+  spec.threads = threads;
+  spec.label = std::string("topology/") + sim::to_string(map) + "/s" +
+               std::to_string(slices) + "/t" + std::to_string(threads);
+  spec.body = [&](Context& c) {
+    const int t = c.tid();
+    for (int i = 0; i < iters; ++i) {
+      try {
+        c.xbegin();
+        for (int k = 0; k < 8; ++k) {
+          (void)c.load(pair_base[t] + ((i + k) % kPairLines) * 64ull);
+        }
+        c.store(pair_base[t] + (i % kPairLines) * 64ull,
+                static_cast<std::uint64_t>(i));
+        c.xend();
+      } catch (const sim::TxAbort&) {
+      }
+      for (int k = 0; k < 4; ++k) {
+        (void)c.load(priv_base[t] + ((i * 4 + k) % kPrivLines) * 64ull);
+      }
+    }
+  };
+  const sim::RunStats rs = m.run(spec);
+  const sim::ThreadStats tot = rs.total();
+  CellResult r;
+  r.makespan = rs.makespan;
+  r.abort_pct = tot.abort_rate_pct();
+  r.slice_hops = tot.slice_hops;
+  r.socket_hops = tot.socket_hops;
+  const double cycles = static_cast<double>(tot.cycles_total());
+  r.hop_cycle_pct =
+      cycles == 0 ? 0 : 100.0 * static_cast<double>(tot.hop_cycles) / cycles;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io(argc, argv, "ablation_topology",
+                    "thread/data mapping vs. sliced-LLC NUMA topology");
+  int threads = 0;
+  io.args().add_int("threads",
+                    "run only this thread count (0 = sweep; one core per "
+                    "thread, so the cap is 64)",
+                    &threads);
+  if (!io.parse()) return io.exit_code();
+
+  const int sockets = io.sockets() != 0 ? io.sockets() : 2;
+  const std::vector<int> slice_list =
+      io.slices() != 0 ? std::vector<int>{io.slices()}
+                       : std::vector<int>{sockets, 4 * sockets};
+  std::vector<sim::MapPolicy> maps;
+  for (sim::MapPolicy m : {sim::MapPolicy::kCompact, sim::MapPolicy::kScatter,
+                           sim::MapPolicy::kSharingAware}) {
+    if (io.map_name().empty() || m == io.map()) maps.push_back(m);
+  }
+  const std::vector<int> thread_list =
+      threads != 0 ? std::vector<int>{threads}
+                   : (io.quick() ? std::vector<int>{4, 8}
+                                 : std::vector<int>{8, 16, 32, 64});
+  const int iters = io.quick() ? 200 : 400;
+
+  for (int t : thread_list) {
+    if (t > 64 || t % sockets != 0) {
+      return io.args().fail("thread count " + std::to_string(t) +
+                            " needs one core each (max 64) and must be a "
+                            "multiple of --sockets=" + std::to_string(sockets));
+    }
+  }
+  for (int s : slice_list) {
+    if (s % sockets != 0) {
+      return io.args().fail("--slices=" + std::to_string(s) +
+                            " must be a positive multiple of --sockets=" +
+                            std::to_string(sockets));
+    }
+  }
+
+  bench::banner("Ablation: thread/data mapping on " +
+                std::to_string(sockets) + "-socket sliced-LLC topologies");
+  for (int slices : slice_list) {
+    std::printf("-- %d LLC slices, %d sockets --\n", slices, sockets);
+    bench::Table table({"map", "threads", "makespan", "abort%", "slice hops",
+                        "socket hops", "hop cyc%"});
+    for (sim::MapPolicy map : maps) {
+      for (int t : thread_list) {
+        const CellResult r = run_cell(io, map, sockets, slices, t, iters);
+        table.add_row({sim::to_string(map), std::to_string(t),
+                       std::to_string(r.makespan), bench::fmt(r.abort_pct, 1),
+                       std::to_string(r.slice_hops),
+                       std::to_string(r.socket_hops),
+                       bench::fmt(r.hop_cycle_pct, 1)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: scatter splits every sharing pair across sockets — its\n"
+      "socket-hop count and makespan sit above compact at every scale, and\n"
+      "the shifted conflict windows move the abort rate. sharing-aware\n"
+      "matches compact's placement and converts the private streams' remote\n"
+      "DRAM fills into local ones: the fewest socket hops and the shortest\n"
+      "makespan of the three.\n");
+  return io.finish();
+}

@@ -51,6 +51,16 @@ class Args {
                   std::string* out) {
     add(name, help, out->empty() ? "" : *out, Kind::kString, out);
   }
+  /// String flag restricted to a fixed value set. A value outside `choices`
+  /// is a usage error (exit 2) that names the valid set — the one place
+  /// every enum-like flag gets its validation, instead of each bench
+  /// re-implementing (or forgetting) the check. An empty *out default means
+  /// "flag not given"; the empty string itself is not a valid value.
+  void add_choice(const std::string& name, const std::string& help,
+                  std::string* out, std::vector<std::string> choices) {
+    add(name, help, out->empty() ? "" : *out, Kind::kChoice, out);
+    flags_.back().choices = std::move(choices);
+  }
   /// String flag whose value is optional: bare `--name` assigns
   /// `bare_value`, `--name=v` assigns v (tsx_report's `--sets[=level]`).
   void add_opt_string(const std::string& name, const std::string& help,
@@ -118,6 +128,17 @@ class Args {
         *static_cast<bool*>(f->out) = true;
         continue;
       }
+      if (f->kind == Kind::kChoice) {
+        const std::string v = arg.substr(eq + 1);
+        bool known = false;
+        for (const std::string& c : f->choices) known |= c == v;
+        if (!known) {
+          return error("bad value for '--" + name + "': '" + v +
+                       "' (expected " + spell_choices(f->choices) + ")");
+        }
+        *static_cast<std::string*>(f->out) = v;
+        continue;
+      }
       if (!assign(*f, arg.substr(eq + 1))) {
         return error("bad value for '--" + name + "': '" + arg.substr(eq + 1) +
                      "'");
@@ -161,6 +182,8 @@ class Args {
       std::string left = "--" + f.name;
       if (f.kind == Kind::kOptString) {
         left += std::string("[=<") + type_name(f.kind) + ">]";
+      } else if (f.kind == Kind::kChoice) {
+        left += "=<" + bar_choices(f.choices) + ">";
       } else if (f.kind != Kind::kBool) {
         left += std::string("=<") + type_name(f.kind) + ">";
       }
@@ -184,6 +207,8 @@ class Args {
       std::string spelled = "`--" + f.name;
       if (f.kind == Kind::kOptString) {
         spelled += std::string("[=<") + type_name(f.kind) + ">]";
+      } else if (f.kind == Kind::kChoice) {
+        spelled += "=<" + bar_choices(f.choices) + ">";
       } else if (f.kind != Kind::kBool) {
         spelled += std::string("=<") + type_name(f.kind) + ">";
       }
@@ -195,7 +220,7 @@ class Args {
   }
 
  private:
-  enum class Kind { kBool, kInt, kSize, kDouble, kString, kOptString };
+  enum class Kind { kBool, kInt, kSize, kDouble, kString, kOptString, kChoice };
 
   struct Flag {
     std::string name;
@@ -204,6 +229,7 @@ class Args {
     Kind kind;
     void* out;
     std::string bare_value;  // kOptString only: value a bare `--name` assigns
+    std::vector<std::string> choices;  // kChoice only: the valid value set
   };
   struct Positional {
     std::string name;
@@ -214,7 +240,18 @@ class Args {
 
   void add(const std::string& name, const std::string& help,
            const std::string& def, Kind kind, void* out) {
-    flags_.push_back(Flag{name, help, def, kind, out, {}});
+    flags_.push_back(Flag{name, help, def, kind, out, {}, {}});
+  }
+
+  /// "a, b or c" — the spelling usage errors and help text use for a choice
+  /// flag's valid set.
+  static std::string spell_choices(const std::vector<std::string>& choices) {
+    std::string s;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (i != 0) s += i + 1 == choices.size() ? " or " : ", ";
+      s += choices[i];
+    }
+    return s;
   }
 
   Flag* find(const std::string& name) {
@@ -265,8 +302,20 @@ class Args {
       case Kind::kDouble: return "float";
       case Kind::kString: return "str";
       case Kind::kOptString: return "str";
+      case Kind::kChoice: return "choice";
     }
     return "?";
+  }
+
+  /// "a|b|c" — the spelling --help and the markdown table use for a choice
+  /// flag's value slot.
+  static std::string bar_choices(const std::vector<std::string>& choices) {
+    std::string s;
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (i != 0) s += '|';
+      s += choices[i];
+    }
+    return s;
   }
 
   static std::string pad(std::string s, std::size_t w) {

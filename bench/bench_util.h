@@ -56,18 +56,29 @@ class BenchIo {
                      "write a Chrome trace to this path (enables "
                      "per-attempt collection)",
                      &trace_path_);
-    args_.add_string("backend",
-                     "execution backend: fiber or thread (default: fiber, or "
-                     "$TSXHPC_BACKEND)",
-                     &backend_name_);
-    args_.add_string("policy",
-                     "elision retry/backoff/fallback policy: paper, no-hint, "
-                     "expo-backoff or adaptive-site (default: paper)",
-                     &policy_name_);
-    args_.add_string("alloc",
-                     "named-allocation placement strategy: bump, slab, color "
-                     "or adversarial (default: bump)",
-                     &alloc_name_);
+    args_.add_choice("backend",
+                     "execution backend (default: fiber, or $TSXHPC_BACKEND)",
+                     &backend_name_, {"fiber", "thread"});
+    args_.add_choice("policy",
+                     "elision retry/backoff/fallback policy (default: paper)",
+                     &policy_name_,
+                     {"paper", "no-hint", "expo-backoff", "adaptive-site"});
+    args_.add_choice("alloc",
+                     "named-allocation placement strategy (default: bump)",
+                     &alloc_name_,
+                     {"bump", "slab", "color", "adversarial"});
+    args_.add_int("sockets",
+                  "number of sockets (NUMA domains; threads map onto them "
+                  "per --map=, DRAM is homed per socket; 0 = model default)",
+                  &sockets_);
+    args_.add_int("slices",
+                  "LLC slices across the machine, a positive multiple of the "
+                  "socket count; lines hash to an owning slice "
+                  "(0 = model default)",
+                  &slices_);
+    args_.add_choice("map",
+                     "thread/data mapping policy (default: compact)",
+                     &map_name_, {"compact", "scatter", "sharing-aware"});
     args_.add_bool("cli-markdown",
                    "print the flag table as markdown and exit (the "
                    "EXPERIMENTS.md CLI reference is generated from this)",
@@ -84,7 +95,7 @@ class BenchIo {
     args_.add_size("llc-ways", "LLC associativity (0 = model default)",
                    &llc_ways_);
     args_.add_bool("set-stats",
-                   "record per-cache-set counters (telemetry v5 set_stats "
+                   "record per-cache-set counters (telemetry v6 set_stats "
                    "block: fills, evictions, back-invalidations, capacity "
                    "dooms per set)",
                    &set_stats_);
@@ -129,6 +140,15 @@ class BenchIo {
                  "' (expected bump, slab, color or adversarial)");
       return false;
     }
+    if (!map_name_.empty() && !sim::map_policy_from_string(map_name_, map_)) {
+      args_.fail("bad value for '--map': '" + map_name_ +
+                 "' (expected compact, scatter or sharing-aware)");
+      return false;
+    }
+    if (sockets_ < 0 || slices_ < 0) {
+      args_.fail("--sockets and --slices must be non-negative");
+      return false;
+    }
     if (report_ || !json_path_.empty() || !trace_path_.empty()) {
       sim::TelemetryOptions opt;
       opt.collect_attempts = !trace_path_.empty();
@@ -156,6 +176,9 @@ class BenchIo {
     if (llc_bytes_ != 0) mc.llc_bytes = static_cast<std::uint32_t>(llc_bytes_);
     if (llc_ways_ != 0) mc.llc_ways = static_cast<std::uint32_t>(llc_ways_);
     mc.set_stats = set_stats_;
+    if (sockets_ != 0) mc.topology.num_sockets = sockets_;
+    if (slices_ != 0) mc.topology.llc_slices = slices_;
+    if (!map_name_.empty()) mc.topology.map = map_;
   }
 
   bool quick() const { return quick_; }
@@ -171,6 +194,14 @@ class BenchIo {
   /// honor an explicit restriction (one strategy per sweep grid cell).
   const std::string& alloc_name() const { return alloc_name_; }
   const std::string& bench_name() const { return bench_name_; }
+  /// Topology overrides; 0 / empty mean "flag not given" (model default).
+  int sockets() const { return sockets_; }
+  int slices() const { return slices_; }
+  sim::MapPolicy map() const { return map_; }
+  /// Raw --map= spelling; empty when the flag was not given. Benches that
+  /// sweep mappings internally use this to honor an explicit restriction
+  /// (one mapping per sweep grid cell).
+  const std::string& map_name() const { return map_name_; }
 
   /// Null unless --json or --trace was given. Assign to
   /// MachineConfig::telemetry (or pass to Machine::set_telemetry).
@@ -229,6 +260,10 @@ class BenchIo {
   std::string backend_name_;
   std::string policy_name_;
   std::string alloc_name_;
+  std::string map_name_;
+  int sockets_ = 0;
+  int slices_ = 0;
+  sim::MapPolicy map_ = sim::MapPolicy::kCompact;
   std::size_t l1_bytes_ = 0;
   std::size_t l1_ways_ = 0;
   std::size_t llc_bytes_ = 0;

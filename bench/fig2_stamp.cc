@@ -6,6 +6,8 @@
 //   * tsx single-thread cost ≈ sgl, and it scales, beating tl2 wherever its
 //     abort rate stays moderate (labyrinth is the counter-example).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "stamp/stamp.h"
@@ -22,32 +24,18 @@ int main(int argc, char** argv) {
   bool ref = true;
   io.args().add_int("threads", "run only this thread count (0 = 1/2/4/8)",
                     &threads);
-  io.args().add_string("workload", "run only this STAMP workload",
-                       &workload_filter);
-  io.args().add_string("scheme", "run only this TM scheme (sgl, tl2, tsx)",
-                       &scheme_filter);
+  std::vector<std::string> workload_names;
+  for (const auto& w : stamp::all_workloads()) workload_names.push_back(w.name);
+  io.args().add_choice("workload", "run only this STAMP workload",
+                       &workload_filter, workload_names);
+  io.args().add_choice("scheme", "run only this TM scheme", &scheme_filter,
+                       {"sgl", "tl2", "tsx"});
   io.args().add_bool("ref",
                      "run the 1-thread sgl reference and report speedups; "
                      "--ref=0 skips it and reports raw makespans (sweep "
                      "cells use this so each cell records only its own runs)",
                      &ref);
   if (!io.parse()) return io.exit_code();
-  // A typo'd filter must fail loudly, not silently select zero runs: sweep
-  // cells pass these flags programmatically, and an empty cell artifact
-  // would otherwise sail through the orchestrator's validity check.
-  if (!workload_filter.empty()) {
-    bool known = false;
-    for (const auto& w : stamp::all_workloads()) known |= workload_filter == w.name;
-    if (!known) {
-      return io.args().fail("bad value for '--workload': '" + workload_filter +
-                            "' (not a STAMP workload)");
-    }
-  }
-  if (!scheme_filter.empty() && scheme_filter != "sgl" &&
-      scheme_filter != "tl2" && scheme_filter != "tsx") {
-    return io.args().fail("bad value for '--scheme': '" + scheme_filter +
-                          "' (expected sgl, tl2 or tsx)");
-  }
   const double scale = io.quick() ? 0.25 : 1.0;
 
   bench::banner(ref

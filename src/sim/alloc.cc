@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/config.h"
 #include "sim/heap.h"
 
 namespace tsxhpc::sim {
@@ -96,10 +97,21 @@ class SlabStrategy final : public AllocStrategy {
 /// Colors are keyed to the LLC set map (read-set capacity is an LLC
 /// property); with the default geometry the L1 has the same set count, so
 /// L1 write-set spreading follows for free.
+///
+/// On a sliced LLC (AllocGeometry::llc_slices > 1) pressure is tracked per
+/// (slice, in-slice set) bucket — read-set capacity is a property of the
+/// *owning slice's* set, and the slice hash scatters consecutive lines, so
+/// the single-table wrap arithmetic below would steer against a geometry
+/// that no longer exists. The sliced path shares the llc_slice_of_line hash
+/// with MemorySystem; the single-slice path is bit-for-bit the historic
+/// coloring (the committed baselines' layout under --alloc=color).
 class ColorStrategy final : public AllocStrategy {
  public:
   explicit ColorStrategy(const AllocGeometry& geom)
-      : geom_(geom), pressure_(geom.llc_sets, 0) {}
+      : geom_(geom),
+        pressure_(static_cast<std::size_t>(geom.llc_sets) *
+                      std::max(geom.llc_slices, 1),
+                  0) {}
   AllocStrategyKind kind() const override { return AllocStrategyKind::kColor; }
 
   Addr place(SharedHeap& heap, const AllocSpec& spec) override {
@@ -115,6 +127,7 @@ class ColorStrategy final : public AllocStrategy {
     }
     const std::uint64_t lines =
         (spec.bytes + geom_.line_bytes - 1) / geom_.line_bytes;
+    if (geom_.llc_slices > 1) return place_sliced(heap, spec, w, lines);
     // First line the object could start on: the bump frontier rounded up to
     // a line boundary (colored bases are line-aligned by construction, which
     // also satisfies any power-of-two align <= line_bytes).
@@ -154,11 +167,58 @@ class ColorStrategy final : public AllocStrategy {
   std::uint64_t lines_of(Addr a, std::size_t bytes) const {
     return line_of(a + bytes - 1) - line_of(a) + 1;
   }
+  /// Pressure bucket of a line: (owning slice, in-slice set). Degenerates
+  /// to the plain set index on a single-slice geometry.
+  std::size_t bucket(Addr line) const {
+    return static_cast<std::size_t>(
+               llc_slice_of_line(line, geom_.llc_slices)) *
+               geom_.llc_sets +
+           (static_cast<std::uint32_t>(line) & (geom_.llc_sets - 1));
+  }
   void deposit(Addr start_line, std::uint64_t lines, std::uint64_t w) {
     for (std::uint64_t i = 0; i < lines; ++i) {
-      pressure_[(start_line + i) & (geom_.llc_sets - 1)] += w;
+      pressure_[bucket(start_line + i)] += w;
     }
-    pressure_[start_line & (geom_.llc_sets - 1)] += kBaseBoost * w;
+    pressure_[bucket(start_line)] += kBaseBoost * w;
+  }
+
+  /// Slice-aware placement: try every base color (line-aligned start within
+  /// one set wrap of the bump frontier), score each candidate by the max
+  /// pressure over the (slice, set) buckets the object would deposit into,
+  /// and take the lowest-cost candidate (ties toward the bump frontier).
+  /// Scoring walks real line->bucket mappings via the hash instead of the
+  /// single-slice wrap arithmetic; evaluation is capped at two full machine
+  /// wraps — beyond that every candidate loads the buckets near-uniformly.
+  Addr place_sliced(SharedHeap& heap, const AllocSpec& spec, std::uint64_t w,
+                    std::uint64_t lines) {
+    const std::uint32_t sets = geom_.llc_sets;
+    const Addr first_line =
+        (heap.brk() + geom_.line_bytes - 1) / geom_.line_bytes;
+    const std::uint64_t eval_lines = std::min<std::uint64_t>(
+        lines, 2ull * geom_.llc_slices * sets);
+    std::unordered_map<std::size_t, std::uint64_t> add;
+    std::uint64_t best_cost = ~std::uint64_t{0};
+    std::uint32_t best_gap = 0;
+    for (std::uint32_t gap = 0; gap < sets; ++gap) {
+      const Addr start = first_line + gap;
+      add.clear();
+      for (std::uint64_t i = 0; i < eval_lines; ++i) {
+        add[bucket(start + i)] += w;
+      }
+      add[bucket(start)] += kBaseBoost * w;
+      std::uint64_t cost = 0;
+      for (const auto& [b, extra] : add) {
+        cost = std::max(cost, pressure_[b] + extra);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_gap = gap;
+      }
+    }
+    const Addr start_line = first_line + best_gap;
+    const Addr a = heap.place_at(start_line * geom_.line_bytes, spec.bytes);
+    deposit(start_line, lines, w);
+    return a;
   }
 
   static constexpr std::uint64_t kBaseBoost = 2;

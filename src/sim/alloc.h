@@ -10,9 +10,8 @@
 // Two pieces live in this header:
 //
 //   * AllocSpec — the one allocation request record behind the unified
-//     Machine::alloc(AllocSpec) entry point (it replaces the three historic
-//     spellings Machine::alloc_named / SharedHeap::allocate_named /
-//     Shared<T>::alloc_named, kept as one-PR deprecation shims);
+//     Machine::alloc(AllocSpec) entry point (the sole spelling since the
+//     pre-AllocSpec shims were removed);
 //   * AllocStrategy — the pluggable placement seam inside SharedHeap.
 //     Strategies choose base addresses for *named* allocations only; unnamed
 //     allocations always take the plain bump path, so infrastructure
@@ -114,14 +113,18 @@ inline bool alloc_strategy_from_string(const std::string& s,
 }
 
 /// The cache geometry a placement strategy steers against — a value copy of
-/// the MachineConfig fields that determine line->set mapping, so the
-/// strategy layer does not depend on the full machine config.
+/// the MachineConfig fields that determine line->set (and line->slice)
+/// mapping, so the strategy layer does not depend on the full machine
+/// config. llc_sets/llc_ways describe one slice; llc_slices is the machine
+/// total (1 = the classic monolithic LLC), and strategies share the
+/// llc_slice_of_line hash with MemorySystem.
 struct AllocGeometry {
   std::uint32_t line_bytes = 64;
   std::uint32_t l1_sets = 64;
   std::uint32_t l1_ways = 8;
   std::uint32_t llc_sets = 64;
   std::uint32_t llc_ways = 10;
+  int llc_slices = 1;
 };
 
 /// Placement policy for *named* shared-heap allocations. place() returns the

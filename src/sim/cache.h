@@ -36,12 +36,12 @@ struct CacheTouch {
   /// Bitmask of hardware threads that had the evicted line in their
   /// transactional *read* set. Per Section 2 these are moved to a secondary
   /// tracking structure rather than aborting.
-  std::uint16_t evicted_tx_readers = 0;
+  ThreadMask evicted_tx_readers = 0;
   /// Directory state of the evicted entry (LLC evictions only): the core
   /// holding the line dirty (-1 = none) and the sharer bitmask. The caller
   /// uses these to back-invalidate L1 copies (inclusion).
   int evicted_dirty_core = -1;
-  std::uint16_t evicted_sharers = 0;
+  CoreMask evicted_sharers = 0;
 };
 
 /// Per-set event counters (telemetry v5). One instance per set, enabled on
@@ -71,9 +71,9 @@ class CacheLevel {
     Addr line = 0;
     std::uint64_t lru = 0;
     ThreadId tx_writer = -1;
-    std::uint16_t tx_readers = 0;
-    int dirty_core = -1;        // directory: core holding the line dirty
-    std::uint16_t sharers = 0;  // directory: cores with a copy
+    ThreadMask tx_readers = 0;
+    int dirty_core = -1;      // directory: core holding the line dirty
+    CoreMask sharers = 0;     // directory: cores with a copy
     bool valid = false;
   };
 
@@ -110,7 +110,7 @@ class CacheLevel {
       slot->sharers = 0;
     }
     if (tx_write) slot->tx_writer = tid;
-    if (tx_read) slot->tx_readers |= static_cast<std::uint16_t>(1u << tid);
+    if (tx_read) slot->tx_readers |= ThreadMask{1} << tid;
     slot->lru = ++tick_;
     return r;
   }
@@ -153,7 +153,7 @@ class CacheLevel {
         e.tx_writer = -1;
         if (invalidate_writes) e.valid = false;
       }
-      e.tx_readers &= static_cast<std::uint16_t>(~(1u << tid));
+      e.tx_readers &= ~(ThreadMask{1} << tid);
     }
   }
 

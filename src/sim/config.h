@@ -28,6 +28,81 @@ enum class Affinity {
   kPackCores,    // fill HyperThread siblings first (for SMT ablations)
 };
 
+/// Thread/data mapping policy on a multi-socket topology (the benches'
+/// `--map=` flag). The policy picks the *socket* a thread lands on and the
+/// socket a DRAM line is homed to; within a socket, the Affinity policy
+/// still orders cores and SMT siblings. On a single-socket machine all
+/// three policies degenerate to the same historic placement, so the default
+/// configuration is byte-identical to the pre-topology model.
+enum class MapPolicy : std::uint8_t {
+  kCompact,       // threads fill sockets in order; lines interleave
+  kScatter,       // threads round-robin across sockets; lines interleave
+  kSharingAware,  // compact placement + first-touch line homing
+};
+
+inline const char* to_string(MapPolicy map) {
+  switch (map) {
+    case MapPolicy::kCompact: return "compact";
+    case MapPolicy::kScatter: return "scatter";
+    case MapPolicy::kSharingAware: return "sharing-aware";
+  }
+  return "?";
+}
+
+/// Parse a `--map=` value; returns false (leaving `out` untouched) on an
+/// unknown name so callers can print the valid set.
+inline bool map_policy_from_string(const std::string& s, MapPolicy& out) {
+  if (s == "compact") out = MapPolicy::kCompact;
+  else if (s == "scatter") out = MapPolicy::kScatter;
+  else if (s == "sharing-aware") out = MapPolicy::kSharingAware;
+  else return false;
+  return true;
+}
+
+/// Machine topology beyond the single shared LLC: sockets, LLC slices and
+/// the interconnect hop costs between them. The default (1 socket, 1 slice)
+/// is the paper's machine and reproduces the pre-topology model exactly: no
+/// hop is ever charged and the slice hash is the identity.
+///
+/// Slices model a real sliced LLC (one slice per core complex on Intel
+/// parts): each slice has the full configured `llc_bytes` geometry, so
+/// adding slices scales aggregate LLC capacity the way adding core tiles
+/// does on hardware — and each slice stays large enough to back an L1
+/// inclusively. A line's slice is an address hash (llc_slice_of_line);
+/// the coherence directory for a line lives in its slice's entries.
+struct Topology {
+  int num_sockets = 1;
+  /// Cores per socket; 0 derives num_cores / num_sockets. When nonzero it
+  /// must agree with num_cores (MemorySystem validates).
+  int cores_per_socket = 0;
+  /// Total LLC slices across the machine; must be a multiple of
+  /// num_sockets (each socket hosts llc_slices / num_sockets of them).
+  int llc_slices = 1;
+  /// Extra cycles to reach a non-local slice on the requester's socket
+  /// (ring/mesh hop, Haswell-order magnitude).
+  Cycles lat_hop_slice = 12;
+  /// Extra cycles to cross the socket interconnect (QPI-order magnitude):
+  /// charged for remote-socket slices, remote-homed DRAM lines, and dirty
+  /// lines forwarded from a remote socket's core.
+  Cycles lat_hop_socket = 140;
+  /// Thread/data mapping policy (--map=).
+  MapPolicy map = MapPolicy::kCompact;
+};
+
+/// Address-hash slice selection: which LLC slice owns `line`. A pure
+/// function of (line, slices) — an XOR-fold mix like Intel's slice hash —
+/// so it is stable across runs, hosts and backends, and the identity on a
+/// single-slice machine. Shared by MemorySystem (residency, directory,
+/// hop charging) and AllocStrategy (slice-aware coloring).
+inline int llc_slice_of_line(Addr line, int slices) {
+  if (slices <= 1) return 0;
+  std::uint64_t z = line * 0x9E3779B97F4A7C15ULL;
+  z ^= z >> 29;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 32;
+  return static_cast<int>(z % static_cast<std::uint64_t>(slices));
+}
+
 /// Which retry/backoff/fallback brain the elided primitives use
 /// (sync::make_tx_policy). Lives on the machine config so one `--policy=`
 /// flag reaches every ElidedLock/ElidedLockSet/TxMonitor a workload builds,
@@ -65,6 +140,10 @@ struct MachineConfig {
   int num_cores = 4;
   int smt_per_core = 2;
   Affinity affinity = Affinity::kSpreadCores;
+  /// Sockets, LLC slices, interconnect hops and the thread/data map. The
+  /// default single-socket single-slice topology reproduces the historic
+  /// model bit-for-bit.
+  Topology topology;
 
   // --- L1 data cache (transactional buffering domain) ----------------------
   std::uint32_t l1_bytes = 32 * 1024;
@@ -176,7 +255,7 @@ struct MachineConfig {
   /// owned; null (the default) disables all recording.
   Telemetry* telemetry = nullptr;
 
-  /// Record per-cache-set counters (telemetry v5 `set_stats` block): per-set
+  /// Record per-cache-set counters (telemetry v6 `set_stats` block): per-set
   /// fills/hits/evictions/back-invalidations plus capacity-doom attribution,
   /// and per-object set spans. Off by default: the charging adds a counter
   /// bump per access, and the artifact grows by O(sets) per run.
@@ -184,13 +263,54 @@ struct MachineConfig {
 
   int num_hw_threads() const { return num_cores * smt_per_core; }
 
-  /// Core hosting hardware thread t under the configured affinity policy.
+  /// Cores per socket, resolving Topology::cores_per_socket = 0 to
+  /// num_cores / num_sockets.
+  int cores_per_socket() const {
+    return topology.cores_per_socket > 0 ? topology.cores_per_socket
+                                         : num_cores / topology.num_sockets;
+  }
+  int socket_of_core(int core) const { return core / cores_per_socket(); }
+  int slices_per_socket() const {
+    return topology.llc_slices / topology.num_sockets;
+  }
+  int socket_of_slice(int slice) const { return slice / slices_per_socket(); }
+  /// The slice a core reaches without a hop: its socket's slices, assigned
+  /// round-robin within the socket (core tiles pair with slice tiles).
+  int local_slice_of_core(int core) const {
+    return socket_of_slice_base(socket_of_core(core)) +
+           (core % cores_per_socket()) % slices_per_socket();
+  }
+  int socket_of_slice_base(int socket) const {
+    return socket * slices_per_socket();
+  }
+  int slice_of_line(Addr line) const {
+    return llc_slice_of_line(line, topology.llc_slices);
+  }
+
+  /// Core hosting hardware thread t. The MapPolicy picks the socket
+  /// (compact/sharing-aware fill sockets in order, scatter round-robins);
+  /// the Affinity policy orders cores and SMT siblings within the socket.
   /// Under kSpreadCores a 4-thread run puts one thread on each core and an
   /// 8-thread run puts two; under kPackCores threads 0 and 1 are siblings.
+  /// On one socket every map degenerates to the historic formula.
   int core_of(ThreadId t) const {
-    return affinity == Affinity::kSpreadCores ? t % num_cores
-                                              : (t / smt_per_core) % num_cores;
+    const int sockets = topology.num_sockets;
+    const int cps = cores_per_socket();
+    int s, j;  // socket; thread index within the socket's fill order
+    if (topology.map == MapPolicy::kScatter) {
+      s = t % sockets;
+      j = t / sockets;
+    } else {
+      const int per_socket = cps * smt_per_core;
+      s = (t / per_socket) % sockets;
+      j = t % per_socket;
+    }
+    const int local = affinity == Affinity::kSpreadCores
+                          ? j % cps
+                          : (j / smt_per_core) % cps;
+    return s * cps + local;
   }
+  int socket_of_thread(ThreadId t) const { return socket_of_core(core_of(t)); }
 
   std::uint32_t l1_sets() const { return l1_bytes / (l1_ways * line_bytes); }
   std::uint32_t llc_sets() const {

@@ -79,13 +79,6 @@ class SharedHeap {
     return allocate(bytes, line_bytes_);
   }
 
-  /// Deprecated one-PR shim for the pre-AllocSpec spelling; forwards to
-  /// allocate(AllocSpec). Will be removed next PR — migrate to
-  /// `allocate({.name = ..., .bytes = ..., .align = ...})`.
-  Addr allocate_named(std::string_view name, std::size_t bytes,
-                      std::size_t align = 8) {
-    return allocate(AllocSpec{name, bytes, align, AllocHint::kAuto});
-  }
 
   /// A named allocation registered via a named allocate(AllocSpec).
   struct Region {

@@ -71,8 +71,10 @@ RunStats Machine::run(const RunSpec& spec) {
   for (auto& s : stats_) s = ThreadStats{};
   mem_->reset_all_tx();
   // Per-set counters cover one run, like ThreadStats — cache *contents*
-  // stay warm across runs, the counters do not.
+  // stay warm across runs, the counters do not. The same holds for the v6
+  // per-slice/per-socket topology counters.
   if (mem_->set_stats_enabled()) mem_->reset_set_stats();
+  mem_->reset_topology_stats();
   futex_.clear();
 
   engine_ = std::make_unique<Engine>(cfg_, n);
@@ -106,12 +108,20 @@ RunStats Machine::run(const RunSpec& spec) {
   engine_.reset();
   if (telemetry_ && mem_->set_stats_enabled()) {
     std::vector<LevelSetStats> levels;
-    levels.reserve(static_cast<std::size_t>(cfg_.num_cores) + 1);
+    const int slices = mem_->num_slices();
+    levels.reserve(static_cast<std::size_t>(cfg_.num_cores) + slices);
     for (int c = 0; c < cfg_.num_cores; ++c) {
       levels.push_back(
           snapshot_level("l1.c" + std::to_string(c), mem_->l1_of_core(c)));
     }
-    levels.push_back(snapshot_level("llc", mem_->llc()));
+    // One level per LLC slice. A single-slice machine keeps the historic
+    // "llc" name (baselines stay byte-identical); sliced machines key the
+    // levels "llc.s<i>".
+    for (int s = 0; s < slices; ++s) {
+      levels.push_back(snapshot_level(
+          slices == 1 ? std::string("llc") : "llc.s" + std::to_string(s),
+          mem_->llc(s)));
+    }
     std::vector<NamedRegionRec> objects;
     objects.reserve(mem_->heap().regions().size());
     for (const SharedHeap::Region& reg : mem_->heap().regions()) {
@@ -120,7 +130,19 @@ RunStats Machine::run(const RunSpec& spec) {
     telemetry_->record_set_stats(std::move(levels), std::move(objects),
                                  cfg_.line_bytes);
   }
-  if (telemetry_) telemetry_->end_run(rs);
+  if (telemetry_) {
+    TopologyRec topo;
+    topo.sockets = cfg_.topology.num_sockets;
+    topo.cores_per_socket = cfg_.cores_per_socket();
+    topo.slices = mem_->num_slices();
+    topo.map = to_string(cfg_.topology.map);
+    topo.lat_hop_slice = cfg_.topology.lat_hop_slice;
+    topo.lat_hop_socket = cfg_.topology.lat_hop_socket;
+    topo.slice_stats = mem_->slice_stats();
+    topo.socket_stats = mem_->socket_stats();
+    telemetry_->record_topology(std::move(topo));
+    telemetry_->end_run(rs);
+  }
   return rs;
 }
 

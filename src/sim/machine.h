@@ -58,13 +58,6 @@ class Machine {
     return alloc(AllocSpec{{}, bytes, align, AllocHint::kAuto});
   }
 
-  /// Deprecated one-PR shim for the pre-AllocSpec spelling; forwards to
-  /// alloc(AllocSpec). Will be removed next PR — migrate to
-  /// `alloc({.name = ..., .bytes = ...})`.
-  Addr alloc_named(std::string_view name, std::size_t bytes,
-                   std::size_t align = 64) {
-    return alloc(AllocSpec{name, bytes, align, AllocHint::kAuto});
-  }
 
   /// Run one parallel region. Statistics are reset at region entry; returns
   /// per-thread stats and the makespan.

@@ -32,29 +32,54 @@ const char* to_string(MemLevel level) {
 
 MemorySystem::MemorySystem(const MachineConfig& cfg,
                            std::vector<ThreadStats>& stats)
-    : cfg_(cfg),
-      stats_(stats),
-      heap_(cfg.line_bytes),
-      llc_(cfg.llc_sets(), cfg.llc_ways) {
+    : cfg_(cfg), stats_(stats), heap_(cfg.line_bytes) {
   if ((cfg_.l1_sets() & (cfg_.l1_sets() - 1)) != 0) {
     throw SimError("L1 set count must be a power of two");
   }
+  const Topology& topo = cfg_.topology;
+  if (topo.num_sockets < 1) throw SimError("topology needs >= 1 socket");
+  if (cfg_.num_cores % topo.num_sockets != 0) {
+    throw SimError("num_cores must be a multiple of num_sockets");
+  }
+  if (topo.cores_per_socket > 0 &&
+      topo.cores_per_socket * topo.num_sockets != cfg_.num_cores) {
+    throw SimError("cores_per_socket * num_sockets must equal num_cores");
+  }
+  if (topo.llc_slices < 1 || topo.llc_slices % topo.num_sockets != 0) {
+    throw SimError("llc_slices must be a positive multiple of num_sockets");
+  }
+  if (cfg_.num_hw_threads() > 64 || cfg_.num_cores > 64) {
+    throw SimError("topology exceeds 64 hardware threads/cores "
+                   "(ThreadMask/CoreMask width)");
+  }
+  // Each slice carries the full configured llc geometry (capacity scales
+  // with slices, like hardware core tiles), so per-slice inclusion over a
+  // whole L1 stays structurally possible.
   if (static_cast<std::size_t>(cfg_.llc_sets()) * cfg_.llc_ways <
       static_cast<std::size_t>(cfg_.l1_sets()) * cfg_.l1_ways) {
-    throw SimError("LLC must be at least as large as one L1 (inclusive)");
+    throw SimError("LLC slice must be at least as large as one L1 "
+                   "(inclusive)");
   }
   // Install the configured placement strategy before any workload
   // allocates; the strategy steers against the same set geometry the
-  // capacity model charges (write sets = L1, read sets = LLC).
+  // capacity model charges (write sets = L1, read sets = the owning LLC
+  // slice).
   heap_.set_strategy(make_alloc_strategy(
       cfg_.alloc_strategy,
       AllocGeometry{cfg_.line_bytes, cfg_.l1_sets(), cfg_.l1_ways,
-                    cfg_.llc_sets(), cfg_.llc_ways}));
+                    cfg_.llc_sets(), cfg_.llc_ways, topo.llc_slices}));
   l1_.reserve(cfg_.num_cores);
   for (int c = 0; c < cfg_.num_cores; ++c) {
     l1_.emplace_back(cfg_.l1_sets(), cfg_.l1_ways);
   }
+  llc_.reserve(topo.llc_slices);
+  for (int s = 0; s < topo.llc_slices; ++s) {
+    llc_.emplace_back(cfg_.llc_sets(), cfg_.llc_ways);
+  }
   tx_.resize(cfg_.num_hw_threads());
+  slice_stats_.assign(topo.llc_slices, SliceStats{});
+  socket_stats_.assign(topo.num_sockets, SocketStats{});
+  topo_multi_ = topo.llc_slices > 1 || topo.num_sockets > 1;
   set_stats_ = cfg_.set_stats;
   // Allocate the per-set tables up front so the charge sites never race a
   // missing reset (Machine::run re-zeros them at each region entry).
@@ -63,7 +88,21 @@ MemorySystem::MemorySystem(const MachineConfig& cfg,
 
 void MemorySystem::reset_set_stats() {
   for (CacheLevel& l1 : l1_) l1.reset_set_stats();
-  llc_.reset_set_stats();
+  for (CacheLevel& slice : llc_) slice.reset_set_stats();
+}
+
+void MemorySystem::reset_topology_stats() {
+  slice_stats_.assign(slice_stats_.size(), SliceStats{});
+  socket_stats_.assign(socket_stats_.size(), SocketStats{});
+}
+
+int MemorySystem::home_socket(Addr line, int requester_socket) {
+  const Topology& topo = cfg_.topology;
+  if (topo.num_sockets == 1) return 0;
+  if (topo.map == MapPolicy::kSharingAware) {
+    return line_home_.try_emplace(line, requester_socket).first->second;
+  }
+  return static_cast<int>(line % topo.num_sockets);
 }
 
 void MemorySystem::check_alignment(Addr a, unsigned size) const {
@@ -88,22 +127,22 @@ bool MemorySystem::doom(ThreadId victim, AbortCause cause, Addr line,
 }
 
 void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
-  const std::uint16_t self = static_cast<std::uint16_t>(1u << t);
+  const ThreadMask self = ThreadMask{1} << t;
   // A read conflicts with remote transactional writers; a write conflicts
   // with remote transactional readers *and* writers.
-  std::uint16_t victims = 0;
+  ThreadMask victims = 0;
   if (auto it = line_writers_.find(line); it != line_writers_.end()) {
-    victims |= static_cast<std::uint16_t>(it->second & ~self);
+    victims |= it->second & ~self;
   }
   if (is_write) {
     if (auto it = line_readers_.find(line); it != line_readers_.end()) {
-      victims |= static_cast<std::uint16_t>(it->second & ~self);
+      victims |= it->second & ~self;
     }
   }
   const Addr line_addr = line * cfg_.line_bytes;
   while (victims != 0) {
-    int v = __builtin_ctz(victims);
-    victims &= static_cast<std::uint16_t>(victims - 1);
+    int v = __builtin_ctzll(victims);
+    victims &= victims - 1;
     if (doom(v, AbortCause::kConflict, line_addr, t, is_write) && tel_) {
       tel_->on_conflict(t, v, line_addr, is_write, heap_.name_of(line_addr));
     }
@@ -111,15 +150,15 @@ void MemorySystem::detect_conflicts(ThreadId t, Addr line, bool is_write) {
 }
 
 void MemorySystem::tx_track(ThreadId t, Addr line, bool is_write) {
-  const std::uint16_t bit = static_cast<std::uint16_t>(1u << t);
+  const ThreadMask bit = ThreadMask{1} << t;
   if (is_write) {
-    std::uint16_t& mask = line_writers_[line];
+    ThreadMask& mask = line_writers_[line];
     if ((mask & bit) == 0) {
       mask |= bit;
       tx_[t].write_lines.push_back(line);
     }
   } else {
-    std::uint16_t& mask = line_readers_[line];
+    ThreadMask& mask = line_readers_[line];
     if ((mask & bit) == 0) {
       mask |= bit;
       tx_[t].read_lines.push_back(line);
@@ -150,27 +189,27 @@ void MemorySystem::on_l1_eviction(const CacheTouch& touch) {
     }
   }
   // Evicted *read* lines move to the secondary tracking structure. While
-  // the line stays LLC-resident (guaranteed here — the LLC is inclusive)
-  // the tracker holds it safely; the abort risk materializes only if the
-  // LLC later loses the line (on_llc_eviction).
-  std::uint16_t readers = touch.evicted_tx_readers;
+  // the line stays resident in its owning slice (guaranteed here — the
+  // slices are inclusive) the tracker holds it safely; the abort risk
+  // materializes only if the slice later loses the line (on_llc_eviction).
+  ThreadMask readers = touch.evicted_tx_readers;
   while (readers != 0) {
-    int r = __builtin_ctz(readers);
-    readers &= static_cast<std::uint16_t>(readers - 1);
+    int r = __builtin_ctzll(readers);
+    readers &= readers - 1;
     stats_[r].tx_read_lines_evicted++;
   }
 }
 
-void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
+void MemorySystem::on_llc_eviction(const CacheTouch& touch, int slice) {
   const Addr line = touch.evicted_line;
   const Addr evicted_addr = line * cfg_.line_bytes;
 
   // Write-set capacity: the (inclusion-mandated) back-invalidation below
   // destroys the speculative data of any transactionally written copy.
-  std::uint16_t writers = writers_of_line(line);
+  ThreadMask writers = writers_of_line(line);
   while (writers != 0) {
-    int w = __builtin_ctz(writers);
-    writers &= static_cast<std::uint16_t>(writers - 1);
+    int w = __builtin_ctzll(writers);
+    writers &= writers - 1;
     if (doom(w, AbortCause::kCapacityWrite, evicted_addr, /*aggressor=*/-1,
              /*is_write=*/true) &&
         tel_) {
@@ -179,19 +218,21 @@ void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
     }
   }
 
-  // Read-set capacity: the level backing the secondary tracker lost the
+  // Read-set capacity: the slice backing the secondary tracker lost the
   // line. Readers still holding it in their L1 were precisely tracked until
   // now and enter the secondary structure as they are back-invalidated;
   // either way each reader takes one deterministic imprecision draw.
-  std::uint16_t readers = readers_of_line(line);
+  ThreadMask readers = readers_of_line(line);
   while (readers != 0) {
-    int r = __builtin_ctz(readers);
-    readers &= static_cast<std::uint16_t>(readers - 1);
+    int r = __builtin_ctzll(readers);
+    readers &= readers - 1;
     if (l1_[core_of(r)].contains(line)) {
       stats_[r].tx_read_lines_evicted++;
     }
     if (cfg_.read_evict_abort_prob > 0.0) {
-      if (set_stats_) llc_.set_stats(llc_.set_of(line)).doom_draws++;
+      if (set_stats_) {
+        llc_[slice].set_stats(llc_[slice].set_of(line)).doom_draws++;
+      }
       if (read_evict_dooms(line) &&
           doom(r, AbortCause::kCapacityRead, evicted_addr, /*aggressor=*/-1,
                /*is_write=*/false) &&
@@ -203,15 +244,16 @@ void MemorySystem::on_llc_eviction(const CacheTouch& touch) {
   }
 
   // Inclusion: drop every L1 copy. Directory state (the entry's dirty/
-  // sharer bits) dies with the LLC entry — nothing is leaked for dead
+  // sharer bits) dies with the slice's entry — nothing is leaked for dead
   // lines. The sharer mask can over-approximate (L1s evict silently), so
   // some of these are no-ops.
-  std::uint16_t cores = touch.evicted_sharers;
+  CoreMask cores = touch.evicted_sharers;
   if (touch.evicted_dirty_core >= 0) {
-    cores |= static_cast<std::uint16_t>(1u << touch.evicted_dirty_core);
+    cores |= CoreMask{1} << touch.evicted_dirty_core;
   }
   for (int c = 0; c < cfg_.num_cores; ++c) {
-    if ((cores & (1u << c)) && l1_[c].invalidate(line) && set_stats_) {
+    if ((cores & (CoreMask{1} << c)) && l1_[c].invalidate(line) &&
+        set_stats_) {
       // Only count copies actually dropped: the sharer mask can
       // over-approximate. Coherence invalidations (update_directory) are
       // deliberately not counted here — back-invalidation pressure is the
@@ -226,26 +268,31 @@ void MemorySystem::update_directory(CacheLevel::Entry& e, int core,
   if (is_write) {
     // Invalidate all other cores' copies and take dirty ownership.
     for (int c = 0; c < cfg_.num_cores; ++c) {
-      if (c != core && (e.sharers & (1u << c))) l1_[c].invalidate(e.line);
+      if (c != core && (e.sharers & (CoreMask{1} << c))) {
+        l1_[c].invalidate(e.line);
+      }
     }
     if (e.dirty_core >= 0 && e.dirty_core != core) {
       l1_[e.dirty_core].invalidate(e.line);
     }
     e.dirty_core = core;
-    e.sharers = static_cast<std::uint16_t>(1u << core);
+    e.sharers = CoreMask{1} << core;
   } else {
     if (e.dirty_core >= 0 && e.dirty_core != core) e.dirty_core = -1;
-    e.sharers |= static_cast<std::uint16_t>(1u << core);
+    e.sharers |= CoreMask{1} << core;
   }
 }
 
 AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
   const int core = core_of(t);
+  const int socket = cfg_.socket_of_core(core);
   TxState& tx = tx_[t];
   const bool tx_write = tx.active && is_write;
   const bool tx_read = tx.active && !is_write;
   ThreadStats& st = stats_[t];
   st.mem_accesses++;
+  SocketStats& sock = socket_stats_[socket];
+  sock.accesses++;
 
   CacheLevel& l1 = l1_[core];
   SetCounters* l1set =
@@ -260,60 +307,108 @@ AccessResult MemorySystem::cache_access(ThreadId t, Addr line, bool is_write) {
   }
 
   AccessResult r;
-  CacheLevel::Entry* e = llc_.find(line);
+  const int slice = slice_of(line);
+  CacheLevel& llc = llc_[slice];
+  SliceStats& slst = slice_stats_[slice];
+  CacheLevel::Entry* e = llc.find(line);
   if (l1t.hit) {
     if (e == nullptr) {
-      // Every L1-resident line must be LLC-resident; a miss here is a bug
-      // in the back-invalidation plumbing, not a workload condition.
+      // Every L1-resident line must be resident in its owning slice; a miss
+      // here is a bug in the back-invalidation plumbing, not a workload
+      // condition.
       throw SimError("inclusive-LLC invariant violated");
     }
-    llc_.promote(e);
+    llc.promote(e);
     r.latency = cfg_.lat_l1_hit;
     r.level = MemLevel::kL1;
     st.l1_hits++;
     if (l1set) l1set->hits++;
-  } else {
-    st.l1_misses++;
-    if (l1set) l1set->misses++;  // every L1 miss allocated in this set
-    SetCounters* llcset =
-        set_stats_ ? &llc_.set_stats(llc_.set_of(line)) : nullptr;
-    if (e != nullptr) {
-      // Served on-chip: a transfer from another core's L1 (the directory
-      // says who has it and how) or a plain LLC hit.
-      if (e->dirty_core >= 0 && e->dirty_core != core) {
-        r.latency = cfg_.lat_xfer_dirty;
-        r.level = MemLevel::kXfer;
-        st.xfers_in++;
-        if (llcset) llcset->xfers++;
-      } else if ((e->sharers & ~(1u << core)) != 0) {
-        r.latency = cfg_.lat_xfer_clean;
-        r.level = MemLevel::kXfer;
-        st.xfers_in++;
-        if (llcset) llcset->xfers++;
-      } else {
-        r.latency = cfg_.lat_llc_hit;
-        r.level = MemLevel::kLlc;
-        st.llc_hits++;
-        if (llcset) llcset->hits++;
-      }
-      llc_.promote(e);
-    } else {
-      // DRAM is the explicit miss endpoint; the fill allocates an LLC
-      // entry (with fresh directory state) and may evict a victim.
-      r.latency = cfg_.lat_mem;
-      r.level = MemLevel::kDram;
-      st.llc_misses++;
-      if (llcset) llcset->misses++;
-      CacheTouch fill = llc_.touch(line, t, /*tx_write=*/false,
-                                   /*tx_read=*/false);
-      if (fill.evicted) {
-        st.llc_evictions++;
-        if (llcset) llcset->evictions++;
-        on_llc_eviction(fill);
-      }
-      e = llc_.find(line);
+    // An L1 hit never consults the interconnect: no hop, straight to the
+    // directory update below.
+    update_directory(*e, core, is_write);
+    return r;
+  }
+
+  st.l1_misses++;
+  if (l1set) l1set->misses++;  // every L1 miss allocated in this set
+  // Interconnect model: any access that leaves the core consults the
+  // owning slice's directory, paying a hop to a non-local slice (on-socket
+  // ring) or to a remote socket.
+  Cycles hop = 0;
+  if (topo_multi_) {
+    if (cfg_.socket_of_slice(slice) != socket) {
+      hop += cfg_.topology.lat_hop_socket;
+      st.socket_hops++;
+      sock.socket_hops++;
+    } else if (slice != cfg_.local_slice_of_core(core)) {
+      hop += cfg_.topology.lat_hop_slice;
+      st.slice_hops++;
+      sock.slice_hops++;
     }
   }
+  SetCounters* llcset =
+      set_stats_ ? &llc.set_stats(llc.set_of(line)) : nullptr;
+  if (e != nullptr) {
+    // Served on-chip: a transfer from another core's L1 (the directory
+    // says who has it and how) or a plain hit in the owning slice.
+    if (e->dirty_core >= 0 && e->dirty_core != core) {
+      r.latency = cfg_.lat_xfer_dirty;
+      r.level = MemLevel::kXfer;
+      st.xfers_in++;
+      if (llcset) llcset->xfers++;
+      slst.xfers++;
+      // Forwarding a dirty line from a remote socket's core crosses the
+      // interconnect a second time.
+      if (topo_multi_ && cfg_.socket_of_core(e->dirty_core) != socket) {
+        hop += cfg_.topology.lat_hop_socket;
+        st.socket_hops++;
+        sock.socket_hops++;
+      }
+    } else if ((e->sharers & ~(CoreMask{1} << core)) != 0) {
+      r.latency = cfg_.lat_xfer_clean;
+      r.level = MemLevel::kXfer;
+      st.xfers_in++;
+      if (llcset) llcset->xfers++;
+      slst.xfers++;
+    } else {
+      r.latency = cfg_.lat_llc_hit;
+      r.level = MemLevel::kLlc;
+      st.llc_hits++;
+      if (llcset) llcset->hits++;
+      slst.hits++;
+    }
+    llc.promote(e);
+  } else {
+    // DRAM is the explicit miss endpoint, one per socket; a line is served
+    // by its home socket's endpoint (interleaved or first-touch per the
+    // map policy), paying the socket hop when the home is remote. The fill
+    // allocates an entry in the owning slice (with fresh directory state)
+    // and may evict a victim.
+    r.latency = cfg_.lat_mem;
+    r.level = MemLevel::kDram;
+    st.llc_misses++;
+    if (llcset) llcset->misses++;
+    slst.misses++;
+    if (home_socket(line, socket) == socket) {
+      sock.dram_local++;
+    } else {
+      sock.dram_remote++;
+      hop += cfg_.topology.lat_hop_socket;
+      st.socket_hops++;
+      sock.socket_hops++;
+    }
+    CacheTouch fill = llc.touch(line, t, /*tx_write=*/false,
+                                /*tx_read=*/false);
+    if (fill.evicted) {
+      st.llc_evictions++;
+      if (llcset) llcset->evictions++;
+      slst.evictions++;
+      on_llc_eviction(fill, slice);
+    }
+    e = llc.find(line);
+  }
+  r.latency += hop;
+  st.hop_cycles += hop;
   update_directory(*e, core, is_write);
   return r;
 }
@@ -393,19 +488,19 @@ void MemorySystem::tx_begin(ThreadId t) {
 }
 
 void MemorySystem::clear_tx_registry(ThreadId t) {
-  const std::uint16_t bit = static_cast<std::uint16_t>(1u << t);
+  const ThreadMask bit = ThreadMask{1} << t;
   TxState& tx = tx_[t];
   for (Addr line : tx.read_lines) {
     auto it = line_readers_.find(line);
     if (it != line_readers_.end()) {
-      it->second &= static_cast<std::uint16_t>(~bit);
+      it->second &= ~bit;
       if (it->second == 0) line_readers_.erase(it);
     }
   }
   for (Addr line : tx.write_lines) {
     auto it = line_writers_.find(line);
     if (it != line_writers_.end()) {
-      it->second &= static_cast<std::uint16_t>(~bit);
+      it->second &= ~bit;
       if (it->second == 0) line_writers_.erase(it);
     }
   }
@@ -442,7 +537,8 @@ void MemorySystem::tx_rollback(ThreadId t, AbortCause cause) {
       CacheLevel& l1 = l1_[core_of(t)];
       l1.set_stats(l1.set_of(line)).capacity_write_dooms++;
     } else if (cause == AbortCause::kCapacityRead) {
-      llc_.set_stats(llc_.set_of(line)).capacity_read_dooms++;
+      CacheLevel& slice = llc_[slice_of(line)];
+      slice.set_stats(slice.set_of(line)).capacity_read_dooms++;
     }
   }
   clear_tx_registry(t);
@@ -460,12 +556,12 @@ void MemorySystem::reset_all_tx() {
   }
 }
 
-std::uint16_t MemorySystem::readers_of_line(Addr line) const {
+ThreadMask MemorySystem::readers_of_line(Addr line) const {
   auto it = line_readers_.find(line);
   return it == line_readers_.end() ? 0 : it->second;
 }
 
-std::uint16_t MemorySystem::writers_of_line(Addr line) const {
+ThreadMask MemorySystem::writers_of_line(Addr line) const {
   auto it = line_writers_.find(line);
   return it == line_writers_.end() ? 0 : it->second;
 }

@@ -1,7 +1,17 @@
 // MemorySystem: ties together the shared heap, the modeled cache hierarchy
-// (per-core L1s + one shared inclusive LLC + the DRAM miss endpoint), and
-// the per-hardware-thread RTM transactional state (read/write line sets,
-// write buffer, abort causes).
+// (per-core L1s + an array of shared inclusive LLC slices + per-socket DRAM
+// endpoints), and the per-hardware-thread RTM transactional state
+// (read/write line sets, write buffer, abort causes).
+//
+// Topology (MachineConfig::topology): a line's owning slice is an address
+// hash (llc_slice_of_line); the coherence directory for the line lives in
+// that slice's entries, and TSX read-set tracking keys off that slice's
+// residency. Accesses that leave the core pay the interconnect model on top
+// of the level latency: lat_hop_slice to a non-local slice on the same
+// socket, lat_hop_socket to a remote socket's slice, to remote-homed DRAM,
+// and for dirty lines forwarded from a remote socket's core. The default
+// 1-socket/1-slice topology charges no hops and is bit-for-bit the historic
+// single-LLC model.
 //
 // Every *timed* shared-memory access in the simulator funnels through
 // MemorySystem::load/store; this is where conflicts are detected (eagerly,
@@ -89,6 +99,7 @@ struct AccessResult {
   std::uint64_t value = 0;         // loads only
 };
 
+
 class MemorySystem {
  public:
   MemorySystem(const MachineConfig& cfg, std::vector<ThreadStats>& stats);
@@ -153,15 +164,30 @@ class MemorySystem {
   /// Telemetry sink for conflict events (null = off). Not owned.
   void set_telemetry(Telemetry* tel) { tel_ = tel; }
 
+  /// Zero the per-slice/per-socket topology counters; Machine::run calls
+  /// this at region entry, mirroring the ThreadStats reset.
+  void reset_topology_stats();
+  const std::vector<SliceStats>& slice_stats() const { return slice_stats_; }
+  const std::vector<SocketStats>& socket_stats() const {
+    return socket_stats_;
+  }
+
   // Testing hooks.
   const CacheLevel& l1_of_core(int core) const { return l1_[core]; }
-  const CacheLevel& llc() const { return llc_; }
-  std::uint16_t readers_of_line(Addr line) const;
-  std::uint16_t writers_of_line(Addr line) const;
+  /// LLC slice `slice` (default: slice 0, the whole LLC on a single-slice
+  /// machine).
+  const CacheLevel& llc(int slice = 0) const { return llc_[slice]; }
+  int num_slices() const { return static_cast<int>(llc_.size()); }
+  ThreadMask readers_of_line(Addr line) const;
+  ThreadMask writers_of_line(Addr line) const;
   /// Lines with live directory state == LLC-resident lines (the directory
-  /// rides in LLC entries; boundedness tests check this never exceeds the
-  /// configured LLC capacity).
-  std::size_t directory_entries() const { return llc_.resident_lines(); }
+  /// rides in each slice's entries; boundedness tests check this never
+  /// exceeds the configured LLC capacity).
+  std::size_t directory_entries() const {
+    std::size_t n = 0;
+    for (const CacheLevel& s : llc_) n += s.resident_lines();
+    return n;
+  }
   /// Live entries across the transactional reverse maps (bounded by the
   /// footprints of currently active transactions).
   std::size_t tx_registry_entries() const {
@@ -171,6 +197,12 @@ class MemorySystem {
  private:
   Addr line_of(Addr a) const { return cfg_.line_of(a); }
   int core_of(ThreadId t) const { return cfg_.core_of(t); }
+  int slice_of(Addr line) const { return cfg_.slice_of_line(line); }
+
+  /// DRAM home socket of `line`: first-touch under --map=sharing-aware
+  /// (recorded at the line's first DRAM fill, by requester socket),
+  /// line-interleaved otherwise. Single-socket machines always home to 0.
+  int home_socket(Addr line, int requester_socket);
 
   /// Eager conflict detection, requester wins: doom every *other* thread
   /// whose transactional sets overlap this access.
@@ -186,21 +218,22 @@ class MemorySystem {
   /// Track line membership in t's transactional read or write set.
   void tx_track(ThreadId t, Addr line, bool is_write);
 
-  /// Run the hierarchy (L1 -> directory/LLC -> DRAM); returns the latency
-  /// and the level that served the access.
+  /// Run the hierarchy (L1 -> owning slice's directory/LLC -> DRAM);
+  /// returns the latency (including any slice/socket hop charges) and the
+  /// level that served the access.
   AccessResult cache_access(ThreadId t, Addr line, bool is_write);
 
   /// Capacity consequences of an L1 eviction: doom the tx writer (write-set
   /// capacity), move tx readers to secondary tracking (no abort — the line
-  /// is still LLC-resident by inclusion).
+  /// is still resident in its owning slice by inclusion).
   void on_l1_eviction(const CacheTouch& touch);
 
-  /// An LLC eviction: back-invalidate L1 copies (inclusion), doom tx
-  /// writers (kCapacityWrite), and doom tx readers with
-  /// read_evict_abort_prob (kCapacityRead) — the secondary tracker loses
-  /// the line with the level that backed it. Directory state dies with the
-  /// entry.
-  void on_llc_eviction(const CacheTouch& touch);
+  /// An eviction from LLC slice `slice`: back-invalidate L1 copies
+  /// (inclusion), doom tx writers (kCapacityWrite), and doom tx readers
+  /// with read_evict_abort_prob (kCapacityRead) — the secondary tracker
+  /// loses the line with the slice that backed it. Directory state dies
+  /// with the entry.
+  void on_llc_eviction(const CacheTouch& touch, int slice);
 
   /// MESI-style directory update on the line's LLC entry: a write
   /// invalidates all other cores' copies and takes dirty ownership; a read
@@ -219,16 +252,26 @@ class MemorySystem {
   const MachineConfig& cfg_;
   std::vector<ThreadStats>& stats_;
   SharedHeap heap_;
-  std::vector<CacheLevel> l1_;  // per core (SMT siblings share)
-  CacheLevel llc_;              // shared, inclusive; holds the directory
-  std::vector<TxState> tx_;     // per hardware thread
+  std::vector<CacheLevel> l1_;   // per core (SMT siblings share)
+  std::vector<CacheLevel> llc_;  // one inclusive slice per topology slice;
+                                 // each hosts its shard of the directory
+  std::vector<TxState> tx_;      // per hardware thread
   // Reverse maps: line -> bitmask of hw threads with the line in their
   // transactional read / write set. Enables O(1) conflict checks and keeps
   // evicted-read lines visible to conflict detection (the secondary
   // tracker); entries are erased when the last bit clears, so the maps stay
   // bounded by live transactional footprints.
-  std::unordered_map<Addr, std::uint16_t> line_readers_;
-  std::unordered_map<Addr, std::uint16_t> line_writers_;
+  std::unordered_map<Addr, ThreadMask> line_readers_;
+  std::unordered_map<Addr, ThreadMask> line_writers_;
+  // v6 topology counters (one run's worth; Machine::run resets them) and
+  // the sharing-aware first-touch home registry (persistent across runs,
+  // like cache contents; only populated on multi-socket machines).
+  std::vector<SliceStats> slice_stats_;
+  std::vector<SocketStats> socket_stats_;
+  std::unordered_map<Addr, int> line_home_;
+  // True when the topology can charge hops (more than one slice or socket);
+  // caches the test out of the per-access hot path.
+  bool topo_multi_ = false;
   // Monotone counter feeding the deterministic read-evict abort hash.
   std::uint64_t evict_events_ = 0;
   Telemetry* tel_ = nullptr;

@@ -131,6 +131,56 @@ void render_cache_levels(std::string& out, const JsonValue& run) {
   }
 }
 
+/// Topology-resolved view (v6 artifacts). Rendered only for machines with
+/// an actual interconnect (more than one socket or slice) — the default
+/// 1-socket/1-slice reports read exactly as they always did.
+void render_topology(std::string& out, const JsonValue& run) {
+  const JsonValue& topo = run["topology"];
+  if (!topo.is_object()) return;
+  const std::uint64_t sockets = topo["sockets"].as_u64();
+  const std::uint64_t slices = topo["slices"].as_u64();
+  if (sockets <= 1 && slices <= 1) return;
+  appendf(out,
+          "  topology: %llu socket(s) x %llu cores, %llu LLC slice(s), "
+          "map=%s (hop cycles: slice=%llu socket=%llu)\n",
+          static_cast<unsigned long long>(sockets),
+          static_cast<unsigned long long>(topo["cores_per_socket"].as_u64()),
+          static_cast<unsigned long long>(slices),
+          topo["map"].as_string().c_str(),
+          static_cast<unsigned long long>(topo["lat_hop_slice"].as_u64()),
+          static_cast<unsigned long long>(topo["lat_hop_socket"].as_u64()));
+  const JsonValue& ss = topo["slice_stats"];
+  for (std::size_t s = 0; s < ss.size(); ++s) {
+    const JsonValue& sl = ss.at(s);
+    appendf(out,
+            "    slice s%zu: hits=%llu misses=%llu evictions=%llu "
+            "xfers=%llu\n",
+            s, static_cast<unsigned long long>(sl["hits"].as_u64()),
+            static_cast<unsigned long long>(sl["misses"].as_u64()),
+            static_cast<unsigned long long>(sl["evictions"].as_u64()),
+            static_cast<unsigned long long>(sl["xfers"].as_u64()));
+  }
+  const JsonValue& so = topo["socket_stats"];
+  for (std::size_t s = 0; s < so.size(); ++s) {
+    const JsonValue& sk = so.at(s);
+    appendf(out,
+            "    socket %zu: accesses=%llu dram(local=%llu remote=%llu) "
+            "hops(slice=%llu socket=%llu)\n",
+            s, static_cast<unsigned long long>(sk["accesses"].as_u64()),
+            static_cast<unsigned long long>(sk["dram_local"].as_u64()),
+            static_cast<unsigned long long>(sk["dram_remote"].as_u64()),
+            static_cast<unsigned long long>(sk["slice_hops"].as_u64()),
+            static_cast<unsigned long long>(sk["socket_hops"].as_u64()));
+  }
+  const JsonValue& tot = run["totals"];
+  if (tot["hop_cycles"].as_u64() != 0) {
+    appendf(out, "    hop cycles: %llu (slice hops=%llu, socket hops=%llu)\n",
+            static_cast<unsigned long long>(tot["hop_cycles"].as_u64()),
+            static_cast<unsigned long long>(tot["slice_hops"].as_u64()),
+            static_cast<unsigned long long>(tot["socket_hops"].as_u64()));
+  }
+}
+
 constexpr const char* kBucketKeys[] = {"work",      "tx_committed", "tx_wasted",
                                        "lock_wait", "fallback",     "mem_stall"};
 
@@ -238,6 +288,7 @@ std::string render_report(const JsonValue& doc, const ReportOptions& opt) {
     render_conflict_lines(out, run, opt.top_lines);
     render_capacity_lines(out, run, opt.top_lines);
     render_cache_levels(out, run);
+    render_topology(out, run);
     render_cycle_table(out, run);
     render_locks(out, run);
   }
@@ -392,6 +443,9 @@ bool span_covers(std::uint64_t start, std::uint64_t covered,
 bool level_matches(const std::string& name, const std::string& filter) {
   if (filter == "all" || filter.empty()) return true;
   if (filter == "l1") return name.rfind("l1.", 0) == 0;
+  // "llc" covers the single-slice level and every "llc.s<i>" slice; a full
+  // instance name ("llc.s2") still selects one slice.
+  if (filter == "llc") return name == "llc" || name.rfind("llc.", 0) == 0;
   return name == filter;
 }
 
@@ -439,7 +493,10 @@ bool render_set_heatmaps(const JsonValue& doc, const std::string& level_filter,
       // Hottest sets by eviction pressure + capacity dooms, with the named
       // objects whose span covers each (the "which object overflows which
       // set" attribution the placement work needs).
-      const bool is_llc = name == "llc";
+      // Named-object geometry attribution applies to any LLC level — the
+      // single-slice "llc" or a "llc.s<i>" slice (every slice shares the
+      // same set map; only line *membership* differs by hash).
+      const bool is_llc = name.rfind("llc", 0) == 0;
       std::vector<std::size_t> order(dooms.size());
       for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
       std::stable_sort(order.begin(), order.end(),
@@ -471,7 +528,7 @@ bool render_set_heatmaps(const JsonValue& doc, const std::string& level_filter,
   }
   if (!any_block) {
     appendf(out, "no set_stats block in this artifact — re-run the bench "
-                 "with --set-stats (telemetry v5)\n");
+                 "with --set-stats (telemetry v6)\n");
     return false;
   }
   if (!any_level) {

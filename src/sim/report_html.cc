@@ -7,10 +7,13 @@
 // precision, so the dashboard bytes are deterministic too.
 //
 // Telemetry artifacts (tsxhpc-telemetry-v*) get, per run: a summary strip,
-// per-set heatmaps (v5 `set_stats` block, when present) with named-object
-// spans, the interval-sample time series, and the per-site policy table.
-// Sweep artifacts (tsxhpc-sweep-v1) get the per-cell summary plus makespan
-// scaling curves along the "threads" axis.
+// topology-resolved slice/socket tables (v6, sliced/multi-socket machines
+// only), per-set heatmaps (v5 `set_stats` block, when present) with
+// named-object spans, the interval-sample time series, and the per-site
+// policy table; multi-run topology artifacts additionally get makespan
+// scaling curves per (map, slices, sockets) combination. Sweep artifacts
+// (tsxhpc-sweep-v1) get the per-cell summary plus makespan scaling curves
+// along the "threads" axis.
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
@@ -146,6 +149,116 @@ void emit_run_summary(std::string& out, const JsonValue& run) {
   out += "</div>";
 }
 
+/// Topology-resolved tables (v6 artifacts): per-slice and per-socket event
+/// counters plus the hop summary. Skipped for the default 1-socket/1-slice
+/// machine, whose reports look exactly as they always did.
+void emit_topology(std::string& out, const JsonValue& run) {
+  const JsonValue& topo = run["topology"];
+  if (!topo.is_object()) return;
+  const std::uint64_t sockets = topo["sockets"].as_u64();
+  const std::uint64_t slices = topo["slices"].as_u64();
+  if (sockets <= 1 && slices <= 1) return;
+  appendf(out,
+          "<h3>Topology</h3><div class=\"legend\">%llu socket(s) × %llu "
+          "cores/socket, %llu LLC slice(s), map=%s, hop cycles "
+          "slice=%llu/socket=%llu</div>",
+          static_cast<unsigned long long>(sockets),
+          static_cast<unsigned long long>(topo["cores_per_socket"].as_u64()),
+          static_cast<unsigned long long>(slices),
+          html_escape(topo["map"].as_string()).c_str(),
+          static_cast<unsigned long long>(topo["lat_hop_slice"].as_u64()),
+          static_cast<unsigned long long>(topo["lat_hop_socket"].as_u64()));
+  const JsonValue& ss = topo["slice_stats"];
+  if (ss.size() != 0) {
+    out += "<table><tr><th>slice</th><th>hits</th><th>misses</th>"
+           "<th>evictions</th><th>xfers</th></tr>";
+    for (std::size_t s = 0; s < ss.size(); ++s) {
+      const JsonValue& sl = ss.at(s);
+      appendf(out,
+              "<tr><td>s%zu</td><td>%llu</td><td>%llu</td><td>%llu</td>"
+              "<td>%llu</td></tr>",
+              s, static_cast<unsigned long long>(sl["hits"].as_u64()),
+              static_cast<unsigned long long>(sl["misses"].as_u64()),
+              static_cast<unsigned long long>(sl["evictions"].as_u64()),
+              static_cast<unsigned long long>(sl["xfers"].as_u64()));
+    }
+    out += "</table>";
+  }
+  const JsonValue& so = topo["socket_stats"];
+  if (so.size() != 0) {
+    out += "<table><tr><th>socket</th><th>accesses</th><th>dram local</th>"
+           "<th>dram remote</th><th>slice hops</th><th>socket hops</th></tr>";
+    for (std::size_t s = 0; s < so.size(); ++s) {
+      const JsonValue& sk = so.at(s);
+      appendf(out,
+              "<tr><td>%zu</td><td>%llu</td><td>%llu</td><td>%llu</td>"
+              "<td>%llu</td><td>%llu</td></tr>",
+              s, static_cast<unsigned long long>(sk["accesses"].as_u64()),
+              static_cast<unsigned long long>(sk["dram_local"].as_u64()),
+              static_cast<unsigned long long>(sk["dram_remote"].as_u64()),
+              static_cast<unsigned long long>(sk["slice_hops"].as_u64()),
+              static_cast<unsigned long long>(sk["socket_hops"].as_u64()));
+    }
+    out += "</table>";
+  }
+}
+
+/// Scaling curves over a multi-run topology artifact (ablation_topology's
+/// internal map × threads sweep) or a sweep grid whose cells carry such
+/// runs: one makespan polyline per (map, slices, sockets) combination, x
+/// ordered by each run's thread count. Emitted only when some combination
+/// has at least two runs.
+void emit_topology_scaling(std::string& out, const JsonValue& doc) {
+  std::map<std::string, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      groups;  // key -> (threads, makespan)
+  const auto collect = [&groups](const JsonValue& runs) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const JsonValue& run = runs.at(i);
+      const JsonValue& topo = run["topology"];
+      if (!topo.is_object()) continue;
+      if (topo["sockets"].as_u64() <= 1 && topo["slices"].as_u64() <= 1) {
+        continue;
+      }
+      const std::string key =
+          topo["map"].as_string() + "/s" +
+          std::to_string(topo["slices"].as_u64()) + "/" +
+          std::to_string(topo["sockets"].as_u64()) + "skt";
+      groups[key].emplace_back(run["num_threads"].as_u64(),
+                               run["makespan"].as_u64());
+    }
+  };
+  collect(doc["runs"]);
+  const JsonValue& cells = doc["cells"];
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    collect(cells.at(c)["telemetry"]["runs"]);
+  }
+  bool any = false;
+  for (const auto& [key, points] : groups) any |= points.size() >= 2;
+  if (!any) return;
+  out += "<section><h2>Topology scaling</h2><h3>Makespan vs sockets × "
+         "threads</h3>";
+  static const char* kPalette[] = {"#2a7a2a", "#c03030", "#3050c0", "#c08020",
+                                   "#703090", "#208080", "#806020", "#404040"};
+  appendf(out, "<svg width=\"640\" height=\"160\" class=\"chart\">");
+  std::size_t ci = 0;
+  for (auto& [key, points] : groups) {
+    std::sort(points.begin(), points.end());
+    std::vector<std::uint64_t> series;
+    for (const auto& [threads, makespan] : points) series.push_back(makespan);
+    svg_series(out, series, 630, 150, kPalette[ci % 8]);
+    ci++;
+  }
+  out += "</svg><div class=\"legend\">";
+  ci = 0;
+  for (const auto& [key, points] : groups) {
+    appendf(out, "<span style=\"color:%s\">— %s</span> ", kPalette[ci % 8],
+            html_escape(key).c_str());
+    ci++;
+  }
+  out += "(x: thread counts ascending; y: makespan, each line normalized to "
+         "its own max)</div></section>";
+}
+
 void emit_set_heatmaps(std::string& out, const JsonValue& run) {
   const JsonValue& ss = run["set_stats"];
   if (!ss.is_object()) return;
@@ -259,11 +372,13 @@ void emit_telemetry_doc(std::string& out, const JsonValue& doc) {
             html_escape(run["label"].as_string()).c_str(),
             html_escape(run["backend"].as_string()).c_str());
     emit_run_summary(out, run);
+    emit_topology(out, run);
     emit_set_heatmaps(out, run);
     emit_samples(out, run);
     emit_locks(out, run);
     out += "</section>";
   }
+  emit_topology_scaling(out, doc);
 }
 
 // --- Sweep sections -------------------------------------------------------
@@ -299,7 +414,11 @@ void emit_sweep_doc(std::string& out, const JsonValue& doc) {
     if (axes.at(a)["axis"].as_string() == "threads") threads_axis = a;
   }
   if (threads_axis == axes.size()) {
+    // No threads axis (e.g. the topology grid sweeps map × slices and each
+    // cell's bench scales threads internally) — the topology scaling
+    // section below still gets its shot at the per-cell runs.
     out += "</section>";
+    emit_topology_scaling(out, doc);
     return;
   }
   std::map<std::string, std::vector<std::uint64_t>> groups;  // key -> series
@@ -333,6 +452,7 @@ void emit_sweep_doc(std::string& out, const JsonValue& doc) {
   }
   out += "(x: threads-axis values in grid order; y: makespan, each line "
          "normalized to its own max)</div></section>";
+  emit_topology_scaling(out, doc);
 }
 
 }  // namespace

@@ -61,11 +61,6 @@ class Shared {
     return s;
   }
 
-  /// Deprecated one-PR shim; forwards to alloc(m, {.name = name}, init).
-  /// Will be removed next PR.
-  static Shared alloc_named(Machine& m, std::string_view name, T init = T{}) {
-    return alloc(m, AllocSpec{name}, init);
-  }
 
   Addr addr() const { return a_; }
   bool valid() const { return a_ != kNullAddr; }
@@ -140,12 +135,6 @@ class SharedArray {
     return arr;
   }
 
-  /// Deprecated one-PR shim; forwards to alloc(m, {.name = name}, n, init).
-  /// Will be removed next PR.
-  static SharedArray alloc_named(Machine& m, std::string_view name,
-                                 std::size_t n, T init = T{}) {
-    return alloc(m, AllocSpec{name}, n, init);
-  }
 
   std::size_t size() const { return n_; }
   std::size_t bytes() const { return n_ * sizeof(T); }

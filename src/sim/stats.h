@@ -72,6 +72,13 @@ struct ThreadStats {
   std::uint64_t llc_evictions = 0;  // LLC victims displaced by our fills
   std::uint64_t xfers_in = 0;  // lines transferred from another core
   std::uint64_t atomics = 0;
+  // Interconnect hops (telemetry v6). Zero on a 1-socket/1-slice machine.
+  // hop_cycles is a sub-component of the access latencies already booked to
+  // the serving level, and reconciles exactly:
+  //   hop_cycles == slice_hops * lat_hop_slice + socket_hops * lat_hop_socket
+  std::uint64_t slice_hops = 0;   // same-socket, non-local-slice accesses
+  std::uint64_t socket_hops = 0;  // cross-socket slice/DRAM/forward hops
+  Cycles hop_cycles = 0;
   // Beyond-L1 stall cycles by the level that served the access; sums to the
   // kMemStall bucket (stalls rerouted to lock-wait/fallback are excluded,
   // exactly as they are from the bucket).
@@ -120,6 +127,30 @@ struct ThreadStats {
   }
 };
 
+/// Per-LLC-slice event counters (telemetry v6), charged by MemorySystem at
+/// the same sites as the ThreadStats level totals. Summed over all slices,
+/// hits/misses/evictions/xfers equal the run's llc_hits/llc_misses/
+/// llc_evictions/xfers_in totals exactly — the v6 decomposition invariant
+/// CI checks.
+struct SliceStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t xfers = 0;
+};
+
+/// Per-socket event counters (telemetry v6), keyed by the *requesting*
+/// thread's socket. accesses sums to mem_accesses; dram_local + dram_remote
+/// sums to llc_misses; slice_hops/socket_hops decompose the per-thread hop
+/// totals by requester socket.
+struct SocketStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t dram_local = 0;   // DRAM fills homed on the requester socket
+  std::uint64_t dram_remote = 0;  // DRAM fills homed on a remote socket
+  std::uint64_t slice_hops = 0;
+  std::uint64_t socket_hops = 0;
+};
+
 /// Aggregate over all threads of a run.
 struct RunStats {
   std::vector<ThreadStats> threads;
@@ -151,6 +182,9 @@ struct RunStats {
       t.llc_evictions += s.llc_evictions;
       t.xfers_in += s.xfers_in;
       t.atomics += s.atomics;
+      t.slice_hops += s.slice_hops;
+      t.socket_hops += s.socket_hops;
+      t.hop_cycles += s.hop_cycles;
       for (size_t i = 0; i < t.mem_stall_by_level.size(); ++i)
         t.mem_stall_by_level[i] += s.mem_stall_by_level[i];
       t.syscalls += s.syscalls;

@@ -132,6 +132,12 @@ void Telemetry::record_set_stats(std::vector<LevelSetStats> levels,
   r->line_bytes = line_bytes;
 }
 
+void Telemetry::record_topology(TopologyRec topo) {
+  RunRecord* r = cur();
+  if (!r) return;
+  r->topology = std::move(topo);
+}
+
 void Telemetry::abandon_run() {
   if (!open_run_) return;
   runs_.pop_back();
@@ -453,6 +459,11 @@ void write_counter_block(JsonWriter& w, const ThreadStats& t) {
   w.kv("llc_evictions", t.llc_evictions);
   w.kv("xfers_in", t.xfers_in);
   w.kv("atomics", t.atomics);
+  // v6 interconnect hops. hop_cycles reconciles exactly:
+  //   hop_cycles == slice_hops * lat_hop_slice + socket_hops * lat_hop_socket
+  w.kv("slice_hops", t.slice_hops);
+  w.kv("socket_hops", t.socket_hops);
+  w.kv("hop_cycles", t.hop_cycles);
   w.kv("syscalls", t.syscalls);
   w.kv("futex_waits", t.futex_waits);
   w.kv("futex_wakes", t.futex_wakes);
@@ -484,7 +495,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v5");
+  w.kv("schema", "tsxhpc-telemetry-v6");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -535,6 +546,47 @@ std::string Telemetry::json(const std::string& bench_name) const {
         w.end_object();
       }
       w.end_array();
+    }
+
+    // v6: machine topology and its per-slice/per-socket event counters.
+    // Summed over slices, hits/misses/evictions/xfers reproduce the run's
+    // llc_hits/llc_misses/llc_evictions/xfers_in totals exactly; summed over
+    // sockets, accesses reproduces mem_accesses and dram_local + dram_remote
+    // reproduces llc_misses (CI checks all of these).
+    {
+      const TopologyRec& topo = r.topology;
+      w.key("topology");
+      w.begin_object();
+      w.kv("sockets", topo.sockets);
+      w.kv("cores_per_socket", topo.cores_per_socket);
+      w.kv("slices", topo.slices);
+      w.kv("map", topo.map);
+      w.kv("lat_hop_slice", topo.lat_hop_slice);
+      w.kv("lat_hop_socket", topo.lat_hop_socket);
+      w.key("slice_stats");
+      w.begin_array();
+      for (const SliceStats& s : topo.slice_stats) {
+        w.begin_object();
+        w.kv("hits", s.hits);
+        w.kv("misses", s.misses);
+        w.kv("evictions", s.evictions);
+        w.kv("xfers", s.xfers);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("socket_stats");
+      w.begin_array();
+      for (const SocketStats& s : topo.socket_stats) {
+        w.begin_object();
+        w.kv("accesses", s.accesses);
+        w.kv("dram_local", s.dram_local);
+        w.kv("dram_remote", s.dram_remote);
+        w.kv("slice_hops", s.slice_hops);
+        w.kv("socket_hops", s.socket_hops);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
     }
 
     w.key("threads");

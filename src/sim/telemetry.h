@@ -231,6 +231,23 @@ struct NamedRegionRec {
   std::uint32_t llc_sets_covered = 0;
 };
 
+/// Machine topology of a run plus its per-slice/per-socket counters
+/// (telemetry v6, always present). The slice counters decompose the run's
+/// llc_* level totals exactly and the socket counters its mem_accesses /
+/// llc_misses; hop latencies ride along so invariant checkers can reconcile
+/// hop_cycles == slice_hops * lat_hop_slice + socket_hops * lat_hop_socket
+/// from the artifact alone.
+struct TopologyRec {
+  int sockets = 1;
+  int cores_per_socket = 0;
+  int slices = 1;
+  std::string map;  // compact | scatter | sharing-aware
+  Cycles lat_hop_slice = 0;
+  Cycles lat_hop_socket = 0;
+  std::vector<SliceStats> slice_stats;
+  std::vector<SocketStats> socket_stats;
+};
+
 /// Power-of-two-bucket histogram: bucket 0 holds value 0, bucket i holds
 /// [2^(i-1), 2^i).
 struct Histogram {
@@ -308,6 +325,9 @@ struct RunRecord {
   std::vector<NamedRegionRec> set_objects;
   std::uint32_t line_bytes = 0;  // geometry context for the set block
 
+  /// Topology + per-slice/per-socket counters (v6, always present).
+  TopologyRec topology;
+
   /// Attempts in chronological (ring-unrolled) order.
   std::vector<AttemptRec> attempts_in_order() const;
   std::vector<BlockedSlice> blocked_in_order() const;
@@ -337,6 +357,10 @@ class Telemetry {
   void record_set_stats(std::vector<LevelSetStats> levels,
                         std::vector<NamedRegionRec> objects,
                         std::uint32_t line_bytes);
+
+  /// Attach the topology snapshot (v6) to the open run (called by Machine
+  /// just before end_run). No-op when no run is open.
+  void record_topology(TopologyRec topo);
 
   // --- Hooks (called with the scheduler token held) -----------------------
 
@@ -386,7 +410,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v5), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v6), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices

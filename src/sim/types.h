@@ -18,6 +18,14 @@ using Cycles = std::uint64_t;
 /// in effect; see MachineConfig::core_of().
 using ThreadId = int;
 
+/// Bitmask over hardware threads (bit t = thread t). 64 bits caps the
+/// simulated machine at 64 hardware threads; MemorySystem validates the
+/// configured topology against it.
+using ThreadMask = std::uint64_t;
+
+/// Bitmask over cores (bit c = core c); same 64-entry cap as ThreadMask.
+using CoreMask = std::uint64_t;
+
 inline constexpr Addr kNullAddr = 0;
 
 /// Fatal, non-recoverable simulator error (API misuse, deadlock, timeout).

@@ -61,19 +61,21 @@ TEST(AllocStrategy, LayoutIsDeterministicAcrossBackendsAndRuns) {
   }
 }
 
-TEST(AllocStrategy, DeprecatedSpellingsMatchAllocSpec) {
-  // The three pre-AllocSpec spellings are one-PR shims; until they go they
-  // must be address-for-address equivalent to the unified entry point.
+TEST(AllocStrategy, UnifiedSpecSpellingsAreDeterministic) {
+  // Every call site funnels through the one AllocSpec entry point (the
+  // pre-AllocSpec shims are gone); the same spec sequence on two machines
+  // with the same config must produce identical addresses and values.
   Machine a;  // default config: bump strategy
   Machine b(cfg_with(AllocStrategyKind::kBump));
-  EXPECT_EQ(a.alloc_named("x", 640), b.alloc({.name = "x", .bytes = 640}));
-  EXPECT_EQ(a.heap().allocate_named("y", 96, 16),
+  EXPECT_EQ(a.alloc({.name = "x", .bytes = 640}),
+            b.alloc({.name = "x", .bytes = 640}));
+  EXPECT_EQ(a.heap().allocate({.name = "y", .bytes = 96, .align = 16}),
             b.heap().allocate({.name = "y", .bytes = 96, .align = 16}));
-  auto sa = Shared<std::uint64_t>::alloc_named(a, "z", 7);
+  auto sa = Shared<std::uint64_t>::alloc(a, {.name = "z"}, 7);
   auto sb = Shared<std::uint64_t>::alloc(b, {.name = "z"}, 7);
   EXPECT_EQ(sa.addr(), sb.addr());
   EXPECT_EQ(sa.peek(a), sb.peek(b));
-  auto va = SharedArray<std::uint32_t>::alloc_named(a, "w", 10, 3);
+  auto va = SharedArray<std::uint32_t>::alloc(a, {.name = "w"}, 10, 3);
   auto vb = SharedArray<std::uint32_t>::alloc(b, {.name = "w"}, 10, 3);
   EXPECT_EQ(va.base(), vb.base());
   EXPECT_EQ(va.at(9).peek(a), vb.at(9).peek(b));

@@ -8,6 +8,9 @@
 // hold exactly rather than statistically.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "sim/machine.h"
 #include "sim/shared.h"
 #include "sim/telemetry.h"
@@ -193,6 +196,115 @@ TEST(Hierarchy, DirectoryIsBoundedByLlcCapacity) {
   }});
   EXPECT_LE(m.mem().directory_entries(), m.mem().llc().capacity_lines());
   EXPECT_GT(m.mem().directory_entries(), 0u);
+}
+
+// 2-socket / 4-slice / 8-core machine used by the topology tests below:
+// every map policy places threads distinctly, both hop kinds get charged,
+// and the whole thing still fits the 64-entry mask width.
+MachineConfig topo_cfg() {
+  MachineConfig cfg;
+  cfg.num_cores = 8;
+  cfg.smt_per_core = 1;
+  cfg.topology.num_sockets = 2;
+  cfg.topology.llc_slices = 4;
+  return cfg;
+}
+
+/// Cross-socket sharing workload: every thread transactionally bumps
+/// counters spread over enough lines to hash onto every slice.
+RunStats topo_run(const MachineConfig& cfg, int threads = 8) {
+  Machine m(cfg);
+  const Addr base = m.alloc({.name = "grid", .bytes = 256 * 64});
+  return m.run({.threads = threads, .body = [&](Context& c) {
+    for (int i = 0; i < 30; ++i) {
+      try {
+        c.xbegin();
+        for (int k = 0; k < 6; ++k) {
+          const Addr a = base + ((c.tid() * 37 + i * 11 + k) % 256) * 64;
+          c.store(a, c.load(a) + 1);
+        }
+        c.xend();
+      } catch (const TxAbort&) {
+      }
+    }
+  }, .label = "topo"});
+}
+
+TEST(Topology, SliceHashIsStableAndIdentityAtOne) {
+  // The hash is part of the artifact contract: telemetry baselines and the
+  // color strategy's layouts both bake it in, so its values are goldens.
+  for (Addr line : {Addr{0}, Addr{1}, Addr{64}, Addr{12345}, Addr{1} << 40}) {
+    EXPECT_EQ(llc_slice_of_line(line, 1), 0) << line;
+  }
+  EXPECT_EQ(llc_slice_of_line(0, 4), 0);
+  EXPECT_EQ(llc_slice_of_line(1, 4), 1);
+  EXPECT_EQ(llc_slice_of_line(2, 4), 2);
+  EXPECT_EQ(llc_slice_of_line(3, 4), 3);
+  EXPECT_EQ(llc_slice_of_line(4, 4), 3);
+  EXPECT_EQ(llc_slice_of_line(12345, 8), 2);
+  // Every slice is reachable (the hash spreads consecutive lines).
+  for (int slices : {2, 4, 8}) {
+    std::vector<int> seen(slices, 0);
+    for (Addr line = 0; line < 64; ++line) {
+      seen[llc_slice_of_line(line, slices)]++;
+    }
+    for (int s = 0; s < slices; ++s) EXPECT_GT(seen[s], 0) << slices;
+  }
+}
+
+TEST(Topology, HopCyclesReconcileExactly) {
+  // The per-thread hop counters decompose the hop surcharge bit-for-bit:
+  // hop_cycles == slice_hops * lat_hop_slice + socket_hops * lat_hop_socket.
+  const MachineConfig cfg = topo_cfg();
+  const ThreadStats tot = topo_run(cfg).total();
+  EXPECT_GT(tot.slice_hops, 0u);
+  EXPECT_GT(tot.socket_hops, 0u);
+  EXPECT_EQ(tot.hop_cycles,
+            tot.slice_hops * cfg.topology.lat_hop_slice +
+                tot.socket_hops * cfg.topology.lat_hop_socket);
+}
+
+TEST(Topology, DefaultTopologyChargesNoHops) {
+  // 1 socket / 1 slice is the historic machine: no interconnect exists, so
+  // no hop may ever be charged (the committed baselines depend on this).
+  const ThreadStats tot = topo_run(MachineConfig{}, 4).total();
+  EXPECT_EQ(tot.slice_hops, 0u);
+  EXPECT_EQ(tot.socket_hops, 0u);
+  EXPECT_EQ(tot.hop_cycles, 0u);
+}
+
+TEST(Topology, MapPoliciesDegenerateToHistoricPlacementAtOneSocket) {
+  MachineConfig cfg;  // default: 1 socket, 4 cores x 2 SMT
+  for (MapPolicy map : {MapPolicy::kCompact, MapPolicy::kScatter,
+                        MapPolicy::kSharingAware}) {
+    cfg.topology.map = map;
+    for (ThreadId t = 0; t < cfg.num_hw_threads(); ++t) {
+      // kSpreadCores historic formula: thread t lands on core t % num_cores.
+      EXPECT_EQ(cfg.core_of(t), t % cfg.num_cores) << to_string(map);
+    }
+  }
+}
+
+TEST(Topology, FiberAndThreadBackendsAreByteIdenticalOnSlicedMachine) {
+  // Topology counters and hop charging must not leak host scheduling: the
+  // same 2-socket/4-slice run under both backends produces byte-identical
+  // telemetry apart from the run's own backend name tag.
+  Telemetry fiber_tel, thread_tel;
+  MachineConfig cfg = topo_cfg();
+  cfg.set_stats = true;
+  cfg.backend = BackendKind::kFiber;
+  cfg.telemetry = &fiber_tel;
+  topo_run(cfg);
+  cfg.backend = BackendKind::kThread;
+  cfg.telemetry = &thread_tel;
+  topo_run(cfg);
+  std::string fiber_json = fiber_tel.json("topology_test");
+  const std::string thread_json = thread_tel.json("topology_test");
+  const std::string from = "\"backend\":\"fiber\"";
+  const std::size_t at = fiber_json.find(from);
+  ASSERT_NE(at, std::string::npos);
+  fiber_json.replace(at, from.size(), "\"backend\":\"thread\"");
+  EXPECT_EQ(fiber_json, thread_json);
 }
 
 TEST(Hierarchy, TxRegistryDrainsAfterCommitsAndAborts) {

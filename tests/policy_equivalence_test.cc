@@ -4,8 +4,8 @@
 // mode and deep-compares their artifacts against goldens captured at the
 // commit before the seam was introduced (tests/golden/*_prerefactor.json).
 //
-// Exactly these schema-v3 -> v5 deltas are allowed, nothing else:
-//   - the schema string itself ("tsxhpc-telemetry-v3" -> "-v5"),
+// Exactly these schema-v3 -> v6 deltas are allowed, nothing else:
+//   - the schema string itself ("tsxhpc-telemetry-v3" -> "-v6"),
 //   - each counter block's new `backoff_cycles` sub-counter (v4), whose
 //     cycles moved from the kLockWait bucket to kTxWasted (the refactor
 //     books post-conflict backoff as wasted transactional work, not lock
@@ -16,7 +16,11 @@
 //     keys only; the pre-existing sample columns stay byte-identical. (The
 //     v5 `set_stats` block is gated behind --set-stats, which these benches
 //     do not pass, so it never appears here; the skip covers a future
-//     regeneration that enables it.)
+//     regeneration that enables it),
+//   - the per-run `topology` block and the counter blocks' new
+//     `slice_hops` / `socket_hops` / `hop_cycles` keys (v6) — new keys
+//     only; on the default 1-socket/1-slice machine every hop counter is
+//     zero and no existing number moves.
 //
 // Invoked with the bench binaries and the golden directory as arguments
 // (plain add_test, not gtest_discover_tests — the binaries are build
@@ -68,7 +72,7 @@ std::string describe(const JsonValue& v) {
   return "?";
 }
 
-/// Deep comparison of a pre-seam (v3) value against a post-seam (v5) value,
+/// Deep comparison of a pre-seam (v3) value against a post-seam (v6) value,
 /// applying exactly the allowed deltas. Reports the first divergence path.
 /// `delta` is the counter block's backoff_cycles, threaded down into its
 /// `cycles` child where the lock_wait -> tx_wasted shift lives.
@@ -92,7 +96,7 @@ class Comparator {
                const std::string& path, std::uint64_t delta) {
     if (path == "$.schema") {
       if (oldv.as_string() != "tsxhpc-telemetry-v3" ||
-          newv.as_string() != "tsxhpc-telemetry-v5") {
+          newv.as_string() != "tsxhpc-telemetry-v6") {
         return mismatch(path, oldv, newv, "unexpected schema pair");
       }
       return true;
@@ -159,6 +163,10 @@ class Comparator {
           if (key == "llc_misses" || key == "mem_stall" ||
               key == "set_stats") {
             continue;  // v5-only
+          }
+          if (key == "topology" || key == "slice_hops" ||
+              key == "socket_hops" || key == "hop_cycles") {
+            continue;  // v6-only
           }
           if (!oldv.has(key) && !newchild.is_null()) {
             diff_ = path + "." + key + ": unexpected new key";

@@ -300,6 +300,73 @@ TEST(SetStats, NamedObjectSetAttributionMatchesAddressLayout) {
                                   (cfg.llc_sets() - 1));
 }
 
+TEST(SetStats, PerSliceCountersSumToLlcTotalsOnSlicedMachine) {
+  // The v6 decomposition invariants: slice counters partition the LLC level
+  // totals, socket counters partition mem_accesses and llc_misses, and the
+  // per-set tables (re-keyed "llc.s<i>" when sliced) agree with the slice
+  // counters they resolve.
+  Telemetry tel;
+  MachineConfig cfg;
+  cfg.telemetry = &tel;
+  cfg.set_stats = true;
+  cfg.num_cores = 8;
+  cfg.smt_per_core = 1;
+  cfg.topology.num_sockets = 2;
+  cfg.topology.llc_slices = 4;
+  Machine m(cfg);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, {.name = "cells"}, 512);
+  const RunStats rs = m.run({.threads = 8, .body = [&](Context& c) {
+    for (int i = 0; i < 40; ++i) {
+      for (int k = 0; k < 24; ++k) {
+        auto cell = cells.at((c.tid() * 131 + i * 17 + k) % 512);
+        cell.store(c, cell.load(c) + 1);
+      }
+    }
+  }, .label = "sliced"});
+  const ThreadStats tot = rs.total();
+  const RunRecord& r = tel.runs().at(0);
+  const TopologyRec& topo = r.topology;
+  ASSERT_EQ(topo.slices, 4);
+  ASSERT_EQ(topo.sockets, 2);
+  ASSERT_EQ(topo.slice_stats.size(), 4u);
+  ASSERT_EQ(topo.socket_stats.size(), 2u);
+
+  SliceStats slice_sum;
+  for (const SliceStats& s : topo.slice_stats) {
+    slice_sum.hits += s.hits;
+    slice_sum.misses += s.misses;
+    slice_sum.evictions += s.evictions;
+    slice_sum.xfers += s.xfers;
+  }
+  EXPECT_EQ(slice_sum.hits, tot.llc_hits);
+  EXPECT_EQ(slice_sum.misses, tot.llc_misses);
+  EXPECT_EQ(slice_sum.evictions, tot.llc_evictions);
+  EXPECT_EQ(slice_sum.xfers, tot.xfers_in);
+
+  std::uint64_t accesses = 0, dram_local = 0, dram_remote = 0;
+  for (const SocketStats& s : topo.socket_stats) {
+    accesses += s.accesses;
+    dram_local += s.dram_local;
+    dram_remote += s.dram_remote;
+  }
+  EXPECT_EQ(accesses, tot.mem_accesses);
+  EXPECT_EQ(dram_local + dram_remote, tot.llc_misses);
+
+  // Sliced machines re-key the per-set LLC tables "llc.s<i>", one per
+  // slice; each table's sums match its slice's counters exactly.
+  EXPECT_EQ(find_level(r, "llc"), nullptr);
+  ASSERT_EQ(r.set_stats.size(), 12u);  // 8 per-core L1s + 4 LLC slices
+  for (int i = 0; i < 4; ++i) {
+    const LevelSetStats* lvl = find_level(r, "llc.s" + std::to_string(i));
+    ASSERT_NE(lvl, nullptr) << i;
+    const SetSums s = sum_level(*lvl);
+    EXPECT_EQ(s.hits, topo.slice_stats[i].hits) << i;
+    EXPECT_EQ(s.misses, topo.slice_stats[i].misses) << i;
+    EXPECT_EQ(s.evictions, topo.slice_stats[i].evictions) << i;
+    EXPECT_EQ(s.xfers, topo.slice_stats[i].xfers) << i;
+  }
+}
+
 TEST(SetStats, ArtifactIsByteIdenticalAcrossBackends) {
   // The v5 set_stats block must not leak host scheduling: fiber and OS
   // thread backends produce the same artifact byte for byte, apart from the
@@ -326,9 +393,9 @@ TEST(SetStats, DisabledRunsEmitNoSetStatsBlock) {
   EXPECT_TRUE(tel.runs().at(0).set_stats.empty());
   const std::string j = tel.json("set_stats_test");
   EXPECT_EQ(j.find("\"set_stats\""), std::string::npos);
-  // The schema is still v5 — the block is an optional extension, not a
+  // The schema is still v6 — the block is an optional extension, not a
   // schema fork.
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v5\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v6\""), std::string::npos);
 }
 
 TEST(SetStats, HeatmapRendererShowsTargetedObjectAndGatesOnV5Block) {
