@@ -25,8 +25,16 @@ int main(int argc, char** argv) {
     backend = tmlib::Backend::kTl2;
   } else if (std::strcmp(backend_name, "tsx") == 0) {
     backend = tmlib::Backend::kTsx;
+  } else if (std::strcmp(backend_name, "tictoc") == 0) {
+    backend = tmlib::Backend::kTicToc;
+  } else if (std::strcmp(backend_name, "tictoc-hybrid") == 0) {
+    backend = tmlib::Backend::kTicTocHybrid;
+  } else if (std::strcmp(backend_name, "mvcc") == 0) {
+    backend = tmlib::Backend::kMvcc;
   } else {
-    std::fprintf(stderr, "unknown backend '%s' (sgl | tl2 | tsx)\n",
+    std::fprintf(stderr,
+                 "unknown backend '%s' (sgl | tl2 | tsx | tictoc | "
+                 "tictoc-hybrid | mvcc)\n",
                  backend_name);
     return 1;
   }
@@ -54,11 +62,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.makespan));
   std::printf("  verification  : %s\n",
               r.checksum != 0 ? "OK" : "FAILED (invariant broken!)");
-  if (backend == tmlib::Backend::kTl2) {
-    std::printf("  tl2 txns      : %llu started, %llu aborted (%.1f%%)\n",
-                static_cast<unsigned long long>(r.tl2_starts),
-                static_cast<unsigned long long>(r.tl2_aborts),
+  if (tmlib::is_stm(backend)) {
+    std::printf("  %s txns : %llu started, %llu aborted (%.1f%%)\n",
+                backend_name, static_cast<unsigned long long>(r.cc.starts),
+                static_cast<unsigned long long>(r.cc.aborts),
                 r.abort_rate_pct(backend));
+    if (backend == tmlib::Backend::kMvcc) {
+      std::printf("  mvcc          : %llu snapshot commits, %llu versions, "
+                  "%llu gc reclaims\n",
+                  static_cast<unsigned long long>(r.cc.snapshot_commits),
+                  static_cast<unsigned long long>(r.cc.versions_created),
+                  static_cast<unsigned long long>(r.cc.gc_reclaims));
+    }
   } else if (backend == tmlib::Backend::kTsx) {
     const auto t = r.stats.total();
     std::printf("  hw txns       : %llu started, %llu aborted (%.1f%%)\n",

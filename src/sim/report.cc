@@ -64,6 +64,52 @@ void render_abort_tree(std::string& out, const JsonValue& totals) {
   }
 }
 
+/// Concurrency-control block (v7 artifacts; absent on v6 and earlier).
+/// Region-level counters from the CcBackend seam: attempt chain, abort
+/// classes, and the scheme-specific extras (TicToc rts extensions, MVCC
+/// snapshot/version/GC accounting) — rendered only when nonzero so sgl/tsx
+/// rows stay compact.
+void render_cc(std::string& out, const JsonValue& run) {
+  const JsonValue& cc = run["cc"];
+  if (!cc.is_object()) return;
+  appendf(out,
+          "  cc [%s]: starts=%llu commits=%llu aborts=%llu (%.2f%%)\n",
+          cc["scheme"].as_string().c_str(),
+          static_cast<unsigned long long>(cc["starts"].as_u64()),
+          static_cast<unsigned long long>(cc["commits"].as_u64()),
+          static_cast<unsigned long long>(cc["aborts"].as_u64()),
+          cc["abort_rate_pct"].as_double());
+  const JsonValue& cls = cc["aborts_by_class"];
+  if (cls.is_object() && cc["aborts"].as_u64() != 0) {
+    appendf(
+        out,
+        "    abort classes: read-validation=%llu lock-acquire=%llu "
+        "commit-validation=%llu\n",
+        static_cast<unsigned long long>(cls["read_validation"].as_u64()),
+        static_cast<unsigned long long>(cls["lock_acquire"].as_u64()),
+        static_cast<unsigned long long>(cls["commit_validation"].as_u64()));
+  }
+  if (cc["read_set_extensions"].as_u64() != 0) {
+    appendf(out, "    rts extensions: %llu\n",
+            static_cast<unsigned long long>(
+                cc["read_set_extensions"].as_u64()));
+  }
+  if (cc["snapshot_commits"].as_u64() != 0 ||
+      cc["versions_created"].as_u64() != 0) {
+    appendf(out,
+            "    mvcc: snapshot-commits=%llu versions=%llu chain-hops=%llu "
+            "depth-max=%llu gc(runs=%llu reclaims=%llu)\n",
+            static_cast<unsigned long long>(cc["snapshot_commits"].as_u64()),
+            static_cast<unsigned long long>(cc["versions_created"].as_u64()),
+            static_cast<unsigned long long>(
+                cc["version_chain_hops"].as_u64()),
+            static_cast<unsigned long long>(
+                cc["version_chain_depth_max"].as_u64()),
+            static_cast<unsigned long long>(cc["gc_runs"].as_u64()),
+            static_cast<unsigned long long>(cc["gc_reclaims"].as_u64()));
+  }
+}
+
 void render_conflict_lines(std::string& out, const JsonValue& run,
                            std::size_t top) {
   const JsonValue& lines = run["conflict_lines"];
@@ -285,6 +331,7 @@ std::string render_report(const JsonValue& doc, const ReportOptions& opt) {
             totals["abort_rate_pct"].as_double());
     appendf(out, "  wasted cycles: %.2f%% of transactional cycles\n",
             totals["wasted_cycle_pct"].as_double());
+    render_cc(out, run);
     render_conflict_lines(out, run, opt.top_lines);
     render_capacity_lines(out, run, opt.top_lines);
     render_cache_levels(out, run);

@@ -7,6 +7,7 @@
 // precision, so the dashboard bytes are deterministic too.
 //
 // Telemetry artifacts (tsxhpc-telemetry-v*) get, per run: a summary strip,
+// the concurrency-control table (v7 `cc` block, when present),
 // topology-resolved slice/socket tables (v6, sliced/multi-socket machines
 // only), per-set heatmaps (v5 `set_stats` block, when present) with
 // named-object spans, the interval-sample time series, and the per-site
@@ -308,6 +309,51 @@ void emit_set_heatmaps(std::string& out, const JsonValue& run) {
   }
 }
 
+/// Concurrency-control table (v7 `cc` block): the CcBackend seam's
+/// region-level attempt chain and abort classes, plus whichever
+/// scheme-specific extras are nonzero (TicToc rts extensions, MVCC
+/// snapshot/version/GC accounting).
+void emit_cc(std::string& out, const JsonValue& run) {
+  const JsonValue& cc = run["cc"];
+  if (!cc.is_object()) return;
+  const JsonValue& cls = cc["aborts_by_class"];
+  appendf(out,
+          "<h3>Concurrency control <small>(%s)</small></h3>"
+          "<table><tr><th>starts</th><th>commits</th><th>aborts</th>"
+          "<th>abort rate</th><th>read-val</th><th>lock-acq</th>"
+          "<th>commit-val</th></tr>"
+          "<tr><td>%llu</td><td>%llu</td><td>%llu</td><td>%.2f%%</td>"
+          "<td>%llu</td><td>%llu</td><td>%llu</td></tr></table>",
+          html_escape(cc["scheme"].as_string()).c_str(),
+          static_cast<unsigned long long>(cc["starts"].as_u64()),
+          static_cast<unsigned long long>(cc["commits"].as_u64()),
+          static_cast<unsigned long long>(cc["aborts"].as_u64()),
+          cc["abort_rate_pct"].as_double(),
+          static_cast<unsigned long long>(cls["read_validation"].as_u64()),
+          static_cast<unsigned long long>(cls["lock_acquire"].as_u64()),
+          static_cast<unsigned long long>(cls["commit_validation"].as_u64()));
+  if (cc["read_set_extensions"].as_u64() != 0) {
+    appendf(out, "<div class=\"legend\">rts extensions: %llu</div>",
+            static_cast<unsigned long long>(
+                cc["read_set_extensions"].as_u64()));
+  }
+  if (cc["snapshot_commits"].as_u64() != 0 ||
+      cc["versions_created"].as_u64() != 0) {
+    appendf(out,
+            "<div class=\"legend\">mvcc: snapshot-commits=%llu "
+            "versions=%llu chain-hops=%llu depth-max=%llu gc-runs=%llu "
+            "gc-reclaims=%llu</div>",
+            static_cast<unsigned long long>(cc["snapshot_commits"].as_u64()),
+            static_cast<unsigned long long>(cc["versions_created"].as_u64()),
+            static_cast<unsigned long long>(
+                cc["version_chain_hops"].as_u64()),
+            static_cast<unsigned long long>(
+                cc["version_chain_depth_max"].as_u64()),
+            static_cast<unsigned long long>(cc["gc_runs"].as_u64()),
+            static_cast<unsigned long long>(cc["gc_reclaims"].as_u64()));
+  }
+}
+
 void emit_samples(std::string& out, const JsonValue& run) {
   const JsonValue& samples = run["samples"];
   if (!samples.is_object() || samples["count"].as_u64() == 0) return;
@@ -372,6 +418,7 @@ void emit_telemetry_doc(std::string& out, const JsonValue& doc) {
             html_escape(run["label"].as_string()).c_str(),
             html_escape(run["backend"].as_string()).c_str());
     emit_run_summary(out, run);
+    emit_cc(out, run);
     emit_topology(out, run);
     emit_set_heatmaps(out, run);
     emit_samples(out, run);

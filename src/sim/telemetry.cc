@@ -138,6 +138,13 @@ void Telemetry::record_topology(TopologyRec topo) {
   r->topology = std::move(topo);
 }
 
+void Telemetry::record_cc(const CcStats& cc) {
+  RunRecord* r = cur();
+  if (!r) return;
+  r->cc.merge(cc);
+  r->has_cc = true;
+}
+
 void Telemetry::abandon_run() {
   if (!open_run_) return;
   runs_.pop_back();
@@ -495,7 +502,7 @@ void write_u64_array(JsonWriter& w, const char* key,
 std::string Telemetry::json(const std::string& bench_name) const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "tsxhpc-telemetry-v6");
+  w.kv("schema", "tsxhpc-telemetry-v7");
   w.kv("bench", bench_name);
   w.key("runs");
   w.begin_array();
@@ -511,6 +518,32 @@ std::string Telemetry::json(const std::string& bench_name) const {
     w.begin_object();
     write_counter_block(w, r.stats.total());
     w.end_object();
+
+    // Concurrency-control block (v7): only when a TM runtime reported into
+    // this run, so non-TM artifacts keep their shape.
+    if (r.has_cc) {
+      w.key("cc");
+      w.begin_object();
+      w.kv("scheme", r.cc.scheme);
+      w.kv("starts", r.cc.starts);
+      w.kv("commits", r.cc.commits);
+      w.kv("aborts", r.cc.aborts);
+      w.kv("abort_rate_pct", r.cc.abort_rate_pct());
+      w.key("aborts_by_class");
+      w.begin_object();
+      w.kv("read_validation", r.cc.aborts_read_validation);
+      w.kv("lock_acquire", r.cc.aborts_lock_acquire);
+      w.kv("commit_validation", r.cc.aborts_commit_validation);
+      w.end_object();
+      w.kv("read_set_extensions", r.cc.read_set_extensions);
+      w.kv("snapshot_commits", r.cc.snapshot_commits);
+      w.kv("versions_created", r.cc.versions_created);
+      w.kv("version_chain_hops", r.cc.version_chain_hops);
+      w.kv("version_chain_depth_max", r.cc.version_chain_depth_max);
+      w.kv("gc_runs", r.cc.gc_runs);
+      w.kv("gc_reclaims", r.cc.gc_reclaims);
+      w.end_object();
+    }
 
     // Uniform per-level hierarchy table (derived from the totals): for each
     // level, accesses it served, accesses it passed down (misses), lines it

@@ -29,6 +29,7 @@
 // is written race-free, the same argument ThreadStats relies on.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <map>
@@ -267,6 +268,62 @@ struct Histogram {
   }
 };
 
+/// Concurrency-control counters for one run (schema v7): what the tmlib
+/// scheme seam saw, aggregated over threads. Emitted as the per-run `cc`
+/// block. For hardware/lock schemes (sgl/tsx) `starts`/`commits` count
+/// atomic *regions* — hardware retries live below this layer in the attempt
+/// chains, so `aborts` stays 0 and CI enforces it. For STM schemes each
+/// attempt is a start, and every abort carries exactly one class
+/// (starts == commits + aborts; the classes sum to aborts — CI-enforced).
+struct CcStats {
+  std::string scheme;  // "sgl"/"tl2"/"tsx"/"tictoc"/"tictoc-hybrid"/"mvcc"
+  std::uint64_t starts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  // Abort classes (STM schemes only; all zero for sgl/tsx).
+  std::uint64_t aborts_read_validation = 0;
+  std::uint64_t aborts_lock_acquire = 0;
+  std::uint64_t aborts_commit_validation = 0;
+  // TicToc: commit-time rts extensions that saved a would-be abort.
+  std::uint64_t read_set_extensions = 0;
+  // MVCC: validation-free read-only commits, version-chain accounting, GC.
+  std::uint64_t snapshot_commits = 0;
+  std::uint64_t versions_created = 0;
+  std::uint64_t version_chain_hops = 0;
+  std::uint64_t version_chain_depth_max = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_reclaims = 0;
+
+  double abort_rate_pct() const {
+    return starts == 0 ? 0.0
+                       : 100.0 * static_cast<double>(aborts) /
+                             static_cast<double>(starts);
+  }
+
+  /// Fold another thread's (or run's) counters into this one.
+  void merge(const CcStats& o) {
+    if (scheme.empty()) {
+      scheme = o.scheme;
+    } else if (!o.scheme.empty() && o.scheme != scheme) {
+      scheme = "mixed";
+    }
+    starts += o.starts;
+    commits += o.commits;
+    aborts += o.aborts;
+    aborts_read_validation += o.aborts_read_validation;
+    aborts_lock_acquire += o.aborts_lock_acquire;
+    aborts_commit_validation += o.aborts_commit_validation;
+    read_set_extensions += o.read_set_extensions;
+    snapshot_commits += o.snapshot_commits;
+    versions_created += o.versions_created;
+    version_chain_hops += o.version_chain_hops;
+    version_chain_depth_max =
+        std::max(version_chain_depth_max, o.version_chain_depth_max);
+    gc_runs += o.gc_runs;
+    gc_reclaims += o.gc_reclaims;
+  }
+};
+
 /// Everything recorded about one Machine::run region.
 struct RunRecord {
   std::string label;
@@ -328,6 +385,11 @@ struct RunRecord {
   /// Topology + per-slice/per-socket counters (v6, always present).
   TopologyRec topology;
 
+  /// Concurrency-control counters (v7). Emitted only when a TM runtime
+  /// reported into the run (`has_cc`), so non-TM runs keep their shape.
+  CcStats cc;
+  bool has_cc = false;
+
   /// Attempts in chronological (ring-unrolled) order.
   std::vector<AttemptRec> attempts_in_order() const;
   std::vector<BlockedSlice> blocked_in_order() const;
@@ -361,6 +423,11 @@ class Telemetry {
   /// Attach the topology snapshot (v6) to the open run (called by Machine
   /// just before end_run). No-op when no run is open.
   void record_topology(TopologyRec topo);
+
+  /// Merge concurrency-control counters (v7) into the open run (called by
+  /// the tmlib runtime as each TM thread retires). No-op when no run is
+  /// open — e.g. a TmRuntime torn down outside any region.
+  void record_cc(const CcStats& cc);
 
   // --- Hooks (called with the scheduler token held) -----------------------
 
@@ -410,7 +477,7 @@ class Telemetry {
 
   const std::vector<RunRecord>& runs() const { return runs_; }
 
-  /// Full JSON artifact (schema tsxhpc-telemetry-v6), stable key order.
+  /// Full JSON artifact (schema tsxhpc-telemetry-v7), stable key order.
   std::string json(const std::string& bench_name) const;
   /// Chrome trace-event JSON (catapult format, loadable in Perfetto): one
   /// process per run, one track per hardware thread, transaction slices

@@ -32,7 +32,7 @@ inline std::size_t scaled(double scale, std::size_t base, std::size_t min = 1) {
 }
 
 /// Run the SPMD body under the configured machine/backend; collects hardware
-/// stats, TL2 stats, and the makespan into a Result.
+/// stats, CC scheme stats, and the makespan into a Result.
 template <typename BodyFn>
 Result run_region(const Config& cfg, Machine& m, TmRuntime& rt,
                   BodyFn&& body) {
@@ -46,8 +46,7 @@ Result run_region(const Config& cfg, Machine& m, TmRuntime& rt,
   };
   r.stats = m.run(spec);
   r.makespan = r.stats.makespan;
-  r.tl2_starts = rt.tl2_starts();
-  r.tl2_aborts = rt.tl2_aborts();
+  r.cc = rt.cc_stats();
   return r;
 }
 

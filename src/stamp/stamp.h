@@ -37,19 +37,16 @@ struct Config {
 struct Result {
   sim::Cycles makespan = 0;
   sim::RunStats stats;  // hardware (tsx) counters
-  std::uint64_t tl2_starts = 0;
-  std::uint64_t tl2_aborts = 0;
+  /// Concurrency-control counters of the scheme that ran (the telemetry
+  /// `cc` block's content, harvested from the TmRuntime).
+  sim::CcStats cc;
   /// Order-insensitive verification value; must match across backends and
   /// thread counts for a given (workload, seed, scale).
   std::uint64_t checksum = 0;
 
   /// Abort rate (%) of whichever TM ran, in Table 1's definition.
   double abort_rate_pct(Backend b) const {
-    if (b == Backend::kTl2) {
-      return tl2_starts == 0 ? 0.0
-                             : 100.0 * static_cast<double>(tl2_aborts) /
-                                   static_cast<double>(tl2_starts);
-    }
+    if (tmlib::is_stm(b)) return cc.abort_rate_pct();
     return stats.abort_rate_pct();
   }
 };

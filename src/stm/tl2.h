@@ -22,16 +22,13 @@
 #include "sim/context.h"
 #include "sim/machine.h"
 #include "sim/shared.h"
+#include "stm/stm.h"
 
 namespace tsxhpc::stm {
 
 using sim::Addr;
 using sim::Context;
 using sim::Machine;
-
-/// Thrown on validation failure; the caller's retry loop restarts the
-/// transaction (analogous to sigsetjmp/siglongjmp in real TL2).
-struct StmAbort {};
 
 /// Shared STM metadata: the global version clock and the stripe lock table.
 class Tl2Space {
@@ -95,7 +92,9 @@ class Tl2Tx {
     const std::uint64_t v1 = lock.load(c);
     const std::uint64_t value = c.load(a, size);
     const std::uint64_t v2 = lock.load(c);
-    if ((v1 & 1) != 0 || v1 != v2 || v1 > rv_) abort_tx(c);
+    if ((v1 & 1) != 0 || v1 != v2 || v1 > rv_) {
+      abort_tx(c, StmAbortKind::kReadValidation);
+    }
     read_set_.push_back(lock.addr());
     c.compute(kBookkeeping);
     return value;
@@ -143,7 +142,7 @@ class Tl2Tx {
     }
     if (got != lock_addrs.size()) {
       release_locks(c, lock_addrs, got, /*new_version=*/0);
-      abort_tx(c);
+      abort_tx(c, StmAbortKind::kLockAcquire);
     }
     // Increment global clock, validate read set.
     const std::uint64_t wv = space_.clock().fetch_add(c, 2) + 2;
@@ -155,7 +154,7 @@ class Tl2Tx {
             std::binary_search(lock_addrs.begin(), lock_addrs.end(), la);
         if (((v & 1) != 0 && !locked_by_us) || (v & ~1ULL) > rv_) {
           release_locks(c, lock_addrs, lock_addrs.size(), 0);
-          abort_tx(c);
+          abort_tx(c, StmAbortKind::kCommitValidation);
         }
       }
     }
@@ -212,12 +211,12 @@ class Tl2Tx {
     }
   }
 
-  [[noreturn]] void abort_tx(Context& c) {
+  [[noreturn]] void abort_tx(Context& c, StmAbortKind kind) {
     active_ = false;
     aborts_++;
     commit_actions_.clear();
     c.compute(kAbortPenalty);
-    throw StmAbort{};
+    throw StmAbort{kind};
   }
 
   static constexpr sim::Cycles kBookkeeping = 6;

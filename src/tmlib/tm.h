@@ -1,36 +1,36 @@
 // The TM macro layer used by the benchmark suites (Section 4): one region
-// API, three interchangeable backends —
-//   sgl : transactional regions become critical sections under one global
-//         lock (the paper's "sgl" series);
-//   tl2 : regions run under the TL2 STM, tracking only annotated accesses
-//         (the "tl2" series);
-//   tsx : regions elide the same single global lock with RTM (the "tsx"
-//         series — the paper's approach: no application changes, only the
-//         synchronization library changes).
+// API, interchangeable concurrency-control backends behind the CcBackend
+// seam (cc.h) —
+//   sgl           : transactional regions become critical sections under one
+//                   global lock (the paper's "sgl" series);
+//   tl2           : regions run under the TL2 STM, tracking only annotated
+//                   accesses (the "tl2" series);
+//   tsx           : regions elide the same single global lock with RTM (the
+//                   "tsx" series — the paper's approach);
+//   tictoc        : TicToc timestamp-ordering OCC, optimistic reads with
+//                   commit-time rts extension;
+//   tictoc-hybrid : TicToc with optimistic first attempts and no-wait
+//                   locking reads on retries;
+//   mvcc          : multi-version CC — snapshot reads that never abort,
+//                   validation-free read-only commits, epoch GC.
 //
 // Workload code is written once against TmAccess:
 //   thread.atomic(c, [&](TmAccess& tm) {
-//     auto v = tm.read(cell);           // annotated (STM-tracked) access
+//     auto v = tm.read(cell);           // annotated (CC-tracked) access
 //     tm.write(cell, v + 1);
 //     tm.ctx().load(other);             // unannotated access (plain)
 //   });
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "stm/tl2.h"
 #include "sync/elision.h"
 #include "sync/locks.h"
+#include "tmlib/cc.h"
 
 namespace tsxhpc::tmlib {
-
-using sim::Addr;
-using sim::Context;
-using sim::Machine;
-
-enum class Backend { kSgl, kTl2, kTsx };
-
-const char* to_string(Backend b);
 
 /// Shared, per-run TM state (one instance per Machine/workload run).
 class TmRuntime {
@@ -40,37 +40,34 @@ class TmRuntime {
       : backend_(backend),
         global_lock_(m, policy),
         tl2_space_(m),
-        machine_(&m) {}
+        machine_(&m),
+        cc_(make_cc_backend(m, backend, global_lock_, tl2_space_)) {}
 
   Backend backend() const { return backend_; }
   sync::ElidedLock& global_lock() { return global_lock_; }
   stm::Tl2Space& tl2_space() { return tl2_space_; }
   Machine& machine() { return *machine_; }
+  CcBackend& cc_backend() { return *cc_; }
 
-  // Aggregated TL2 statistics, reported by TmThread on destruction
-  // (host-side state; simulated threads are token-serialized).
-  void report_tl2(std::uint64_t starts, std::uint64_t commits,
-                  std::uint64_t aborts) {
-    tl2_starts_ += starts;
-    tl2_commits_ += commits;
-    tl2_aborts_ += aborts;
+  /// Aggregated CC statistics, reported by TmThread on destruction
+  /// (host-side state; simulated threads are token-serialized). Also
+  /// forwarded into the open telemetry run's `cc` block, if any.
+  void record_cc(const sim::CcStats& s) {
+    cc_stats_.merge(s);
+    if (auto* tel = machine_->telemetry()) tel->record_cc(s);
   }
-  std::uint64_t tl2_starts() const { return tl2_starts_; }
-  std::uint64_t tl2_aborts() const { return tl2_aborts_; }
-  double tl2_abort_rate_pct() const {
-    return tl2_starts_ == 0 ? 0.0
-                            : 100.0 * static_cast<double>(tl2_aborts_) /
-                                  static_cast<double>(tl2_starts_);
-  }
+  const sim::CcStats& cc_stats() const { return cc_stats_; }
 
  private:
   Backend backend_;
+  // Pre-seam allocation order (lock word, then TL2 clock + stripes) is load-
+  // bearing: sgl/tl2/tsx goldens were captured against this heap layout.
+  // New backends allocate their spaces inside make_cc_backend, *after*.
   sync::ElidedLock global_lock_;
   stm::Tl2Space tl2_space_;
   Machine* machine_;
-  std::uint64_t tl2_starts_ = 0;
-  std::uint64_t tl2_commits_ = 0;
-  std::uint64_t tl2_aborts_ = 0;
+  sim::CcStats cc_stats_;
+  std::unique_ptr<CcBackend> cc_;
 };
 
 class TmAccess;
@@ -78,46 +75,43 @@ class TmAccess;
 /// Per-thread TM handle; construct inside the thread body.
 class TmThread {
  public:
-  TmThread(TmRuntime& rt, Context& c) : rt_(rt), c_(c), tl2_(rt.tl2_space()) {}
+  TmThread(TmRuntime& rt, Context& c)
+      : rt_(rt), c_(c), cc_(rt.cc_backend().attach()) {}
 
-  ~TmThread() { rt_.report_tl2(tl2_.starts(), tl2_.commits(), tl2_.aborts()); }
+  ~TmThread() { rt_.record_cc(cc_->stats()); }
 
   TmThread(const TmThread&) = delete;
   TmThread& operator=(const TmThread&) = delete;
 
-  /// Execute `f(TmAccess&)` as one transactional region. Under tl2 and tsx
-  /// the body may re-execute after aborts; host side effects must follow
-  /// the same idempotence rules as ElidedLock::critical.
+  /// Execute `f(TmAccess&)` as one transactional region. Under the STM and
+  /// tsx backends the body may re-execute after aborts; host side effects
+  /// must follow the same idempotence rules as ElidedLock::critical.
   template <typename F>
   void atomic(F&& f);
 
   Context& ctx() { return c_; }
   TmRuntime& runtime() { return rt_; }
+  CcThread& cc() { return *cc_; }
 
  private:
   friend class TmAccess;
   TmRuntime& rt_;
   Context& c_;
-  stm::Tl2Tx tl2_;
+  std::unique_ptr<CcThread> cc_;
 };
 
 /// Access handle passed to a region body. read()/write() are the *annotated*
-/// accesses (STAMP's TM_SHARED_READ/TM_SHARED_WRITE): instrumented under
-/// TL2, plain (but transactional at cache-line level) under tsx, plain under
-/// sgl. Unannotated accesses go through ctx() directly.
+/// accesses (STAMP's TM_SHARED_READ/TM_SHARED_WRITE): instrumented under the
+/// STM backends, plain (but transactional at cache-line level) under tsx,
+/// plain under sgl. Unannotated accesses go through ctx() directly.
 class TmAccess {
  public:
   std::uint64_t read(Addr a, unsigned size = 8) {
-    if (backend_ == Backend::kTl2) return t_.tl2_.read(c_, a, size);
-    return c_.load(a, size);
+    return cc_->read(c_, a, size);
   }
 
   void write(Addr a, std::uint64_t v, unsigned size = 8) {
-    if (backend_ == Backend::kTl2) {
-      t_.tl2_.write(c_, a, v, size);
-    } else {
-      c_.store(a, v, size);
-    }
+    cc_->write(c_, a, v, size);
   }
 
   // Typed convenience over Shared<T>.
@@ -134,19 +128,20 @@ class TmAccess {
   // any allocator with alloc(Context&, size, reuse) and free(Context&,
   // addr, size) — in practice containers::TxArena.
   //
-  // Under tl2, frees are deferred to commit (an abort must resurrect the
-  // block) and the free list is never reused (recycling writes memory that
-  // per-stripe validation cannot see; real TL2 allocators use quiescence).
-  // Under tsx the arena defers by itself via Context::in_txn().
+  // Under the write-buffering (STM) backends, frees are deferred to commit
+  // (an abort must resurrect the block) and the free list is never reused
+  // (recycling writes memory that per-stripe validation cannot see; real
+  // TL2 allocators use quiescence). Under tsx the arena defers by itself
+  // via Context::in_txn().
   template <typename ArenaT>
   Addr alloc(ArenaT& arena, std::size_t bytes) {
-    return arena.alloc(c_, bytes, /*reuse=*/backend_ != Backend::kTl2);
+    return arena.alloc(c_, bytes, /*reuse=*/!cc_->buffers_writes());
   }
 
   template <typename ArenaT>
   void free(ArenaT& arena, Addr a, std::size_t bytes) {
-    if (backend_ == Backend::kTl2) {
-      t_.tl2_.on_commit([&arena, a, bytes](Context& c) {
+    if (cc_->buffers_writes()) {
+      cc_->defer_to_commit([&arena, a, bytes](Context& c) {
         arena.free(c, a, bytes);
       });
       c_.compute(10);
@@ -160,43 +155,18 @@ class TmAccess {
 
  private:
   friend class TmThread;
-  TmAccess(TmThread& t) : t_(t), c_(t.c_), backend_(t.rt_.backend()) {}
-  TmThread& t_;
+  TmAccess(TmThread& t)
+      : c_(t.c_), cc_(t.cc_.get()), backend_(t.rt_.backend()) {}
   Context& c_;
+  CcThread* cc_;
   Backend backend_;
 };
 
 template <typename F>
 void TmThread::atomic(F&& f) {
   TmAccess access(*this);
-  switch (rt_.backend()) {
-    case Backend::kSgl: {
-      auto& lock = rt_.global_lock().underlying();
-      lock.acquire(c_);
-      f(access);
-      lock.release(c_);
-      return;
-    }
-    case Backend::kTsx: {
-      rt_.global_lock().critical(c_, [&] { f(access); });
-      return;
-    }
-    case Backend::kTl2: {
-      sim::Cycles backoff = 80;
-      for (;;) {
-        tl2_.begin(c_);
-        try {
-          f(access);
-          tl2_.commit(c_);
-          return;
-        } catch (const stm::StmAbort&) {
-          c_.compute(backoff);
-          if (backoff < 4000) backoff *= 2;
-        }
-      }
-    }
-  }
-  throw sim::SimError("unreachable: unknown TM backend");
+  auto body = [&] { f(access); };
+  cc_->execute(c_, RegionRef::of(body));
 }
 
 }  // namespace tsxhpc::tmlib

@@ -1,29 +1,21 @@
-// The TxPolicy seam's load-bearing guarantee: with --policy=paper (the
-// default), the refactored primitives reproduce the pre-seam telemetry
-// BIT FOR BIT. This test re-runs fig2_stamp and ablation_hierarchy in quick
-// mode and deep-compares their artifacts against goldens captured at the
-// commit before the seam was introduced (tests/golden/*_prerefactor.json).
+// The CcBackend seam's load-bearing guarantee: routing sgl / tl2 / tsx
+// through the pluggable concurrency-control interface reproduces the
+// pre-seam telemetry BIT FOR BIT. This test re-runs fig2_stamp and
+// table1_aborts in quick mode and deep-compares their artifacts against
+// goldens captured at the commit before the seam was introduced
+// (tests/golden/*_preccseam.json, schema v6).
 //
-// Exactly these schema-v3 -> v7 deltas are allowed, nothing else:
-//   - the schema string itself ("tsxhpc-telemetry-v3" -> "-v7"),
-//   - each counter block's new `backoff_cycles` sub-counter (v4), whose
-//     cycles moved from the kLockWait bucket to kTxWasted (the refactor
-//     books post-conflict backoff as wasted transactional work, not lock
-//     waiting): old.lock_wait == new.lock_wait + backoff and
-//     old.tx_wasted + backoff == new.tx_wasted must reconcile exactly,
-//   - each lock site's new `policy` decision-count object (v4),
-//   - the samples block's new `llc_misses` / `mem_stall` columns (v5) — new
-//     keys only; the pre-existing sample columns stay byte-identical. (The
-//     v5 `set_stats` block is gated behind --set-stats, which these benches
-//     do not pass, so it never appears here; the skip covers a future
-//     regeneration that enables it),
-//   - the per-run `topology` block and the counter blocks' new
-//     `slice_hops` / `socket_hops` / `hop_cycles` keys (v6) — new keys
-//     only; on the default 1-socket/1-slice machine every hop counter is
-//     zero and no existing number moves,
+// Exactly these schema-v6 -> v7 deltas are allowed, nothing else:
+//   - the schema string itself ("tsxhpc-telemetry-v6" -> "-v7"),
 //   - the per-run `cc` concurrency-control block (v7) — a new key only;
-//     the region-level counters it carries come from the CcBackend seam
-//     and change no pre-existing number.
+//     its counters come from the seam's region-level bookkeeping and move
+//     no pre-existing number (timings, totals, counter blocks, samples and
+//     topology all stay byte-identical).
+//
+// The second half pins the determinism contract for the schemes the seam
+// introduces: a tictoc / tictoc-hybrid / mvcc run must produce the same
+// artifact on the fiber and thread execution backends, byte for byte
+// modulo the advertised per-run "backend" name.
 //
 // Invoked with the bench binaries and the golden directory as arguments
 // (plain add_test, not gtest_discover_tests — the binaries are build
@@ -42,7 +34,7 @@ namespace tsxhpc::sim {
 namespace {
 
 std::string g_fig2_bin;
-std::string g_hier_bin;
+std::string g_table1_bin;
 std::string g_golden_dir;
 
 std::string slurp(const std::string& path) {
@@ -50,11 +42,6 @@ std::string slurp(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
-}
-
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t n = std::char_traits<char>::length(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
 std::string describe(const JsonValue& v) {
@@ -75,15 +62,15 @@ std::string describe(const JsonValue& v) {
   return "?";
 }
 
-/// Deep comparison of a pre-seam (v3) value against a post-seam (v6) value,
-/// applying exactly the allowed deltas. Reports the first divergence path.
-/// `delta` is the counter block's backoff_cycles, threaded down into its
-/// `cycles` child where the lock_wait -> tx_wasted shift lives.
+/// Deep comparison of a pre-seam (v6) value against a post-seam (v7) value.
+/// The ONLY tolerated differences are the schema string and the new per-run
+/// `cc` object; every other leaf must match exactly. Reports the first
+/// divergence path.
 class Comparator {
  public:
   bool equivalent(const JsonValue& oldv, const JsonValue& newv) {
     diff_.clear();
-    return compare(oldv, newv, "$", 0);
+    return compare(oldv, newv, "$");
   }
   const std::string& diff() const { return diff_; }
 
@@ -96,9 +83,9 @@ class Comparator {
   }
 
   bool compare(const JsonValue& oldv, const JsonValue& newv,
-               const std::string& path, std::uint64_t delta) {
+               const std::string& path) {
     if (path == "$.schema") {
-      if (oldv.as_string() != "tsxhpc-telemetry-v3" ||
+      if (oldv.as_string() != "tsxhpc-telemetry-v6" ||
           newv.as_string() != "tsxhpc-telemetry-v7") {
         return mismatch(path, oldv, newv, "unexpected schema pair");
       }
@@ -116,20 +103,6 @@ class Comparator {
         }
         return true;
       case JsonValue::Type::kNumber:
-        if (delta != 0 && ends_with(path, ".lock_wait")) {
-          if (oldv.as_u64() != newv.as_u64() + delta) {
-            return mismatch(path, oldv, newv,
-                            "lock_wait does not reconcile with backoff");
-          }
-          return true;
-        }
-        if (delta != 0 && ends_with(path, ".tx_wasted")) {
-          if (oldv.as_u64() + delta != newv.as_u64()) {
-            return mismatch(path, oldv, newv,
-                            "tx_wasted does not reconcile with backoff");
-          }
-          return true;
-        }
         if (oldv.as_double() != newv.as_double()) {
           return mismatch(path, oldv, newv, "number differs");
         }
@@ -145,32 +118,19 @@ class Comparator {
         }
         for (std::size_t i = 0; i < oldv.size(); ++i) {
           if (!compare(oldv.at(i), newv.at(i),
-                       path + "[" + std::to_string(i) + "]", 0)) {
+                       path + "[" + std::to_string(i) + "]")) {
             return false;
           }
         }
         return true;
       }
       case JsonValue::Type::kObject: {
-        // A v4 counter block carries the backoff sub-counter explaining the
-        // bucket shift inside its `cycles` child.
-        const std::uint64_t backoff = newv["backoff_cycles"].as_u64();
         for (const auto& [key, oldchild] : oldv.members()) {
-          const std::uint64_t child_delta = key == "cycles" ? backoff : delta;
-          if (!compare(oldchild, newv[key], path + "." + key, child_delta)) {
+          if (!compare(oldchild, newv[key], path + "." + key)) {
             return false;
           }
         }
         for (const auto& [key, newchild] : newv.members()) {
-          if (key == "backoff_cycles" || key == "policy") continue;  // v4-only
-          if (key == "llc_misses" || key == "mem_stall" ||
-              key == "set_stats") {
-            continue;  // v5-only
-          }
-          if (key == "topology" || key == "slice_hops" ||
-              key == "socket_hops" || key == "hop_cycles") {
-            continue;  // v6-only
-          }
           if (key == "cc") continue;  // v7-only
           if (!oldv.has(key) && !newchild.is_null()) {
             diff_ = path + "." + key + ": unexpected new key";
@@ -204,19 +164,72 @@ void check_bench(const std::string& bin, const std::string& golden_name,
 
   Comparator cmp;
   EXPECT_TRUE(cmp.equivalent(oldv, newv))
-      << "paper policy diverged from the pre-seam telemetry at "
+      << "CcBackend seam diverged from the pre-seam telemetry at "
       << cmp.diff();
 }
 
-TEST(PolicyEquivalence, Fig2StampMatchesPreSeamTelemetry) {
-  check_bench(g_fig2_bin, "fig2_quick_prerefactor.json",
-              "policy_equiv_fig2.json");
+TEST(CcEquivalence, Fig2StampMatchesPreSeamTelemetry) {
+  check_bench(g_fig2_bin, "fig2_quick_preccseam.json",
+              "cc_equiv_fig2.json");
 }
 
-TEST(PolicyEquivalence, AblationHierarchyMatchesPreSeamTelemetry) {
-  check_bench(g_hier_bin, "hierarchy_quick_prerefactor.json",
-              "policy_equiv_hierarchy.json");
+TEST(CcEquivalence, Table1AbortsMatchesPreSeamTelemetry) {
+  check_bench(g_table1_bin, "table1_quick_preccseam.json",
+              "cc_equiv_table1.json");
 }
+
+/// The artifacts may differ only in the advertised backend name.
+std::string normalize_backend(std::string json) {
+  const std::string from = "\"backend\":\"thread\"";
+  const std::string to = "\"backend\":\"fiber\"";
+  for (std::size_t pos = json.find(from); pos != std::string::npos;
+       pos = json.find(from, pos + to.size())) {
+    json.replace(pos, from.size(), to);
+  }
+  return json;
+}
+
+/// Run fig2_stamp restricted to one scheme on a chosen execution backend
+/// and return the artifact text. TSXHPC_BACKEND is read once per process,
+/// so the override goes through the child's environment.
+std::string run_scheme(const std::string& scheme, const char* exec_backend,
+                       const std::string& artifact_name) {
+  const std::string cmd = "TSXHPC_BACKEND=" + std::string(exec_backend) +
+                          " " + g_fig2_bin + " --quick --scheme=" + scheme +
+                          " --threads=2 --ref=0 --json=" + artifact_name +
+                          " > /dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  return slurp(artifact_name);
+}
+
+class SchemeBackendIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeBackendIdentity, FiberAndThreadArtifactsAreByteIdentical) {
+  const std::string scheme = GetParam();
+  const std::string fiber =
+      run_scheme(scheme, "fiber", "cc_equiv_" + scheme + "_fiber.json");
+  const std::string thread =
+      run_scheme(scheme, "thread", "cc_equiv_" + scheme + "_thread.json");
+  ASSERT_FALSE(fiber.empty());
+  ASSERT_FALSE(thread.empty());
+  EXPECT_NE(fiber.find("\"backend\":\"fiber\""), std::string::npos);
+  EXPECT_NE(thread.find("\"backend\":\"thread\""), std::string::npos);
+  EXPECT_NE(fiber.find("\"schema\":\"tsxhpc-telemetry-v7\""),
+            std::string::npos);
+  EXPECT_EQ(fiber, normalize_backend(thread))
+      << scheme << " telemetry diverges between execution backends";
+}
+
+INSTANTIATE_TEST_SUITE_P(NewSchemes, SchemeBackendIdentity,
+                         ::testing::Values("tictoc", "tictoc-hybrid", "mvcc"),
+                         [](const ::testing::TestParamInfo<const char*>&
+                                info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace tsxhpc::sim
@@ -225,12 +238,12 @@ int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc < 4) {
     std::fprintf(stderr,
-                 "usage: policy_equivalence_test <fig2_stamp> "
-                 "<ablation_hierarchy> <golden_dir>\n");
+                 "usage: cc_equivalence_test <fig2_stamp> "
+                 "<table1_aborts> <golden_dir>\n");
     return 2;
   }
   tsxhpc::sim::g_fig2_bin = argv[1];
-  tsxhpc::sim::g_hier_bin = argv[2];
+  tsxhpc::sim::g_table1_bin = argv[2];
   tsxhpc::sim::g_golden_dir = argv[3];
   return RUN_ALL_TESTS();
 }

@@ -307,9 +307,15 @@ TEST_P(ContainerBackends, ConcurrentQueueConservesItems) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, ContainerBackends,
                          ::testing::Values(Backend::kSgl, Backend::kTl2,
-                                           Backend::kTsx),
+                                           Backend::kTsx, Backend::kTicToc,
+                                           Backend::kTicTocHybrid,
+                                           Backend::kMvcc),
                          [](const ::testing::TestParamInfo<Backend>& info) {
-                           return to_string(info.param);
+                           std::string name = to_string(info.param);
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
                          });
 
 TEST(TxArena, ReusesFreedBlocksOutsideTxn) {

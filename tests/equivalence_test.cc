@@ -106,7 +106,8 @@ TEST_P(Equivalence, AllBackendsAgreeAtEveryThreadCount) {
     const std::uint64_t reference =
         run_program(Backend::kSgl, threads, seed);
     ASSERT_NE(reference, 0u);
-    for (Backend b : {Backend::kTl2, Backend::kTsx}) {
+    for (Backend b : {Backend::kTl2, Backend::kTsx, Backend::kTicToc,
+                      Backend::kTicTocHybrid, Backend::kMvcc}) {
       EXPECT_EQ(run_program(b, threads, seed), reference)
           << tmlib::to_string(b) << " with " << threads << " threads";
     }

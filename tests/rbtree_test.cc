@@ -26,7 +26,9 @@ using MapTypes = ::testing::Types<TmMap, TmRbMap>;
 TYPED_TEST_SUITE(OrderedMaps, MapTypes);
 
 TYPED_TEST(OrderedMaps, RandomOpsMatchStdMap) {
-  for (Backend backend : {Backend::kSgl, Backend::kTl2, Backend::kTsx}) {
+  for (Backend backend : {Backend::kSgl, Backend::kTl2, Backend::kTsx,
+                          Backend::kTicToc, Backend::kTicTocHybrid,
+                          Backend::kMvcc}) {
     Machine m;
     TmRuntime rt(m, backend);
     TxArena arena(m);

@@ -395,7 +395,7 @@ TEST(SetStats, DisabledRunsEmitNoSetStatsBlock) {
   EXPECT_EQ(j.find("\"set_stats\""), std::string::npos);
   // The schema is still v6 — the block is an optional extension, not a
   // schema fork.
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v6\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v7\""), std::string::npos);
 }
 
 TEST(SetStats, HeatmapRendererShowsTargetedObjectAndGatesOnV5Block) {

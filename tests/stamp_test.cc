@@ -40,12 +40,19 @@ INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, StampMatrix,
     ::testing::Combine(::testing::Range(0, 8),
                        ::testing::Values(Backend::kSgl, Backend::kTl2,
-                                         Backend::kTsx),
+                                         Backend::kTsx, Backend::kTicToc,
+                                         Backend::kTicTocHybrid,
+                                         Backend::kMvcc),
                        ::testing::Values(1, 4, 8)),
     [](const ::testing::TestParamInfo<std::tuple<int, Backend, int>>& info) {
-      return all_workloads()[std::get<0>(info.param)].name +
-             std::string("_") + tmlib::to_string(std::get<1>(info.param)) +
-             "_t" + std::to_string(std::get<2>(info.param));
+      std::string name =
+          all_workloads()[std::get<0>(info.param)].name + std::string("_") +
+          tmlib::to_string(std::get<1>(info.param)) + "_t" +
+          std::to_string(std::get<2>(info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
     });
 
 TEST(Stamp, OrderInsensitiveChecksumsAgreeAcrossBackends) {
@@ -94,10 +101,34 @@ TEST(Stamp, Table1LabyrinthCheapForTl2) {
   EXPECT_LT(r.abort_rate_pct(Backend::kTl2), 10.0);
 }
 
-TEST(Stamp, Table1Tl2SingleThreadNeverAborts) {
-  for (const auto& w : all_workloads()) {
-    const Result r = w.fn(quick_config(Backend::kTl2, 1));
-    EXPECT_EQ(r.tl2_aborts, 0u) << w.name;
+TEST(Stamp, Table1StmSingleThreadNeverAborts) {
+  // No concurrent writers at one thread: every STM scheme must run
+  // abort-free (the MVCC/TicToc commit paths included).
+  for (Backend b : {Backend::kTl2, Backend::kTicToc, Backend::kTicTocHybrid,
+                    Backend::kMvcc}) {
+    for (const auto& w : all_workloads()) {
+      const Result r = w.fn(quick_config(b, 1));
+      EXPECT_EQ(r.cc.aborts, 0u) << w.name << " " << tmlib::to_string(b);
+    }
+  }
+}
+
+TEST(Stamp, OrderInsensitiveChecksumsAgreeOnNewSchemes) {
+  // The new STM schemes must compute the same answers as the paper trio.
+  for (const char* name : {"ssca2", "genome"}) {
+    const Workload* w = nullptr;
+    for (const auto& cand : all_workloads()) {
+      if (cand.name == std::string(name)) w = &cand;
+    }
+    ASSERT_NE(w, nullptr);
+    const std::uint64_t ref = w->fn(quick_config(Backend::kSgl, 1)).checksum;
+    for (Backend b : {Backend::kTicToc, Backend::kTicTocHybrid,
+                      Backend::kMvcc}) {
+      for (int threads : {1, 4}) {
+        EXPECT_EQ(w->fn(quick_config(b, threads)).checksum, ref)
+            << name << " " << tmlib::to_string(b) << " t" << threads;
+      }
+    }
   }
 }
 

@@ -327,12 +327,12 @@ TEST(RenderDiff, SchemaMismatchIsACountedFailureNamingBothVersions) {
   const JsonValue base =
       parse_ok(make_telemetry("a", 1000, 5.0, 10.0, "tsxhpc-telemetry-v4"));
   const JsonValue cur =
-      parse_ok(make_telemetry("a", 1000, 5.0, 10.0, "tsxhpc-telemetry-v6"));
+      parse_ok(make_telemetry("a", 1000, 5.0, 10.0, "tsxhpc-telemetry-v7"));
   std::string out;
   EXPECT_EQ(render_diff(base, cur, DiffThresholds{}, out), 1) << out;
   EXPECT_NE(out.find("MISMATCH"), std::string::npos) << out;
   EXPECT_NE(out.find("tsxhpc-telemetry-v4"), std::string::npos) << out;
-  EXPECT_NE(out.find("tsxhpc-telemetry-v6"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v7"), std::string::npos) << out;
   // Reverse direction fails identically; same schema passes.
   out.clear();
   EXPECT_EQ(render_diff(cur, base, DiffThresholds{}, out), 1) << out;
@@ -346,14 +346,14 @@ TEST(SweepDiff, EmbeddedSchemaMismatchIsAPerCellFailure) {
     return make_telemetry(c.label, 1000, 5.0, 10.0, "tsxhpc-telemetry-v4");
   });
   const JsonValue cur = make_grid(spec, [](const SweepCell& c, std::size_t) {
-    return make_telemetry(c.label, 1000, 5.0, 10.0, "tsxhpc-telemetry-v6");
+    return make_telemetry(c.label, 1000, 5.0, 10.0, "tsxhpc-telemetry-v7");
   });
   std::string out;
   // Every cell embeds a mismatched telemetry schema: one failure per cell,
   // each naming both versions.
   EXPECT_EQ(render_sweep_diff(base, cur, DiffThresholds{}, out), 6) << out;
   EXPECT_NE(out.find("tsxhpc-telemetry-v4"), std::string::npos) << out;
-  EXPECT_NE(out.find("tsxhpc-telemetry-v6"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsxhpc-telemetry-v7"), std::string::npos) << out;
   EXPECT_NE(out.find("scheme=tsx/threads=4"), std::string::npos) << out;
 }
 

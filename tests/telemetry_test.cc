@@ -206,7 +206,7 @@ TEST(Telemetry, JsonAndTraceAreStructurallyValid) {
   contended_run(&tel, 4, 60, "validity");
   const std::string j = tel.json("telemetry_test");
   expect_balanced_json(j);
-  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v6\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"tsxhpc-telemetry-v7\""), std::string::npos);
   EXPECT_NE(j.find("\"label\":\"validity\""), std::string::npos);
   EXPECT_NE(j.find("\"backoff_cycles\""), std::string::npos);
   EXPECT_NE(j.find("\"policy\""), std::string::npos);

@@ -81,9 +81,15 @@ TEST_P(TmBackends, LinkedListInsertionKeepsStructure) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, TmBackends,
                          ::testing::Values(Backend::kSgl, Backend::kTl2,
-                                           Backend::kTsx),
+                                           Backend::kTsx, Backend::kTicToc,
+                                           Backend::kTicTocHybrid,
+                                           Backend::kMvcc),
                          [](const ::testing::TestParamInfo<Backend>& info) {
-                           return to_string(info.param);
+                           std::string name = to_string(info.param);
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
                          });
 
 TEST(TmLib, SglSerializesDisjointRegions) {
@@ -121,8 +127,126 @@ TEST(TmLib, Tl2AbortStatsReported) {
       });
     }
   }});
-  EXPECT_GE(rt.tl2_starts(), 800u);
-  EXPECT_GT(rt.tl2_aborts(), 0u) << "8 threads on one cell must conflict";
+  const sim::CcStats& cc = rt.cc_stats();
+  EXPECT_EQ(cc.scheme, "tl2");
+  EXPECT_GE(cc.starts, 800u);
+  EXPECT_GT(cc.aborts, 0u) << "8 threads on one cell must conflict";
+  EXPECT_EQ(cc.commits, 800u) << "every region must eventually commit";
+}
+
+// The v7 reconciliation invariants, at the source: starts = commits +
+// aborts, and every abort carries exactly one class. Run a contended
+// counter under every STM scheme.
+TEST(TmLib, CcStatsReconcileAcrossStmSchemes) {
+  for (Backend b : {Backend::kTl2, Backend::kTicToc, Backend::kTicTocHybrid,
+                    Backend::kMvcc}) {
+    Machine m;
+    TmRuntime rt(m, b);
+    auto cell = Shared<std::uint64_t>::alloc(m, 0);
+    m.run({.threads = 4, .body = [&](Context& c) {
+      TmThread t(rt, c);
+      for (int i = 0; i < 50; ++i) {
+        t.atomic([&](TmAccess& tm) {
+          tm.write(cell, tm.read(cell) + 1);
+          tm.ctx().compute(100);
+        });
+      }
+    }});
+    const sim::CcStats& cc = rt.cc_stats();
+    EXPECT_EQ(cc.scheme, to_string(b));
+    EXPECT_EQ(cc.commits, 200u) << to_string(b);
+    EXPECT_EQ(cc.starts, cc.commits + cc.aborts) << to_string(b);
+    EXPECT_EQ(cc.aborts, cc.aborts_read_validation + cc.aborts_lock_acquire +
+                             cc.aborts_commit_validation)
+        << to_string(b);
+    EXPECT_EQ(cell.peek(m), 200u) << to_string(b);
+  }
+}
+
+// Region-level accounting for the non-STM schemes: every region is one
+// start + one commit, aborts are zero (hardware retries live below the
+// seam, in the telemetry attempt chains).
+TEST(TmLib, CcStatsRegionLevelForDirectSchemes) {
+  for (Backend b : {Backend::kSgl, Backend::kTsx}) {
+    Machine m;
+    TmRuntime rt(m, b);
+    auto cell = Shared<std::uint64_t>::alloc(m, 0);
+    m.run({.threads = 4, .body = [&](Context& c) {
+      TmThread t(rt, c);
+      for (int i = 0; i < 50; ++i) {
+        t.atomic(
+            [&](TmAccess& tm) { tm.write(cell, tm.read(cell) + 1); });
+      }
+    }});
+    const sim::CcStats& cc = rt.cc_stats();
+    EXPECT_EQ(cc.scheme, to_string(b));
+    EXPECT_EQ(cc.starts, 200u) << to_string(b);
+    EXPECT_EQ(cc.commits, 200u) << to_string(b);
+    EXPECT_EQ(cc.aborts, 0u) << to_string(b);
+  }
+}
+
+// MVCC's reason to exist: read-only transactions are free snapshots — they
+// never fail validation, even racing concurrent writers.
+TEST(TmLib, MvccReadOnlySnapshotsCommitWithoutValidation) {
+  Machine m;
+  TmRuntime rt(m, Backend::kMvcc);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, 64, 0);
+  constexpr int kReaders = 3;
+  constexpr int kRoRegions = 60;
+  m.run({.threads = 4, .body = [&](Context& c) {
+    TmThread t(rt, c);
+    if (c.tid() == 0) {
+      // One writer churning versions under the readers.
+      for (int i = 0; i < 120; ++i) {
+        t.atomic([&](TmAccess& tm) {
+          const std::size_t idx = static_cast<std::size_t>(i) % 64;
+          tm.write(cells.addr(idx), tm.read(cells.addr(idx)) + 1);
+        });
+      }
+    } else {
+      for (int i = 0; i < kRoRegions; ++i) {
+        t.atomic([&](TmAccess& tm) {
+          std::uint64_t sum = 0;
+          for (std::size_t j = 0; j < 64; ++j) sum += tm.read(cells.addr(j));
+          tm.ctx().compute(sum & 1);  // consume
+        });
+      }
+    }
+  }});
+  const sim::CcStats& cc = rt.cc_stats();
+  EXPECT_EQ(cc.snapshot_commits,
+            static_cast<std::uint64_t>(kReaders) * kRoRegions)
+      << "every read-only region must commit as a free snapshot";
+  EXPECT_EQ(cc.aborts_read_validation, 0u) << "MVCC reads never abort";
+  EXPECT_GT(cc.versions_created, 0u);
+  EXPECT_LE(cc.gc_reclaims, cc.versions_created);
+}
+
+// TicToc's signature move: commit-time rts extension instead of aborting on
+// merely-old reads.
+TEST(TmLib, TicTocExtendsReadTimestamps) {
+  Machine m;
+  TmRuntime rt(m, Backend::kTicToc);
+  auto cells = SharedArray<std::uint64_t>::alloc(m, 8, 0);
+  m.run({.threads = 4, .body = [&](Context& c) {
+    TmThread t(rt, c);
+    for (int i = 0; i < 80; ++i) {
+      t.atomic([&](TmAccess& tm) {
+        // Read one cell, write another: the read's rts must be extended
+        // past concurrent writers' commit timestamps.
+        const std::size_t r = static_cast<std::size_t>(c.tid()) % 8;
+        const std::size_t w = static_cast<std::size_t>(c.tid() + 1 + i) % 8;
+        const std::uint64_t v = tm.read(cells.addr(r));
+        tm.write(cells.addr(w), v + 1);
+        tm.ctx().compute(60);
+      });
+    }
+  }});
+  const sim::CcStats& cc = rt.cc_stats();
+  EXPECT_EQ(cc.starts, cc.commits + cc.aborts);
+  EXPECT_GT(cc.read_set_extensions, 0u)
+      << "contended read/write mix must trigger rts extensions";
 }
 
 TEST(TmLib, TsxSingleThreadOverheadIsSmall) {
